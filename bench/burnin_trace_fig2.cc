@@ -1,0 +1,68 @@
+// Experiment E7 — Fig 2: a Markov chain burn-in trace. Start the sampler
+// from a deliberately mis-scaled initial genealogy and record the
+// log-posterior trace; the transient then stationary behaviour of Fig 2
+// should be visible, and the empirical burn-in estimator should flag it.
+#include <cstdio>
+#include <vector>
+
+#include "bench/workload.h"
+#include "core/genealogy_problem.h"
+#include "lik/felsenstein.h"
+#include "mcmc/diagnostics.h"
+#include "mcmc/mh.h"
+#include "phylo/upgma.h"
+
+int main(int argc, char** argv) {
+    using namespace mpcgs;
+    using namespace mpcgs::bench;
+    const BenchConfig cfg = BenchConfig::fromArgs(argc, argv);
+    const std::size_t steps = cfg.paperScale ? 60000 : 15000;
+
+    printHeader("Fig 2: Markov chain burn-in trace");
+
+    const Alignment data = makeDataset(10, 300, 1.0, 2);
+    const F81Model model(data.baseFrequencies());
+    const DataLikelihood lik(data, model);
+    const double theta = 1.0;
+    const MhGenealogyProblem problem(lik, theta);
+
+    // Terrible start: initial tree scaled 100x too tall.
+    Genealogy init = initialGenealogy(data, theta);
+    init.scaleTimes(100.0);
+
+    MhChain<MhGenealogyProblem> chain(problem, init, 3);
+    std::vector<double> trace;
+    trace.reserve(steps);
+    for (std::size_t i = 0; i < steps; ++i) {
+        chain.step();
+        trace.push_back(chain.currentLogPosterior());
+    }
+
+    // Down-sampled trace rendering.
+    const std::size_t buckets = 30;
+    std::printf("\n  step        mean log-posterior (window)\n");
+    double lo = 1e300, hi = -1e300;
+    for (const double v : trace) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    for (std::size_t b = 0; b < buckets; ++b) {
+        const std::size_t begin = b * steps / buckets;
+        const std::size_t end = (b + 1) * steps / buckets;
+        double acc = 0.0;
+        for (std::size_t i = begin; i < end; ++i) acc += trace[i];
+        const double m = acc / static_cast<double>(end - begin);
+        const int bars = static_cast<int>(60.0 * (m - lo) / (hi - lo + 1e-9));
+        std::printf("  %7zu  %12.2f  %s\n", begin, m, std::string(bars, '#').c_str());
+    }
+
+    const std::size_t burnIn = estimateBurnIn(trace);
+    const auto post = std::span<const double>(trace).subspan(steps / 2);
+    std::printf("\nestimated burn-in: ~%zu steps of %zu\n", burnIn, steps);
+    std::printf("post-burn-in Geweke |Z|: %.2f (|Z| < 2 indicates stationarity)\n",
+                std::fabs(gewekeZ(post)));
+    std::printf("acceptance rate: %.3f\n", chain.acceptanceRate());
+    std::printf("\nshape criterion: a visible initial climb followed by a flat,\n"
+                "stationary region — the Fig 2 picture.\n");
+    return 0;
+}

@@ -1,0 +1,100 @@
+// Experiment E5 — Fig 5: the relative likelihood curve for a population
+// with true theta = 1.0 and an initial driving value theta0 = 0.01.
+//
+// A single E-step driven at 0.01 cannot explore truth-scale genealogies
+// (the proposal kernel resimulates from the coalescent prior at the driving
+// value, §4.2), which is precisely why the program iterates
+// Expectation-Maximization (Fig 11): each iteration re-centers the driving
+// value at the previous curve's maximum. This bench runs that ladder and
+// prints the first and final curves; the final curve is the Fig 5 picture —
+// peaked near the true theta, enormously above L(theta0) = 1.
+//
+// Shape criterion: final-curve peak within a factor ~2 of theta = 1.0 and
+// log L at the peak >> 0.
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/workload.h"
+#include "core/genealogy_problem.h"
+#include "core/mle.h"
+#include "core/posterior.h"
+#include "lik/felsenstein.h"
+#include "mcmc/gmh.h"
+
+namespace {
+
+using namespace mpcgs;
+
+std::vector<IntervalSummary> sampleAtDrivingValue(const DataLikelihood& lik, double theta,
+                                                  Genealogy& state, std::size_t iters,
+                                                  std::uint64_t seed, ThreadPool* pool) {
+    const GmhGenealogyProblem problem(lik, theta);
+    GmhOptions gopt;
+    gopt.numProposals = 32;
+    gopt.samplesPerIteration = 32;
+    gopt.seed = seed;
+    GmhSampler<GmhGenealogyProblem> sampler(problem, gopt, pool);
+    std::vector<IntervalSummary> out;
+    state = sampler.run(std::move(state), iters / 10, iters, [&](const Genealogy& g) {
+        out.push_back(IntervalSummary::fromGenealogy(g));
+    });
+    return out;
+}
+
+void printCurve(const std::vector<std::pair<double, double>>& curve, double peakTheta) {
+    double best = -1e300;
+    for (const auto& [theta, ll] : curve) best = std::max(best, ll);
+    for (const auto& [theta, ll] : curve) {
+        const int bars =
+            std::max(0, static_cast<int>(46.0 + 46.0 * (ll - best) / (std::fabs(best) + 25.0)));
+        std::printf("  %8.4f  %12.3f   %s\n", theta, ll, std::string(bars, '#').c_str());
+    }
+    std::printf("  peak at theta = %.4f\n", peakTheta);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace mpcgs::bench;
+    const BenchConfig cfg = BenchConfig::fromArgs(argc, argv);
+    const std::size_t itersPerStep = cfg.paperScale ? 4000 : 1200;
+    const std::size_t emSteps = 8;
+
+    printHeader("Fig 5: likelihood curve, true theta = 1.0, driving theta0 = 0.01");
+    const Alignment data = makeDataset(10, 500, 1.0, 5);
+    const F81Model model(data.baseFrequencies());
+    const DataLikelihood lik(data, model);
+    ThreadPool pool(cfg.threads);
+
+    double theta = 0.01;  // the paper's driving value
+    Genealogy state = initialGenealogy(data, theta);
+    std::vector<std::pair<double, double>> firstCurve, lastCurve;
+    double firstPeak = 0.0, lastPeak = 0.0;
+
+    for (std::size_t step = 0; step < emSteps; ++step) {
+        auto summaries =
+            sampleAtDrivingValue(lik, theta, state, itersPerStep, 55 + step, &pool);
+        const RelativeLikelihood rl(std::move(summaries), theta);
+        const MleResult mle = maximizeTheta(rl, theta, &pool);
+        const auto curve = rl.curve(std::max(theta / 4, 1e-4), std::max(8.0, theta * 8), 33, &pool);
+        if (step == 0) {
+            firstCurve = curve;
+            firstPeak = mle.theta;
+        }
+        lastCurve = curve;
+        lastPeak = mle.theta;
+        std::printf("EM step %zu: driving theta %.5f -> MLE %.5f\n", step + 1, theta, mle.theta);
+        theta = mle.theta;
+    }
+
+    std::printf("\nFirst-iteration curve (driving 0.01 — exploration-limited):\n");
+    printCurve(firstCurve, firstPeak);
+    std::printf("\nFinal re-centered curve (the Fig 5 picture):\n");
+    printCurve(lastCurve, lastPeak);
+    std::printf("\nfinal theta estimate = %.4f (true theta = 1.0)\n", theta);
+    std::printf("shape criterion: final curve peaks within a factor ~2 of the truth,\n"
+                "with log L(peak) >> 0 relative to the driving value, matching Fig 5.\n");
+    return 0;
+}

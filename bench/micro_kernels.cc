@@ -1,0 +1,173 @@
+// Experiment E8 — micro-kernel benchmarks (google-benchmark): the costs of
+// the sampler's building blocks, including the §5.2.2 ablation comparing
+// full likelihood recomputation (the paper's GPU choice) against
+// incremental dirty-path caching (the CPU alternative).
+#include <benchmark/benchmark.h>
+
+#include "coalescent/death_process.h"
+#include "coalescent/simulator.h"
+#include "core/neighborhood.h"
+#include "core/recoalesce.h"
+#include "lik/felsenstein.h"
+#include "par/kernel.h"
+#include "phylo/upgma.h"
+#include "rng/mt19937.h"
+#include "rng/philox.h"
+#include "seq/distance.h"
+#include "seq/seqgen.h"
+#include "seq/subst_model.h"
+#include "util/logspace.h"
+
+namespace {
+
+using namespace mpcgs;
+
+Alignment benchData(int n, std::size_t length, unsigned seed) {
+    Mt19937 rng(seed);
+    const Genealogy g = simulateCoalescent(n, 1.0, rng);
+    const auto model = makeF84(2.0, kUniformFreqs);
+    return simulateSequences(g, *model, {length, 1.0}, rng);
+}
+
+void BM_LogSumExp(benchmark::State& state) {
+    std::vector<double> xs(static_cast<std::size_t>(state.range(0)));
+    Mt19937 rng(1);
+    for (auto& x : xs) x = -500.0 + 100.0 * rng.uniform01();
+    for (auto _ : state) benchmark::DoNotOptimize(logSumExp(xs));
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LogSumExp)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_Mt19937(benchmark::State& state) {
+    Mt19937 rng(2);
+    for (auto _ : state) benchmark::DoNotOptimize(rng.nextU32());
+}
+BENCHMARK(BM_Mt19937);
+
+void BM_Philox(benchmark::State& state) {
+    Philox rng(3, 0);
+    for (auto _ : state) benchmark::DoNotOptimize(rng.nextU32());
+}
+BENCHMARK(BM_Philox);
+
+void BM_TransitionMatrixF81(benchmark::State& state) {
+    const F81Model model(BaseFreqs{0.3, 0.2, 0.25, 0.25});
+    double t = 0.01;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(model.transition(t));
+        t += 1e-6;
+    }
+}
+BENCHMARK(BM_TransitionMatrixF81);
+
+void BM_TransitionMatrixGtr(benchmark::State& state) {
+    const auto model = makeHky85(2.0, BaseFreqs{0.3, 0.2, 0.25, 0.25});
+    double t = 0.01;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(model->transition(t));
+        t += 1e-6;
+    }
+}
+BENCHMARK(BM_TransitionMatrixGtr);
+
+void BM_BlockReduceLogSumExp(benchmark::State& state) {
+    const unsigned threads = static_cast<unsigned>(state.range(0));
+    ThreadPool pool(threads);
+    std::vector<double> xs(65536);
+    Mt19937 rng(4);
+    for (auto& x : xs) x = -100.0 * rng.uniform01();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(blockReduceLogSumExp(&pool, xs, 256));
+    state.SetItemsProcessed(state.iterations() * static_cast<long>(xs.size()));
+}
+BENCHMARK(BM_BlockReduceLogSumExp)->Arg(1)->Arg(4)->Arg(16);
+
+/// The data-likelihood kernel: full pruning recomputation per call, the
+/// paper's GPU strategy (§5.2.2), across sequence lengths.
+void BM_LikelihoodRecompute(benchmark::State& state) {
+    Mt19937 rng(5);
+    const Genealogy g = simulateCoalescent(12, 1.0, rng);
+    const Alignment data = benchData(12, static_cast<std::size_t>(state.range(0)), 5);
+    const F81Model model(data.baseFrequencies());
+    const DataLikelihood lik(data, model, /*compress=*/false);
+    for (auto _ : state) benchmark::DoNotOptimize(lik.logLikelihood(g));
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LikelihoodRecompute)->Arg(200)->Arg(1000)->Arg(2000);
+
+/// Ablation: incremental dirty-path update after a single-node change —
+/// the caching strategy the paper rejected for the GPU.
+void BM_LikelihoodIncremental(benchmark::State& state) {
+    Mt19937 rng(6);
+    Genealogy g = simulateCoalescent(12, 1.0, rng);
+    const Alignment data = benchData(12, static_cast<std::size_t>(state.range(0)), 6);
+    const F81Model model(data.baseFrequencies());
+    const DataLikelihood lik(data, model, /*compress=*/false);
+    LikelihoodCache cache(lik);
+    cache.evaluate(g);
+    const auto internals = g.internalsByTime();
+    const NodeId moved = internals[0];
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.evaluateDirty(g, {moved}));
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LikelihoodIncremental)->Arg(200)->Arg(1000)->Arg(2000);
+
+void BM_SitePatternCompression(benchmark::State& state) {
+    const Alignment data = benchData(12, 2000, 7);
+    for (auto _ : state) benchmark::DoNotOptimize(SitePatterns(data, true));
+}
+BENCHMARK(BM_SitePatternCompression);
+
+/// The proposal kernel (§5.2.1): region construction + one resimulated
+/// proposal + its exact density.
+void BM_NeighborhoodProposal(benchmark::State& state) {
+    Mt19937 rng(8);
+    const Genealogy g = simulateCoalescent(static_cast<int>(state.range(0)), 1.0, rng);
+    for (auto _ : state) {
+        const NeighborhoodRegion region = makeNeighborhoodRegion(g, 1.0, rng);
+        const Genealogy p = proposeInNeighborhood(region, rng);
+        benchmark::DoNotOptimize(logNeighborhoodDensity(region, p));
+    }
+}
+BENCHMARK(BM_NeighborhoodProposal)->Arg(12)->Arg(48)->Arg(132);
+
+/// The baseline LAMARC move for comparison.
+void BM_RecoalesceProposal(benchmark::State& state) {
+    Mt19937 rng(9);
+    Genealogy g = simulateCoalescent(static_cast<int>(state.range(0)), 1.0, rng);
+    for (auto _ : state) {
+        auto prop = proposeRecoalesce(g, 1.0, rng);
+        benchmark::DoNotOptimize(prop.logForward);
+        g = std::move(prop.state);
+    }
+}
+BENCHMARK(BM_RecoalesceProposal)->Arg(12)->Arg(48)->Arg(132);
+
+void BM_CoalescentSimulator(benchmark::State& state) {
+    Mt19937 rng(10);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(simulateCoalescent(static_cast<int>(state.range(0)), 1.0, rng));
+}
+BENCHMARK(BM_CoalescentSimulator)->Arg(12)->Arg(132);
+
+void BM_Upgma(benchmark::State& state) {
+    const Alignment data = benchData(static_cast<int>(state.range(0)), 200, 11);
+    const auto dist = hammingMatrix(data);
+    for (auto _ : state) benchmark::DoNotOptimize(upgmaTree(dist));
+}
+BENCHMARK(BM_Upgma)->Arg(12)->Arg(60);
+
+void BM_DeathProcessSample(benchmark::State& state) {
+    std::vector<FeasibleInterval> ivs{
+        {0.0, 0.1, 3, 1}, {0.1, 0.25, 2, 1}, {0.25, 1.0, 1, 1}};
+    const DeathProcess dp(std::move(ivs), 1.0);
+    Mt19937 rng(12);
+    for (auto _ : state) benchmark::DoNotOptimize(dp.sampleMergeTimes(rng));
+}
+BENCHMARK(BM_DeathProcessSample);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// Demonstrate the paper's central claim: the GMH sampler scales with
+// parallel width because burn-in work parallelizes too, while the
+// multi-chain workaround pays B per chain (Eq. 27).
+//
+//   $ ./examples/parallel_scaling [--samples N] [--seqs n] [--length L]
+//
+// Prints a thread sweep: wall time and speedup for the GMH E-step, next to
+// the serial MH baseline.
+#include <cstdio>
+
+#include "coalescent/simulator.h"
+#include "core/driver.h"
+#include "par/thread_pool.h"
+#include "rng/mt19937.h"
+#include "seq/seqgen.h"
+#include "seq/subst_model.h"
+#include "util/options.h"
+#include "util/table.h"
+
+#include <iostream>
+
+int main(int argc, char** argv) {
+    using namespace mpcgs;
+    const Options cli = Options::parse(argc, argv);
+    const int nSeq = static_cast<int>(cli.getInt("seqs", 12));
+    const std::size_t length = static_cast<std::size_t>(cli.getInt("length", 400));
+    const std::size_t samples = static_cast<std::size_t>(cli.getInt("samples", 6000));
+
+    Mt19937 rng(99);
+    const Genealogy truth = simulateCoalescent(nSeq, 1.0, rng);
+    const auto gen = makeF84(2.0, kUniformFreqs);
+    const Alignment data = simulateSequences(truth, *gen, {length, 1.0}, rng);
+
+    MpcgsOptions base;
+    base.theta0 = 1.0;
+    base.emIterations = 1;
+    base.samplesPerIteration = samples;
+    base.gmhProposals = 48;
+    base.gmhSamplesPerSet = 48;  // Alg 1 draws M = N samples per set
+    base.seed = 7;
+
+    // Serial MH reference (the LAMARC role).
+    MpcgsOptions mh = base;
+    mh.strategy = Strategy::SerialMh;
+    const double mhTime = estimateTheta(data, mh).samplingSeconds;
+    std::printf("serial MH baseline: %.3fs for %zu samples (%d seqs x %zu bp)\n\n", mhTime,
+                samples, nSeq, length);
+
+    Table table({"threads", "gmh time (s)", "speedup vs serial MH", "scaling vs 1 thread"});
+    double oneThread = 0.0;
+    for (const unsigned threads : {1u, 2u, 4u, 8u, 16u, hardwareThreads()}) {
+        if (threads > hardwareThreads()) continue;
+        ThreadPool pool(threads);
+        MpcgsOptions gmh = base;
+        gmh.strategy = Strategy::Gmh;
+        const double t = estimateTheta(data, gmh, &pool).samplingSeconds;
+        if (threads == 1) oneThread = t;
+        table.addRow({Table::integer(threads), Table::num(t, 3), Table::num(mhTime / t, 2),
+                      Table::num(oneThread / t, 2)});
+    }
+    table.print(std::cout);
+    std::printf("\nGMH makes N=%zu proposals per iteration; each is an independent\n"
+                "likelihood evaluation, so the E-step parallelizes without a serial\n"
+                "burn-in bottleneck.\n",
+                base.gmhProposals);
+    return 0;
+}

@@ -1,0 +1,67 @@
+#include "coalescent/moment_estimators.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace mpcgs {
+namespace {
+
+double harmonic(std::size_t n) {
+    double a = 0.0;
+    for (std::size_t i = 1; i <= n; ++i) a += 1.0 / static_cast<double>(i);
+    return a;
+}
+
+/// Mean pairwise difference count across all sequence pairs.
+double meanPairwiseDiffs(const Alignment& aln) {
+    const std::size_t n = aln.sequenceCount();
+    require(n >= 2, "moment estimators need at least 2 sequences");
+    double acc = 0.0;
+    std::size_t pairs = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = i + 1; j < n; ++j) {
+            acc += static_cast<double>(aln.sequence(i).hammingDistance(aln.sequence(j)));
+            ++pairs;
+        }
+    return acc / static_cast<double>(pairs);
+}
+
+}  // namespace
+
+double wattersonTheta(const Alignment& aln) {
+    const std::size_t n = aln.sequenceCount();
+    require(n >= 2, "wattersonTheta needs at least 2 sequences");
+    const double a1 = harmonic(n - 1);
+    const double s = static_cast<double>(aln.segregatingSites());
+    return s / (static_cast<double>(aln.length()) * a1);
+}
+
+double tajimaTheta(const Alignment& aln) {
+    return meanPairwiseDiffs(aln) / static_cast<double>(aln.length());
+}
+
+double tajimaD(const Alignment& aln) {
+    const std::size_t n = aln.sequenceCount();
+    require(n >= 3, "tajimaD needs at least 3 sequences");
+    const double s = static_cast<double>(aln.segregatingSites());
+    if (s == 0.0) return 0.0;
+
+    const double nd = static_cast<double>(n);
+    const double a1 = harmonic(n - 1);
+    double a2 = 0.0;
+    for (std::size_t i = 1; i < n; ++i) a2 += 1.0 / (static_cast<double>(i) * static_cast<double>(i));
+    const double b1 = (nd + 1.0) / (3.0 * (nd - 1.0));
+    const double b2 = 2.0 * (nd * nd + nd + 3.0) / (9.0 * nd * (nd - 1.0));
+    const double c1 = b1 - 1.0 / a1;
+    const double c2 = b2 - (nd + 2.0) / (a1 * nd) + a2 / (a1 * a1);
+    const double e1 = c1 / a1;
+    const double e2 = c2 / (a1 * a1 + a2);
+
+    const double d = meanPairwiseDiffs(aln) - s / a1;
+    const double var = e1 * s + e2 * s * (s - 1.0);
+    if (var <= 0.0) return 0.0;
+    return d / std::sqrt(var);
+}
+
+}  // namespace mpcgs

@@ -1,0 +1,31 @@
+// Classical moment estimators of theta — the quick non-MCMC baselines
+// every coalescent analysis reports next to the likelihood estimate
+// (Kuhner 2009 compares genealogy samplers against exactly these).
+//
+// Under the paper's rate convention (Eq. 17: pair coalescence rate
+// 2/theta), the expected number of segregating sites in n sequences of L
+// sites is  E[S] = L * theta/2 * a1,  a1 = sum_{i=1}^{n-1} 1/i,  and the
+// expected pairwise difference count is E[pi] = L * theta / 2... derived
+// from E[T2] = theta/2 per pair with mutation rate 1 per site per unit
+// time and two branches: E[pairwise diffs]/L = 2 * mu * E[T2] = theta.
+#pragma once
+
+#include "seq/alignment.h"
+
+namespace mpcgs {
+
+/// Watterson (1975) estimator from the number of segregating sites:
+/// theta_W = S / (L * a1 / 2)... scaled for this library's rate convention
+/// (theta equals the expected per-site pairwise diversity).
+double wattersonTheta(const Alignment& aln);
+
+/// Tajima (1983) estimator: mean pairwise difference per site.
+double tajimaTheta(const Alignment& aln);
+
+/// Tajima's D statistic (normalized difference between the two
+/// estimators); strongly negative values suggest expansion/selection,
+/// values near 0 neutrality. Returns 0 when the alignment has no
+/// segregating sites.
+double tajimaD(const Alignment& aln);
+
+}  // namespace mpcgs

@@ -1,0 +1,47 @@
+#include "core/cached_mh.h"
+
+#include <cmath>
+
+namespace mpcgs {
+
+CachedMhSampler::CachedMhSampler(const DataLikelihood& lik, double theta, Genealogy init,
+                                 std::uint64_t seed)
+    : lik_(lik),
+      theta_(theta),
+      cache_(lik),
+      current_(std::move(init)),
+      logLik_(cache_.evaluate(current_)),
+      rng_(static_cast<std::uint32_t>(seed ^ (seed >> 32))) {}
+
+bool CachedMhSampler::step() {
+    // The old sibling's branch changes when its parent dissolves; record it
+    // before proposing.
+    auto prop = proposeRecoalesce(current_, theta_, rng_);
+    const NodeId v = prop.target;
+    const NodeId p = prop.rebuiltParent;
+    const NodeId oldSib = current_.sibling(v);
+    const NodeId newSib = prop.state.sibling(v);
+
+    // Every node whose child set or child branch length differs between the
+    // two trees is covered by these seeds plus their ancestors.
+    const std::vector<NodeId> seeds{v, p, oldSib, newSib};
+
+    const double newLik = cache_.evaluateDirty(prop.state, seeds);
+    const double logR = (newLik + logCoalescentPrior(prop.state, theta_)) -
+                        (logLik_ + logCoalescentPrior(current_, theta_)) +
+                        prop.logReverse - prop.logForward;
+    ++steps_;
+    if (logR >= 0.0 || std::log(rng_.uniformPos()) < logR) {
+        current_ = std::move(prop.state);
+        logLik_ = newLik;
+        ++accepted_;
+        return true;
+    }
+    // Rejected: re-prune the same dirty path on the unchanged genealogy to
+    // restore the cache (the overwritten nodes are exactly the seeds'
+    // ancestor closure, which the old tree's closure covers).
+    cache_.evaluateDirty(current_, seeds);
+    return false;
+}
+
+}  // namespace mpcgs

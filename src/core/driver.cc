@@ -1,0 +1,197 @@
+#include "core/driver.h"
+
+#include <cmath>
+
+#include "core/cached_mh.h"
+#include "mcmc/gmh.h"
+#include "mcmc/heated.h"
+#include "mcmc/mh.h"
+#include "mcmc/multichain.h"
+#include "phylo/upgma.h"
+#include "seq/distance.h"
+#include "seq/subst_model.h"
+#include "util/error.h"
+#include "util/timer.h"
+
+namespace mpcgs {
+namespace {
+
+std::unique_ptr<SubstModel> makeModel(const std::string& name, const Alignment& aln) {
+    const BaseFreqs pi = aln.baseFrequencies();
+    if (name == "F81") return std::make_unique<F81Model>(pi);
+    if (name == "JC69") return makeJc69();
+    if (name == "HKY85") return makeHky85(2.0, pi);
+    if (name == "F84") return makeF84(2.0, pi);
+    throw ConfigError("unknown substitution model '" + name + "'");
+}
+
+/// One E-step with the GMH sampler; fills `summaries` and returns the final
+/// genealogy (warm start for the next EM iteration).
+Genealogy sampleGmh(const DataLikelihood& lik, double theta, Genealogy init,
+                    const MpcgsOptions& opts, std::uint64_t seed, ThreadPool* pool,
+                    std::vector<IntervalSummary>& summaries, double& moveRate) {
+    const GmhGenealogyProblem problem(lik, theta);
+    GmhOptions gopt;
+    gopt.numProposals = opts.gmhProposals;
+    gopt.samplesPerIteration = opts.gmhSamplesPerSet;
+    gopt.seed = seed;
+    GmhSampler<GmhGenealogyProblem> sampler(problem, gopt, pool);
+
+    const std::size_t sampleIters =
+        (opts.samplesPerIteration + gopt.samplesPerIteration - 1) / gopt.samplesPerIteration;
+    const std::size_t burnIters =
+        (sampleIters * opts.burnInFraction1000 + 999) / 1000;
+
+    summaries.clear();
+    summaries.reserve(sampleIters * gopt.samplesPerIteration);
+    auto sink = [&](const Genealogy& g) { summaries.push_back(IntervalSummary::fromGenealogy(g)); };
+    Genealogy last = sampler.run(std::move(init), burnIters, sampleIters, sink);
+    moveRate = sampler.stats().moveRate();
+    return last;
+}
+
+/// One E-step with the serial MH baseline (full recomputation by default;
+/// dirty-path likelihood caching with opts.cachedBaseline).
+Genealogy sampleSerialMh(const DataLikelihood& lik, double theta, Genealogy init,
+                         const MpcgsOptions& opts, std::uint64_t seed,
+                         std::vector<IntervalSummary>& summaries, double& moveRate) {
+    const std::size_t samples = opts.samplesPerIteration;
+    const std::size_t burnIn = (samples * opts.burnInFraction1000 + 999) / 1000;
+    summaries.clear();
+    summaries.reserve(samples);
+    auto sink = [&](const Genealogy& g) {
+        summaries.push_back(IntervalSummary::fromGenealogy(g));
+    };
+
+    if (opts.cachedBaseline) {
+        CachedMhSampler chain(lik, theta, std::move(init), seed);
+        chain.run(burnIn, samples, sink);
+        moveRate = chain.acceptanceRate();
+        return chain.current();
+    }
+    const MhGenealogyProblem problem(lik, theta);
+    MhChain<MhGenealogyProblem> chain(problem, std::move(init), seed);
+    chain.run(burnIn, samples, sink);
+    moveRate = chain.acceptanceRate();
+    return chain.current();
+}
+
+/// One E-step with Metropolis-coupled chains: the cold chain is sampled,
+/// the heated chains improve mixing through swap moves.
+Genealogy sampleHeatedMh(const DataLikelihood& lik, double theta, Genealogy init,
+                         const MpcgsOptions& opts, std::uint64_t seed,
+                         std::vector<IntervalSummary>& summaries, double& moveRate) {
+    const MhGenealogyProblem problem(lik, theta);
+    HeatedOptions hopt;
+    hopt.temperatures = opts.temperatures;
+    hopt.seed = seed;
+    HeatedChains<MhGenealogyProblem> chains(problem, std::move(init), hopt);
+    const std::size_t samples = opts.samplesPerIteration;
+    const std::size_t burnIn = (samples * opts.burnInFraction1000 + 999) / 1000;
+
+    summaries.clear();
+    summaries.reserve(samples);
+    chains.run(burnIn, samples,
+               [&](const Genealogy& g) { summaries.push_back(IntervalSummary::fromGenealogy(g)); });
+    moveRate = chains.stats().swapRate();
+    return chains.cold();
+}
+
+/// One E-step with the aggregated multi-chain baseline (each chain pays the
+/// full burn-in, §3).
+Genealogy sampleMultiChain(const DataLikelihood& lik, double theta, Genealogy init,
+                           const MpcgsOptions& opts, std::uint64_t seed, ThreadPool* pool,
+                           std::vector<IntervalSummary>& summaries, double& moveRate) {
+    const MhGenealogyProblem problem(lik, theta);
+    MultiChainOptions mopt;
+    mopt.chains = opts.chains;
+    mopt.totalSamples = opts.samplesPerIteration;
+    mopt.burnInPerChain = (opts.samplesPerIteration * opts.burnInFraction1000 + 999) / 1000;
+    mopt.seed = seed;
+
+    summaries.clear();
+    summaries.reserve(opts.samplesPerIteration + opts.chains);
+    std::mutex mu;
+    const auto acceptance = runMultiChain(
+        problem, init, mopt,
+        [&](const Genealogy& g) {
+            std::lock_guard<std::mutex> lk(mu);
+            summaries.push_back(IntervalSummary::fromGenealogy(g));
+        },
+        pool);
+    double acc = 0.0;
+    for (const double a : acceptance) acc += a;
+    moveRate = acceptance.empty() ? 0.0 : acc / static_cast<double>(acceptance.size());
+    return init;  // multi-chain has no single continuing state
+}
+
+}  // namespace
+
+Genealogy initialGenealogy(const Alignment& aln, double theta0) {
+    if (theta0 <= 0.0) throw ConfigError("initialGenealogy: theta0 must be positive");
+    Genealogy g = upgmaTree(hammingMatrix(aln));
+    g.setTipNames(aln.names());
+    scaleToExpectedHeight(g, theta0);
+    return g;
+}
+
+MpcgsResult estimateTheta(const Alignment& aln, const MpcgsOptions& opts, ThreadPool* pool) {
+    if (opts.theta0 <= 0.0) throw ConfigError("estimateTheta: theta0 must be positive");
+    if (opts.emIterations == 0) throw ConfigError("estimateTheta: need >= 1 EM iteration");
+    if (opts.samplesPerIteration == 0) throw ConfigError("estimateTheta: need samples");
+    if (opts.strategy == Strategy::Gmh && aln.sequenceCount() < 3)
+        throw ConfigError("estimateTheta: GMH needs at least 3 sequences");
+
+    Timer total;
+    const auto model = makeModel(opts.substModel, aln);
+    const DataLikelihood lik(aln, *model, opts.compressPatterns);
+
+    MpcgsResult result;
+    double theta = opts.theta0;
+    Genealogy current = initialGenealogy(aln, theta);
+
+    std::vector<IntervalSummary> summaries;
+    for (std::size_t em = 0; em < opts.emIterations; ++em) {
+        EmIterationRecord rec;
+        rec.thetaBefore = theta;
+        const std::uint64_t seed = opts.seed + em * 0x632BE59BD9B4E019ull;
+
+        Timer estep;
+        switch (opts.strategy) {
+            case Strategy::Gmh:
+                current = sampleGmh(lik, theta, std::move(current), opts, seed, pool, summaries,
+                                    rec.moveRate);
+                break;
+            case Strategy::SerialMh:
+                current = sampleSerialMh(lik, theta, std::move(current), opts, seed, summaries,
+                                         rec.moveRate);
+                break;
+            case Strategy::MultiChain:
+                current = sampleMultiChain(lik, theta, std::move(current), opts, seed, pool,
+                                           summaries, rec.moveRate);
+                break;
+            case Strategy::HeatedMh:
+                current = sampleHeatedMh(lik, theta, std::move(current), opts, seed, summaries,
+                                         rec.moveRate);
+                break;
+        }
+        rec.seconds = estep.seconds();
+        result.samplingSeconds += rec.seconds;
+        rec.samples = summaries.size();
+
+        const RelativeLikelihood rl(summaries, theta);
+        const MleResult mle = maximizeTheta(rl, theta, pool);
+        theta = mle.theta;
+        rec.thetaAfter = theta;
+        rec.logLAtMax = mle.logL;
+        result.history.push_back(rec);
+    }
+
+    result.theta = theta;
+    result.finalSummaries = std::move(summaries);
+    result.finalDrivingTheta = result.history.back().thetaBefore;
+    result.totalSeconds = total.seconds();
+    return result;
+}
+
+}  // namespace mpcgs

@@ -1,0 +1,95 @@
+// The mpcgs program flow (Fig 11): Expectation-Maximization over theta.
+//
+//   read sequence data -> seed RNG -> UPGMA initial genealogy scaled by
+//   theta0 -> repeat { burn-in in parallel; sampling in parallel; MLE of
+//   theta; replace driving value } -> final estimate.
+//
+// Two sampling strategies implement the E-step: the paper's Generalized
+// Metropolis-Hastings sampler (Strategy::Gmh — the contribution) and the
+// serial single-chain Metropolis-Hastings baseline (Strategy::SerialMh —
+// the LAMARC stand-in). MultiChain aggregates P independent MH chains, the
+// §3 workaround whose Amdahl-limited scaling motivates the thesis.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/genealogy_problem.h"
+#include "core/mle.h"
+#include "core/posterior.h"
+#include "par/thread_pool.h"
+#include "seq/alignment.h"
+
+namespace mpcgs {
+
+enum class Strategy {
+    Gmh,        ///< multiple-proposal sampler (the paper's method)
+    SerialMh,   ///< single serial MH chain (LAMARC baseline)
+    MultiChain, ///< P independent MH chains, aggregated (§3 baseline)
+    HeatedMh,   ///< Metropolis-coupled chains (LAMARC's heating feature)
+};
+
+struct MpcgsOptions {
+    double theta0 = 1.0;            ///< driving value (2nd CLI argument)
+    std::size_t emIterations = 4;   ///< outer EM loop count (Fig 11's N)
+    std::size_t samplesPerIteration = 4000;  ///< genealogies per E-step (M)
+    std::size_t burnInFraction1000 = 100;    ///< burn-in as permille of samples
+
+    Strategy strategy = Strategy::Gmh;
+
+    // GMH geometry (Alg 1): N proposals per set, M index draws per set.
+    // Algorithm 1 draws M = N samples per proposal set, which keeps the
+    // posterior-evaluation count per sample at (N+1)/M ~ 1, matching the
+    // serial MH baseline's work per sample.
+    std::size_t gmhProposals = 32;
+    std::size_t gmhSamplesPerSet = 32;
+
+    // MultiChain geometry.
+    std::size_t chains = 4;
+
+    // HeatedMh geometry: temperature ladder (first entry must be 1.0).
+    std::vector<double> temperatures{1.0, 1.3, 1.8, 3.0};
+
+    std::uint64_t seed = 20160408;  ///< thesis defense date, why not
+    bool compressPatterns = true;
+    std::string substModel = "F81"; ///< inference model (Eq. 20)
+
+    /// SerialMh only: evaluate likelihoods incrementally via dirty-path
+    /// caching, as production LAMARC does, instead of full recomputation.
+    bool cachedBaseline = false;
+};
+
+struct EmIterationRecord {
+    double thetaBefore = 0.0;
+    double thetaAfter = 0.0;
+    double logLAtMax = 0.0;     ///< log relative likelihood at the estimate
+    double seconds = 0.0;       ///< wall time of the E-step (sampling)
+    double moveRate = 0.0;      ///< GMH move rate / MH acceptance rate
+    std::size_t samples = 0;
+};
+
+struct MpcgsResult {
+    double theta = 0.0;
+    std::vector<EmIterationRecord> history;
+    double totalSeconds = 0.0;
+    double samplingSeconds = 0.0;  ///< E-step time only (speedup metric)
+
+    /// Interval summaries of the final EM iteration's samples plus the
+    /// driving value they were generated under: enough to rebuild the
+    /// final relative-likelihood curve (Fig 5 exports, support intervals).
+    std::vector<IntervalSummary> finalSummaries;
+    double finalDrivingTheta = 0.0;
+};
+
+/// Full estimation pipeline. `pool` parallelizes the GMH proposal fan-out
+/// and the multi-chain ensemble; nullptr (or a 1-thread pool) runs
+/// serially — the baseline configuration of §6.2.
+MpcgsResult estimateTheta(const Alignment& aln, const MpcgsOptions& opts,
+                          ThreadPool* pool = nullptr);
+
+/// The initial genealogy of §5.1.3: UPGMA over raw pairwise differences,
+/// scaled to the expected coalescent height under theta0.
+Genealogy initialGenealogy(const Alignment& aln, double theta0);
+
+}  // namespace mpcgs

@@ -1,0 +1,20 @@
+#include "core/genealogy_problem.h"
+
+#include "util/error.h"
+
+namespace mpcgs {
+
+GenealogyPosterior::GenealogyPosterior(const DataLikelihood& lik, double theta)
+    : lik_(lik), theta_(theta) {
+    if (theta <= 0.0) throw ConfigError("GenealogyPosterior: theta must be positive");
+}
+
+double GenealogyPosterior::logPosterior(const Genealogy& g) const {
+    return lik_.logLikelihood(g) + logCoalescentPrior(g, theta_);
+}
+
+double GenealogyPosterior::logDataLikelihood(const Genealogy& g) const {
+    return lik_.logLikelihood(g);
+}
+
+}  // namespace mpcgs

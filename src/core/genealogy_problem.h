@@ -1,0 +1,91 @@
+// Problem bindings: genealogy state + posterior + proposal mechanisms,
+// consumed by the generic MH and GMH engines.
+//
+// The unnormalized posterior (Eq. 24/29) is
+//   log pi(G) = log P(D|G) + log P(G|theta),
+// with P(D|G) from the Felsenstein kernel and P(G|theta) from Eq. 18.
+#pragma once
+
+#include "core/neighborhood.h"
+#include "core/recoalesce.h"
+#include "coalescent/prior.h"
+#include "lik/felsenstein.h"
+#include "phylo/tree.h"
+#include "rng/rng.h"
+
+namespace mpcgs {
+
+/// Shared posterior evaluation. Holds references; keep the DataLikelihood
+/// alive for the problem's lifetime. Likelihood evaluation is serial by
+/// design: the samplers parallelize *across* proposals/chains (the paper's
+/// one-thread-per-proposal layout), so nested pool use never occurs.
+class GenealogyPosterior {
+  public:
+    GenealogyPosterior(const DataLikelihood& lik, double theta);
+
+    double theta() const { return theta_; }
+    double logPosterior(const Genealogy& g) const;
+    double logDataLikelihood(const Genealogy& g) const;
+
+  private:
+    const DataLikelihood& lik_;
+    double theta_;
+};
+
+/// Baseline problem for MhChain: single-lineage recoalescence moves.
+class MhGenealogyProblem {
+  public:
+    using State = Genealogy;
+
+    MhGenealogyProblem(const DataLikelihood& lik, double theta)
+        : posterior_(lik, theta), theta_(theta) {}
+
+    double logPosterior(const State& g) const { return posterior_.logPosterior(g); }
+
+    struct Proposal {
+        State state;
+        double logForward;
+        double logReverse;
+    };
+    Proposal propose(const State& cur, Rng& rng) const {
+        auto r = proposeRecoalesce(cur, theta_, rng);
+        return Proposal{std::move(r.state), r.logForward, r.logReverse};
+    }
+
+    double theta() const { return theta_; }
+
+  private:
+    GenealogyPosterior posterior_;
+    double theta_;
+};
+
+/// Multiple-proposal problem for GmhSampler: shared-neighbourhood
+/// resimulation (§4.3).
+class GmhGenealogyProblem {
+  public:
+    using State = Genealogy;
+    using Region = NeighborhoodRegion;
+
+    GmhGenealogyProblem(const DataLikelihood& lik, double theta)
+        : posterior_(lik, theta), theta_(theta) {}
+
+    double logPosterior(const State& g) const { return posterior_.logPosterior(g); }
+
+    Region makeRegion(const State& generator, Rng& hostRng) const {
+        return makeNeighborhoodRegion(generator, theta_, hostRng);
+    }
+    State proposeInRegion(const Region& region, Rng& rng) const {
+        return proposeInNeighborhood(region, rng);
+    }
+    double logProposalDensity(const Region& region, const State& s) const {
+        return logNeighborhoodDensity(region, s);
+    }
+
+    double theta() const { return theta_; }
+
+  private:
+    GenealogyPosterior posterior_;
+    double theta_;
+};
+
+}  // namespace mpcgs

@@ -1,0 +1,171 @@
+#include "core/growth_estimator.h"
+
+#include <cmath>
+
+#include "core/driver.h"
+#include "core/neighborhood.h"
+#include "mcmc/gmh.h"
+#include "par/kernel.h"
+#include "util/error.h"
+#include "util/timer.h"
+
+namespace mpcgs {
+
+GrowthRelativeLikelihood::GrowthRelativeLikelihood(
+    std::vector<std::vector<CoalInterval>> samples, GrowthParams driving)
+    : samples_(std::move(samples)), driving_(driving) {
+    require(!samples_.empty(), "GrowthRelativeLikelihood: no samples");
+    logPriorAtDriving_.reserve(samples_.size());
+    for (const auto& ivs : samples_)
+        logPriorAtDriving_.push_back(
+            logGrowthCoalescentPrior(std::span<const CoalInterval>(ivs), driving_));
+}
+
+double GrowthRelativeLikelihood::logL(const GrowthParams& p, ThreadPool* pool) const {
+    require(p.theta > 0.0, "GrowthRelativeLikelihood: theta must be positive");
+    std::vector<double> terms(samples_.size());
+    forEachIndex(pool, samples_.size(), [&](std::size_t i) {
+        terms[i] = logGrowthCoalescentPrior(std::span<const CoalInterval>(samples_[i]), p) -
+                   logPriorAtDriving_[i];
+    });
+    return blockReduceLogSumExp(pool, terms, 256) -
+           std::log(static_cast<double>(samples_.size()));
+}
+
+namespace {
+
+/// Golden-section maximization of f over [lo, hi].
+template <class F>
+double goldenMax(F&& f, double lo, double hi, double tol) {
+    const double phi = 0.5 * (std::sqrt(5.0) - 1.0);
+    double a = lo, b = hi;
+    double x1 = b - phi * (b - a);
+    double x2 = a + phi * (b - a);
+    double f1 = f(x1), f2 = f(x2);
+    int guard = 0;
+    while (b - a > tol && ++guard < 300) {
+        if (f1 < f2) {
+            a = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = a + phi * (b - a);
+            f2 = f(x2);
+        } else {
+            b = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = b - phi * (b - a);
+            f1 = f(x1);
+        }
+    }
+    return 0.5 * (a + b);
+}
+
+}  // namespace
+
+GrowthMleResult maximizeGrowthParams(const GrowthRelativeLikelihood& rl, GrowthParams start,
+                                     double growthLo, double growthHi, ThreadPool* pool) {
+    GrowthMleResult out;
+    GrowthParams cur = start;
+    double curLogL = rl.logL(cur, pool);
+    for (int sweep = 0; sweep < 30; ++sweep) {
+        ++out.sweeps;
+        // Theta sweep in log space around the current value.
+        const double logTheta = goldenMax(
+            [&](double lt) {
+                return rl.logL(GrowthParams{std::exp(lt), cur.growth}, pool);
+            },
+            std::log(cur.theta) - 3.0, std::log(cur.theta) + 3.0, 1e-7);
+        cur.theta = std::exp(logTheta);
+        // Growth sweep on the bounded interval.
+        cur.growth = goldenMax(
+            [&](double g) { return rl.logL(GrowthParams{cur.theta, g}, pool); }, growthLo,
+            growthHi, 1e-7);
+        const double next = rl.logL(cur, pool);
+        if (next - curLogL < 1e-10) {
+            curLogL = next;
+            out.converged = true;
+            break;
+        }
+        curLogL = next;
+    }
+    out.params = cur;
+    out.logL = curLogL;
+    return out;
+}
+
+namespace {
+
+/// GMH problem for the growth posterior: constant-size proposal kernel,
+/// growth-aware target density.
+class GrowthGenealogyProblem {
+  public:
+    using State = Genealogy;
+    using Region = NeighborhoodRegion;
+
+    GrowthGenealogyProblem(const DataLikelihood& lik, GrowthParams p) : lik_(lik), p_(p) {}
+
+    double logPosterior(const State& g) const {
+        return lik_.logLikelihood(g) + logGrowthCoalescentPrior(g, p_);
+    }
+    Region makeRegion(const State& s, Rng& rng) const {
+        return makeNeighborhoodRegion(s, p_.theta, rng);
+    }
+    State proposeInRegion(const Region& r, Rng& rng) const {
+        return proposeInNeighborhood(r, rng);
+    }
+    double logProposalDensity(const Region& r, const State& s) const {
+        return logNeighborhoodDensity(r, s);
+    }
+
+  private:
+    const DataLikelihood& lik_;
+    GrowthParams p_;
+};
+
+}  // namespace
+
+GrowthEstimateResult estimateThetaAndGrowth(const Alignment& aln,
+                                            const GrowthEstimateOptions& opts,
+                                            ThreadPool* pool) {
+    if (opts.driving.theta <= 0.0)
+        throw ConfigError("estimateThetaAndGrowth: driving theta must be positive");
+    if (aln.sequenceCount() < 3)
+        throw ConfigError("estimateThetaAndGrowth: need at least 3 sequences");
+
+    Timer total;
+    const F81Model model(aln.baseFrequencies());
+    const DataLikelihood lik(aln, model);
+
+    GrowthEstimateResult result;
+    GrowthParams driving = opts.driving;
+    Genealogy current = initialGenealogy(aln, driving.theta);
+
+    for (std::size_t em = 0; em < opts.emIterations; ++em) {
+        result.history.push_back(driving);
+        const GrowthGenealogyProblem problem(lik, driving);
+        GmhOptions gopt;
+        gopt.numProposals = opts.gmhProposals;
+        gopt.samplesPerIteration = opts.gmhProposals;
+        gopt.seed = opts.seed + em * 0x9E3779B97F4A7C15ull;
+        GmhSampler<GrowthGenealogyProblem> sampler(problem, gopt, pool);
+
+        const std::size_t iters =
+            (opts.samplesPerIteration + gopt.samplesPerIteration - 1) / gopt.samplesPerIteration;
+        std::vector<std::vector<CoalInterval>> samples;
+        samples.reserve(iters * gopt.samplesPerIteration);
+        current = sampler.run(std::move(current), iters / 10 + 1, iters,
+                              [&](const Genealogy& g) { samples.push_back(g.intervals()); });
+
+        const GrowthRelativeLikelihood rl(std::move(samples), driving);
+        const GrowthMleResult mle =
+            maximizeGrowthParams(rl, driving, opts.growthLo, opts.growthHi, pool);
+        driving = mle.params;
+    }
+
+    result.params = driving;
+    result.seconds = total.seconds();
+    return result;
+}
+
+}  // namespace mpcgs

@@ -1,0 +1,105 @@
+#include "core/mle.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+
+namespace mpcgs {
+
+MleResult maximizeThetaGradient(const RelativeLikelihood& rl, double thetaStart,
+                                const GradientAscentOptions& opts, ThreadPool* pool) {
+    require(thetaStart > 0.0, "maximizeThetaGradient: theta must be positive");
+    MleResult out;
+    double theta = thetaStart;
+    double logL = rl.logL(theta, pool);
+
+    for (int it = 0; it < opts.maxIterations; ++it) {
+        ++out.iterations;
+        // Central finite-difference gradient (Alg 2 line 5), with the step
+        // scaled by theta so the estimate stays sane across magnitudes.
+        const double d = opts.delta * std::max(theta, 1e-8);
+        const double lo = std::max(theta - d, theta * 0.5);
+        const double hi = theta + d;
+        double gradient = (rl.logL(hi, pool) - rl.logL(lo, pool)) / (hi - lo);
+
+        // Initial step proportional to the gradient.
+        double step = gradient * std::max(theta * theta, 1e-12);
+
+        // Halve while the step leaves the domain or decreases L (Alg 2
+        // lines 6-8).
+        double thetaNext = theta + step;
+        double logLNext = -std::numeric_limits<double>::infinity();
+        int halvings = 0;
+        while (halvings < opts.maxHalvings) {
+            if (thetaNext > 0.0) {
+                logLNext = rl.logL(thetaNext, pool);
+                if (logLNext >= logL) break;
+            }
+            step *= 0.5;
+            thetaNext = theta + step;
+            ++halvings;
+        }
+        if (halvings >= opts.maxHalvings) {
+            // No uphill step found: already at (numerical) maximum.
+            out.converged = true;
+            break;
+        }
+
+        const double moved = std::fabs(thetaNext - theta);
+        theta = thetaNext;
+        logL = logLNext;
+        if (moved < opts.epsilon * std::max(1.0, theta)) {
+            out.converged = true;
+            break;
+        }
+    }
+    out.theta = theta;
+    out.logL = logL;
+    return out;
+}
+
+MleResult maximizeThetaGolden(const RelativeLikelihood& rl, double lo, double hi, double tol,
+                              ThreadPool* pool) {
+    require(lo > 0.0 && hi > lo, "maximizeThetaGolden: bad bracket");
+    // Work in log-theta so the search is scale-free.
+    double a = std::log(lo), b = std::log(hi);
+    const double phi = 0.5 * (std::sqrt(5.0) - 1.0);
+    double x1 = b - phi * (b - a);
+    double x2 = a + phi * (b - a);
+    double f1 = rl.logL(std::exp(x1), pool);
+    double f2 = rl.logL(std::exp(x2), pool);
+    MleResult out;
+    while (b - a > tol) {
+        ++out.iterations;
+        if (f1 < f2) {
+            a = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = a + phi * (b - a);
+            f2 = rl.logL(std::exp(x2), pool);
+        } else {
+            b = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = b - phi * (b - a);
+            f1 = rl.logL(std::exp(x1), pool);
+        }
+        if (out.iterations > 500) break;
+    }
+    out.theta = std::exp(0.5 * (a + b));
+    out.logL = rl.logL(out.theta, pool);
+    out.converged = (b - a) <= tol;
+    return out;
+}
+
+MleResult maximizeTheta(const RelativeLikelihood& rl, double thetaStart, ThreadPool* pool) {
+    MleResult grad = maximizeThetaGradient(rl, thetaStart, {}, pool);
+    if (grad.converged) return grad;
+    // Fallback: bracket a few decades around the start value.
+    MleResult golden =
+        maximizeThetaGolden(rl, thetaStart * 1e-3, thetaStart * 1e3, 1e-7, pool);
+    return golden.logL > grad.logL ? golden : grad;
+}
+
+}  // namespace mpcgs

@@ -1,0 +1,56 @@
+// Neighbourhood resimulation — the multiple-proposal kernel of §4.2-4.3.
+//
+// The auxiliary variable phi picks one non-root interior node (the target
+// T) uniformly; the neighbourhood consists of T and its parent P. Deleting
+// both detaches three child lineages — T's two children and T's sibling —
+// which must re-coalesce below the ancestor A = parent(P) (or unboundedly
+// when P is the root). Because every member of a proposal set shares the
+// same region (same A, same three children), each member can propose every
+// other, satisfying the mutual-proposability requirement of Generalized
+// Metropolis-Hastings (§4.3); the thesis introduces phi exactly for this.
+//
+// The two merge times are sampled from the conditioned death process over
+// the feasible intervals (§4.2 machinery, coalescent/death_process.h); the
+// merging pair at the first event is uniform among the active lineages.
+// The exact log-density of the whole draw — merge times plus pairing — is
+// available for the GMH weights (w = pi/q; DESIGN.md §1).
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "coalescent/death_process.h"
+#include "phylo/tree.h"
+#include "rng/rng.h"
+
+namespace mpcgs {
+
+/// The shared resimulation region (the realization of phi).
+struct NeighborhoodRegion {
+    Genealogy skeleton;      ///< the generator; untouched outside the region
+    NodeId target = kNoNode;   ///< T: first (most recent) rebuilt coalescence
+    NodeId parent = kNoNode;   ///< P: second rebuilt coalescence (T's parent)
+    NodeId ancestor = kNoNode; ///< A: fixed upper boundary; kNoNode => unbounded
+    std::array<NodeId, 3> children{kNoNode, kNoNode, kNoNode};  ///< detached lineages
+    std::shared_ptr<const DeathProcess> process;  ///< conditioned resimulator
+};
+
+/// Number of interior nodes eligible as targets (non-root internal nodes).
+int neighborhoodTargetCount(const Genealogy& g);
+
+/// Build the region for a given target node (must be internal, non-root).
+NeighborhoodRegion makeNeighborhoodRegion(const Genealogy& g, NodeId target, double theta);
+
+/// Build the region for a uniformly drawn target (§4.3: "sampled from a
+/// uniform distribution of 1:N ... prior to each proposal set").
+NeighborhoodRegion makeNeighborhoodRegion(const Genealogy& g, double theta, Rng& rng);
+
+/// Draw one proposal: resimulated merge times + child pairing grafted onto
+/// a copy of the skeleton. iid given the region.
+Genealogy proposeInNeighborhood(const NeighborhoodRegion& region, Rng& rng);
+
+/// Exact log q_phi(state) of the mechanism above for any state reachable in
+/// the region (-inf otherwise). The generator itself is always reachable.
+double logNeighborhoodDensity(const NeighborhoodRegion& region, const Genealogy& state);
+
+}  // namespace mpcgs

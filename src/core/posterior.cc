@@ -1,0 +1,47 @@
+#include "core/posterior.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace mpcgs {
+
+RelativeLikelihood::RelativeLikelihood(std::vector<IntervalSummary> samples, double theta0)
+    : samples_(std::move(samples)), theta0_(theta0) {
+    if (theta0 <= 0.0) throw ConfigError("RelativeLikelihood: theta0 must be positive");
+    require(!samples_.empty(), "RelativeLikelihood: no samples");
+}
+
+double RelativeLikelihood::logL(double theta, ThreadPool* pool) const {
+    require(theta > 0.0, "RelativeLikelihood: theta must be positive");
+    // Per-sample term: log P(G|theta) - log P(G|theta0)
+    //   = -(n-1) log(theta/theta0) - w (1/theta - 1/theta0).
+    const double logRatio = std::log(theta / theta0_);
+    const double invDiff = 1.0 / theta - 1.0 / theta0_;
+
+    std::vector<double> terms(samples_.size());
+    forEachIndex(pool, samples_.size(), [&](std::size_t i) {
+        const auto& s = samples_[i];
+        terms[i] = -static_cast<double>(s.events) * logRatio - s.weightedSum * invDiff;
+    });
+
+    // Max-normalized log-space mean (the §5.2.3 reduction): the paper's
+    // block structure is mirrored by the two-stage kernel reduction.
+    const double logSum = blockReduceLogSumExp(pool, terms, /*blockDim=*/256);
+    return logSum - std::log(static_cast<double>(samples_.size()));
+}
+
+std::vector<std::pair<double, double>> RelativeLikelihood::curve(double lo, double hi, int points,
+                                                                 ThreadPool* pool) const {
+    require(lo > 0.0 && hi > lo && points >= 2, "RelativeLikelihood: bad curve grid");
+    std::vector<std::pair<double, double>> out;
+    out.reserve(static_cast<std::size_t>(points));
+    const double step = std::log(hi / lo) / (points - 1);
+    for (int i = 0; i < points; ++i) {
+        const double theta = lo * std::exp(step * i);
+        out.emplace_back(theta, logL(theta, pool));
+    }
+    return out;
+}
+
+}  // namespace mpcgs

@@ -1,0 +1,100 @@
+// Felsenstein pruning data likelihood P(D|G) (Eqs. 19-22; §5.2.2).
+//
+// For each site (pattern), a post-order traversal propagates conditional
+// likelihood vectors L_n(X) from the tips to the root:
+//
+//   L_n(X) = [sum_Y P_XY(t_nj) L_j(Y)] * [sum_Y P_XY(t_nk) L_k(Y)]   (Eq. 19)
+//   L_i(G) = sum_X pi_X L_root(X)                                    (Eq. 21)
+//   log P(D|G) = sum_i log L_i(G)                                    (Eq. 22)
+//
+// (Eq. 22 prints a plain sum; the product over independent sites is a sum
+// of logs, which is also what the reference implementation computes.)
+//
+// The default mode recomputes every node for every call — the paper found
+// full recomputation faster than caching on the GPU (§5.2.2). A cached
+// incremental mode is provided for the CPU ablation study (bench/micro).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "lik/rate_model.h"
+#include "lik/site_pattern.h"
+#include "par/thread_pool.h"
+#include "phylo/tree.h"
+#include "seq/subst_model.h"
+
+namespace mpcgs {
+
+class DataLikelihood {
+  public:
+    /// Holds a reference-independent copy of the pattern data and model.
+    DataLikelihood(const Alignment& aln, const SubstModel& model, bool compressPatterns = true);
+
+    /// With among-site rate variation: the site likelihood averages the
+    /// pruning likelihood over the rate categories (each category scales
+    /// every branch length by its rate).
+    DataLikelihood(const Alignment& aln, const SubstModel& model, RateCategories rates,
+                   bool compressPatterns = true);
+
+    /// log P(D|G). Parallel over site patterns when a pool is supplied —
+    /// the data-likelihood kernel of §5.2.2 (one logical thread per site).
+    double logLikelihood(const Genealogy& g, ThreadPool* pool = nullptr) const;
+
+    /// Per-pattern log-likelihoods (diagnostics/tests).
+    std::vector<double> patternLogLikelihoods(const Genealogy& g) const;
+
+    std::size_t patternCount() const { return patterns_.patternCount(); }
+    std::size_t siteCount() const { return patterns_.siteCount(); }
+    const SubstModel& model() const { return *model_; }
+    const BaseFreqs& rootFreqs() const { return pi_; }
+    const RateCategories& rateCategories() const { return rates_; }
+
+  private:
+    friend class LikelihoodCache;
+
+    /// Per-branch transition matrices for a genealogy, indexed by child id;
+    /// branch lengths scaled by `rate`.
+    std::vector<Matrix4> branchMatrices(const Genealogy& g, double rate = 1.0) const;
+
+    /// Log-likelihood of one pattern via a pruning pass over the traversal
+    /// `order`; `partials` is caller-provided scratch ([node][nucleotide]),
+    /// with underflow handled by per-node rescaling carried in log space
+    /// (§5.3).
+    double computePattern(const Genealogy& g, const std::vector<NodeId>& order,
+                          const std::vector<Matrix4>& pmat, std::size_t pattern,
+                          std::vector<double>& partials) const;
+
+    SitePatterns patterns_;
+    std::unique_ptr<SubstModel> model_;
+    BaseFreqs pi_;
+    RateCategories rates_;
+};
+
+/// Incremental (dirty-path) evaluation: keeps per-node per-pattern partial
+/// vectors for one genealogy and recomputes only ancestors of changed
+/// nodes. This is the caching strategy the paper rejected for the GPU;
+/// bench/micro_likelihood quantifies the CPU tradeoff.
+class LikelihoodCache {
+  public:
+    explicit LikelihoodCache(const DataLikelihood& lik);
+
+    /// Full evaluation, populating the cache for `g`.
+    double evaluate(const Genealogy& g);
+
+    /// Re-evaluate after `dirty` nodes (and consequently their ancestors)
+    /// changed. The genealogy must have the same shape (node count) as the
+    /// last full evaluation.
+    double evaluateDirty(const Genealogy& g, const std::vector<NodeId>& dirty);
+
+  private:
+    const DataLikelihood& lik_;
+    std::vector<double> partials_;   // [node][pattern][4]
+    std::vector<double> logScale_;   // [pattern]
+    std::size_t nodeCount_ = 0;
+
+    double rootSum(const Genealogy& g) const;
+    void computeNode(const Genealogy& g, const std::vector<Matrix4>& pmat, NodeId id);
+};
+
+}  // namespace mpcgs

@@ -1,0 +1,129 @@
+#include "lik/rate_model.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/error.h"
+
+namespace mpcgs {
+namespace {
+
+/// Series expansion of P(a, x), valid and fast for x < a + 1.
+double gammaPSeries(double a, double x) {
+    double term = 1.0 / a;
+    double sum = term;
+    for (int n = 1; n < 500; ++n) {
+        term *= x / (a + n);
+        sum += term;
+        if (std::fabs(term) < std::fabs(sum) * 1e-16) break;
+    }
+    return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+/// Continued fraction for Q(a, x) = 1 - P(a, x), valid for x >= a + 1
+/// (modified Lentz algorithm).
+double gammaQContinuedFraction(double a, double x) {
+    constexpr double kTiny = 1e-300;
+    double b = x + 1.0 - a;
+    double c = 1.0 / kTiny;
+    double d = 1.0 / b;
+    double h = d;
+    for (int i = 1; i < 500; ++i) {
+        const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+        b += 2.0;
+        d = an * d + b;
+        if (std::fabs(d) < kTiny) d = kTiny;
+        c = b + an / c;
+        if (std::fabs(c) < kTiny) c = kTiny;
+        d = 1.0 / d;
+        const double del = d * c;
+        h *= del;
+        if (std::fabs(del - 1.0) < 1e-16) break;
+    }
+    return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+}  // namespace
+
+double regularizedGammaP(double a, double x) {
+    require(a > 0.0, "regularizedGammaP: shape must be positive");
+    if (x <= 0.0) return 0.0;
+    if (x < a + 1.0) return gammaPSeries(a, x);
+    return 1.0 - gammaQContinuedFraction(a, x);
+}
+
+double inverseGammaP(double a, double p) {
+    require(p >= 0.0 && p < 1.0, "inverseGammaP: p must be in [0, 1)");
+    if (p == 0.0) return 0.0;
+    // Bracket: expand the upper bound until P exceeds p.
+    double hi = a + 1.0;
+    while (regularizedGammaP(a, hi) < p) hi *= 2.0;
+    double lo = 0.0;
+    for (int it = 0; it < 200 && (hi - lo) > 1e-14 * (1.0 + hi); ++it) {
+        const double mid = 0.5 * (lo + hi);
+        if (regularizedGammaP(a, mid) < p)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return 0.5 * (lo + hi);
+}
+
+RateCategories RateCategories::uniformRate() {
+    return RateCategories{{1.0}, {1.0}};
+}
+
+RateCategories RateCategories::discreteGamma(double alpha, int categories) {
+    if (alpha <= 0.0) throw ConfigError("discreteGamma: alpha must be positive");
+    if (categories < 1) throw ConfigError("discreteGamma: need at least one category");
+    if (categories == 1) return uniformRate();
+
+    // Gamma(shape = alpha, rate = alpha): mean 1. Category c covers
+    // quantiles [c/C, (c+1)/C); its mean is
+    //   C * [ P(alpha+1, alpha q_{c+1}) - P(alpha+1, alpha q_c) ],
+    // with q the category boundaries on the x-axis (Yang 1994, Eq. 10).
+    const int C = categories;
+    RateCategories out;
+    out.rates.resize(static_cast<std::size_t>(C));
+    out.weights.assign(static_cast<std::size_t>(C), 1.0 / C);
+
+    std::vector<double> cut(static_cast<std::size_t>(C + 1), 0.0);
+    for (int c = 1; c < C; ++c)
+        cut[static_cast<std::size_t>(c)] =
+            inverseGammaP(alpha, static_cast<double>(c) / C) / alpha;
+    cut[static_cast<std::size_t>(C)] = std::numeric_limits<double>::infinity();
+
+    double meanSum = 0.0;
+    for (int c = 0; c < C; ++c) {
+        const double pLo =
+            std::isinf(cut[static_cast<std::size_t>(c)]) ? 1.0
+            : regularizedGammaP(alpha + 1.0, alpha * cut[static_cast<std::size_t>(c)]);
+        const double pHi =
+            std::isinf(cut[static_cast<std::size_t>(c + 1)])
+                ? 1.0
+                : regularizedGammaP(alpha + 1.0, alpha * cut[static_cast<std::size_t>(c + 1)]);
+        out.rates[static_cast<std::size_t>(c)] = C * (pHi - pLo);
+        meanSum += out.rates[static_cast<std::size_t>(c)];
+    }
+    // Renormalize to mean exactly 1 against discretization round-off.
+    for (auto& r : out.rates) r *= C / meanSum;
+    out.validate();
+    return out;
+}
+
+void RateCategories::validate() const {
+    require(!rates.empty() && rates.size() == weights.size(),
+            "RateCategories: size mismatch");
+    double wsum = 0.0, mean = 0.0;
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+        require(rates[i] > 0.0, "RateCategories: non-positive rate");
+        require(weights[i] > 0.0, "RateCategories: non-positive weight");
+        wsum += weights[i];
+        mean += weights[i] * rates[i];
+    }
+    require(std::fabs(wsum - 1.0) < 1e-9, "RateCategories: weights must sum to 1");
+    require(std::fabs(mean - 1.0) < 1e-6, "RateCategories: mean rate must be 1");
+}
+
+}  // namespace mpcgs

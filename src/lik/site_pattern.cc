@@ -1,0 +1,44 @@
+#include "lik/site_pattern.h"
+
+#include <map>
+
+#include "util/error.h"
+
+namespace mpcgs {
+
+SitePatterns::SitePatterns(const Alignment& aln, bool compress) {
+    nSeq_ = aln.sequenceCount();
+    nSites_ = aln.length();
+    require(nSeq_ > 0 && nSites_ > 0, "SitePatterns: empty alignment");
+    siteToPattern_.resize(nSites_);
+
+    if (!compress) {
+        codes_.resize(nSites_ * nSeq_);
+        weights_.assign(nSites_, 1.0);
+        for (std::size_t site = 0; site < nSites_; ++site) {
+            siteToPattern_[site] = site;
+            for (std::size_t s = 0; s < nSeq_; ++s)
+                codes_[site * nSeq_ + s] = aln.sequence(s).at(site);
+        }
+        return;
+    }
+
+    std::map<std::vector<NucCode>, std::size_t> seen;
+    std::vector<NucCode> col(nSeq_);
+    for (std::size_t site = 0; site < nSites_; ++site) {
+        for (std::size_t s = 0; s < nSeq_; ++s) col[s] = aln.sequence(s).at(site);
+        const auto it = seen.find(col);
+        if (it == seen.end()) {
+            const std::size_t p = weights_.size();
+            seen.emplace(col, p);
+            weights_.push_back(1.0);
+            codes_.insert(codes_.end(), col.begin(), col.end());
+            siteToPattern_[site] = p;
+        } else {
+            weights_[it->second] += 1.0;
+            siteToPattern_[site] = it->second;
+        }
+    }
+}
+
+}  // namespace mpcgs

@@ -1,0 +1,74 @@
+#include "mcmc/diagnostics.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/stats.h"
+
+namespace mpcgs {
+
+double gelmanRubin(const std::vector<std::vector<double>>& chains) {
+    const std::size_t m = chains.size();
+    if (m < 2) throw std::invalid_argument("gelmanRubin: need at least 2 chains");
+    const std::size_t n = chains[0].size();
+    if (n < 2) throw std::invalid_argument("gelmanRubin: chains too short");
+    for (const auto& c : chains)
+        if (c.size() != n) throw std::invalid_argument("gelmanRubin: unequal chain lengths");
+
+    std::vector<double> chainMeans(m);
+    std::vector<double> chainVars(m);
+    for (std::size_t j = 0; j < m; ++j) {
+        chainMeans[j] = mean(chains[j]);
+        chainVars[j] = variance(chains[j]);
+    }
+    const double w = mean(chainVars);                       // within-chain variance
+    const double b = static_cast<double>(n) * variance(chainMeans);  // between-chain
+    if (w == 0.0) return 1.0;
+    const double nd = static_cast<double>(n);
+    const double varPlus = (nd - 1.0) / nd * w + b / nd;
+    return std::sqrt(varPlus / w);
+}
+
+double gewekeZ(std::span<const double> chain, double firstFrac, double lastFrac) {
+    const std::size_t n = chain.size();
+    if (n < 20) throw std::invalid_argument("gewekeZ: chain too short");
+    const std::size_t nA = static_cast<std::size_t>(static_cast<double>(n) * firstFrac);
+    const std::size_t nB = static_cast<std::size_t>(static_cast<double>(n) * lastFrac);
+    if (nA < 2 || nB < 2) throw std::invalid_argument("gewekeZ: fractions too small");
+    const auto a = chain.subspan(0, nA);
+    const auto b = chain.subspan(n - nB, nB);
+    // Variance estimates inflated by the integrated autocorrelation time to
+    // account for serial dependence.
+    const double tauA = integratedAutocorrelationTime(a);
+    const double tauB = integratedAutocorrelationTime(b);
+    const double se = std::sqrt(variance(a) * tauA / static_cast<double>(nA) +
+                                variance(b) * tauB / static_cast<double>(nB));
+    if (se == 0.0) return 0.0;
+    return (mean(a) - mean(b)) / se;
+}
+
+double integratedAutocorrelationTime(std::span<const double> chain) {
+    const double ess = effectiveSampleSize(chain);
+    if (ess <= 0.0) return static_cast<double>(chain.size());
+    return static_cast<double>(chain.size()) / ess;
+}
+
+std::size_t estimateBurnIn(std::span<const double> chain, double tol) {
+    const std::size_t n = chain.size();
+    if (n < 10) return n;
+    // Reference: mean and stderr of the last half.
+    const auto tail = chain.subspan(n / 2);
+    const double refMean = mean(tail);
+    const double refSe = stdev(tail);
+    if (refSe == 0.0) return 0;
+    // Walk a window forward until its mean enters the tolerance band and
+    // stays there.
+    const std::size_t window = std::max<std::size_t>(5, n / 50);
+    for (std::size_t start = 0; start + window <= n; start += window) {
+        const double wMean = mean(chain.subspan(start, window));
+        if (std::fabs(wMean - refMean) <= tol * refSe) return start;
+    }
+    return n;
+}
+
+}  // namespace mpcgs

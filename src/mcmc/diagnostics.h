@@ -1,0 +1,28 @@
+// MCMC convergence diagnostics: burn-in assessment tools discussed in §2.3
+// (trace stabilization, multi-chain comparison).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace mpcgs {
+
+/// Gelman-Rubin potential scale reduction factor R-hat across chains of
+/// equal length. Values near 1 indicate convergence; the multi-chain
+/// workaround of §3 relies on this style of check. Throws on fewer than
+/// two chains or mismatched lengths.
+double gelmanRubin(const std::vector<std::vector<double>>& chains);
+
+/// Geweke Z-score comparing the means of the first `firstFrac` and last
+/// `lastFrac` of a chain (|Z| >~ 2 suggests non-stationarity).
+double gewekeZ(std::span<const double> chain, double firstFrac = 0.1, double lastFrac = 0.5);
+
+/// Integrated autocorrelation time (ESS = n / tau).
+double integratedAutocorrelationTime(std::span<const double> chain);
+
+/// Index after which the running mean stays within `tol` standard errors
+/// of the final mean — a crude empirical burn-in estimate for traces like
+/// Fig 2. Returns chain.size() when never stabilized.
+std::size_t estimateBurnIn(std::span<const double> chain, double tol = 2.0);
+
+}  // namespace mpcgs

@@ -1,0 +1,120 @@
+// Metropolis-coupled MCMC (MC^3, "heated chains") — the mixing aid the
+// LAMARC package runs alongside its sampler and a natural baseline for the
+// paper's multi-chain discussion (§2.3, §3): several chains explore
+// tempered versions pi(x)^{1/T} of the posterior and periodically propose
+// to swap states; only the cold chain (T = 1) is sampled.
+//
+// Problem concept: same as MhChain's (logPosterior + propose).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "rng/mt19937.h"
+#include "rng/rng.h"
+
+namespace mpcgs {
+
+struct HeatedOptions {
+    /// Temperatures, first entry must be 1 (the cold chain). LAMARC's
+    /// default ladder is {1, 1.1, 1.2, 1.3}-like; steeper ladders help
+    /// multi-modal posteriors.
+    std::vector<double> temperatures{1.0, 1.2, 1.5, 2.0};
+    std::size_t swapInterval = 10;  ///< propose one swap every k sweeps
+    std::uint64_t seed = 1;
+};
+
+struct HeatedStats {
+    std::size_t swapsProposed = 0;
+    std::size_t swapsAccepted = 0;
+    double swapRate() const {
+        return swapsProposed == 0
+                   ? 0.0
+                   : static_cast<double>(swapsAccepted) / static_cast<double>(swapsProposed);
+    }
+};
+
+template <class Problem>
+class HeatedChains {
+  public:
+    using State = typename Problem::State;
+
+    HeatedChains(const Problem& problem, State init, HeatedOptions opts)
+        : problem_(problem), opts_(std::move(opts)),
+          rng_(static_cast<std::uint32_t>(opts_.seed ^ (opts_.seed >> 32))) {
+        if (opts_.temperatures.empty() || opts_.temperatures.front() != 1.0)
+            throw std::invalid_argument("HeatedChains: temperatures must start with 1.0");
+        for (const double t : opts_.temperatures) {
+            if (t < 1.0) throw std::invalid_argument("HeatedChains: temperatures must be >= 1");
+            chains_.push_back(Slot{init, problem_.logPosterior(init), t});
+        }
+    }
+
+    /// One sweep: an MH step in every chain, plus (every swapInterval
+    /// sweeps) one proposed swap between a random adjacent pair.
+    void sweep() {
+        for (auto& c : chains_) stepChain(c);
+        ++sweeps_;
+        if (sweeps_ % opts_.swapInterval == 0 && chains_.size() > 1) proposeSwap();
+    }
+
+    template <class Sink>
+    void run(std::size_t burnInSweeps, std::size_t sampleSweeps, Sink&& sink) {
+        for (std::size_t i = 0; i < burnInSweeps; ++i) sweep();
+        for (std::size_t i = 0; i < sampleSweeps; ++i) {
+            sweep();
+            sink(cold());
+        }
+    }
+
+    /// Current state of the cold (T = 1) chain.
+    const State& cold() const { return chains_.front().state; }
+    double coldLogPosterior() const { return chains_.front().logPost; }
+    const HeatedStats& stats() const { return stats_; }
+    std::size_t chainCount() const { return chains_.size(); }
+
+  private:
+    struct Slot {
+        State state;
+        double logPost;  ///< untempered log pi(state)
+        double temperature;
+    };
+
+    void stepChain(Slot& c) {
+        auto prop = problem_.propose(c.state, rng_);
+        const double logNew = problem_.logPosterior(prop.state);
+        // Tempered acceptance: (pi(x')/pi(x))^{1/T} times the Hastings term.
+        const double logR =
+            (logNew - c.logPost) / c.temperature + prop.logReverse - prop.logForward;
+        if (logR >= 0.0 || std::log(rng_.uniformPos()) < logR) {
+            c.state = std::move(prop.state);
+            c.logPost = logNew;
+        }
+    }
+
+    void proposeSwap() {
+        const std::size_t i = static_cast<std::size_t>(rng_.below(chains_.size() - 1));
+        Slot& a = chains_[i];
+        Slot& b = chains_[i + 1];
+        ++stats_.swapsProposed;
+        // Standard MC^3 swap ratio.
+        const double logR = (a.logPost - b.logPost) *
+                            (1.0 / b.temperature - 1.0 / a.temperature);
+        if (logR >= 0.0 || std::log(rng_.uniformPos()) < logR) {
+            std::swap(a.state, b.state);
+            std::swap(a.logPost, b.logPost);
+            ++stats_.swapsAccepted;
+        }
+    }
+
+    const Problem& problem_;
+    HeatedOptions opts_;
+    Mt19937 rng_;
+    std::vector<Slot> chains_;
+    HeatedStats stats_;
+    std::size_t sweeps_ = 0;
+};
+
+}  // namespace mpcgs

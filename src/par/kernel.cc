@@ -1,0 +1,88 @@
+#include "par/kernel.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace mpcgs {
+
+void launchKernel(ThreadPool* pool, LaunchConfig cfg,
+                  const std::function<void(const ThreadIdx&)>& kernel) {
+    const std::size_t blocks = cfg.gridDim;
+    auto runBlock = [&](std::size_t b) {
+        ThreadIdx idx;
+        idx.block = b;
+        for (std::size_t t = 0; t < cfg.blockDim; ++t) {
+            idx.thread = t;
+            idx.global = b * cfg.blockDim + t;
+            kernel(idx);
+        }
+    };
+    forEachIndex(pool, blocks, runBlock, /*grain=*/1);
+}
+
+namespace {
+
+std::size_t numBlocks(std::size_t n, std::size_t blockDim) {
+    return (n + blockDim - 1) / blockDim;
+}
+
+}  // namespace
+
+double blockReduceAdd(ThreadPool* pool, std::span<const double> values, std::size_t blockDim) {
+    if (values.empty()) return 0.0;
+    blockDim = std::max<std::size_t>(1, blockDim);
+    const std::size_t blocks = numBlocks(values.size(), blockDim);
+    std::vector<double> partial(blocks, 0.0);
+    forEachIndex(
+        pool, blocks,
+        [&](std::size_t b) {
+            const std::size_t lo = b * blockDim;
+            const std::size_t hi = std::min(lo + blockDim, values.size());
+            double acc = 0.0;
+            for (std::size_t i = lo; i < hi; ++i) acc += values[i];
+            partial[b] = acc;
+        },
+        1);
+    double total = 0.0;
+    for (double p : partial) total += p;
+    return total;
+}
+
+double blockReduceLogSumExp(ThreadPool* pool, std::span<const double> logValues,
+                            std::size_t blockDim) {
+    if (logValues.empty()) return -std::numeric_limits<double>::infinity();
+    blockDim = std::max<std::size_t>(1, blockDim);
+    const std::size_t blocks = numBlocks(logValues.size(), blockDim);
+    std::vector<double> partial(blocks);
+    forEachIndex(
+        pool, blocks,
+        [&](std::size_t b) {
+            const std::size_t lo = b * blockDim;
+            const std::size_t hi = std::min(lo + blockDim, logValues.size());
+            partial[b] = logSumExp(logValues.subspan(lo, hi - lo));
+        },
+        1);
+    return logSumExp(partial);
+}
+
+double blockReduceMax(ThreadPool* pool, std::span<const double> values, std::size_t blockDim) {
+    if (values.empty()) return -std::numeric_limits<double>::infinity();
+    blockDim = std::max<std::size_t>(1, blockDim);
+    const std::size_t blocks = numBlocks(values.size(), blockDim);
+    std::vector<double> partial(blocks, -std::numeric_limits<double>::infinity());
+    forEachIndex(
+        pool, blocks,
+        [&](std::size_t b) {
+            const std::size_t lo = b * blockDim;
+            const std::size_t hi = std::min(lo + blockDim, values.size());
+            double m = -std::numeric_limits<double>::infinity();
+            for (std::size_t i = lo; i < hi; ++i) m = std::max(m, values[i]);
+            partial[b] = m;
+        },
+        1);
+    double m = -std::numeric_limits<double>::infinity();
+    for (double p : partial) m = std::max(m, p);
+    return m;
+}
+
+}  // namespace mpcgs

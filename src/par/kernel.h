@@ -1,0 +1,62 @@
+// CUDA-launch-shaped facade over the thread pool.
+//
+// The paper structures its device work as three kernels launched over a
+// grid of blocks of threads (§5.2), with warp-shuffle + shared-memory tree
+// reductions. This header preserves that structure on the CPU so the core
+// sampler code reads like the paper's implementation chapter: a Kernel is a
+// function of (blockIdx, threadIdx), launched over a LaunchConfig, and
+// blockReduce* mirror the two-stage (intra-block, then cross-block)
+// reduction pattern of §5.2.1-5.2.3.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "par/thread_pool.h"
+#include "util/logspace.h"
+
+namespace mpcgs {
+
+/// Grid geometry of a kernel launch.
+struct LaunchConfig {
+    std::size_t gridDim = 1;   ///< number of blocks
+    std::size_t blockDim = 1;  ///< threads per block
+
+    std::size_t totalThreads() const { return gridDim * blockDim; }
+};
+
+/// Index of one logical device thread within a launch.
+struct ThreadIdx {
+    std::size_t block = 0;   ///< blockIdx.x analogue
+    std::size_t thread = 0;  ///< threadIdx.x analogue
+    std::size_t global = 0;  ///< block * blockDim + thread
+};
+
+/// Launch `kernel` once per logical thread. Blocks are distributed across
+/// the pool; within a block, threads run sequentially on one worker (the
+/// CPU analogue of a streaming multiprocessor executing a block).
+/// A null pool runs the whole grid serially.
+void launchKernel(ThreadPool* pool, LaunchConfig cfg,
+                  const std::function<void(const ThreadIdx&)>& kernel);
+
+/// Two-stage additive reduction in linear space: per-block partial sums
+/// (the warp-shuffle stage of §5.2.1) followed by a serial cross-block
+/// fold (the paper performs this on a single master thread and notes the
+/// block count is small enough for it not to matter).
+double blockReduceAdd(ThreadPool* pool, std::span<const double> values,
+                      std::size_t blockDim);
+
+/// Two-stage log-space additive reduction (log-sum-exp per block, then a
+/// cross-block log-sum-exp); the underflow-safe form used by the posterior
+/// kernel (§5.2.3 + §5.3).
+double blockReduceLogSumExp(ThreadPool* pool, std::span<const double> logValues,
+                            std::size_t blockDim);
+
+/// Two-stage max reduction (used to find the normalization constant before
+/// exponentiation in the posterior kernel).
+double blockReduceMax(ThreadPool* pool, std::span<const double> values,
+                      std::size_t blockDim);
+
+}  // namespace mpcgs

@@ -1,0 +1,176 @@
+#include "par/thread_pool.h"
+
+#include <algorithm>
+
+namespace mpcgs {
+
+unsigned hardwareThreads() {
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1u : n;
+}
+
+// A Batch is one parallelFor invocation: a shared atomic cursor over the
+// index range plus completion bookkeeping. Workers grab chunks until the
+// cursor passes n.
+struct ThreadPool::Batch {
+    std::size_t n = 0;
+    std::size_t grain = 1;
+    const std::function<void(std::size_t, unsigned)>* fn = nullptr;
+    std::atomic<std::size_t> cursor{0};
+    std::atomic<int> active{0};
+    std::mutex emu;
+    std::exception_ptr error;  // first exception wins, guarded by emu
+    std::mutex dmu;
+    std::condition_variable done;
+    bool finished = false;  // guarded by dmu
+};
+
+ThreadPool::ThreadPool(unsigned nThreads) {
+    const unsigned extra = nThreads > 1 ? nThreads - 1 : 0;
+    workers_.reserve(extra);
+    for (unsigned i = 0; i < extra; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i + 1); });
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::workerLoop(unsigned slot) {
+    constexpr int kSpinRounds = 20000;
+    std::uint64_t seen = 0;
+    for (;;) {
+        // Spin briefly on the epoch hint before sleeping: batches arrive in
+        // rapid succession during sampling and futex wakeups would dominate.
+        for (int spin = 0; spin < kSpinRounds; ++spin) {
+            if (epochHint_.load(std::memory_order_acquire) != seen) break;
+            std::this_thread::yield();
+        }
+        Batch* b = nullptr;
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            cv_.wait(lk, [&] { return stop_ || (current_ != nullptr && epoch_ != seen); });
+            if (stop_) return;
+            seen = epoch_;
+            b = current_;
+            b->active.fetch_add(1, std::memory_order_relaxed);
+        }
+        runBatch(*b, slot);
+        {
+            // Decrement under the completion mutex: the caller's wait
+            // predicate reads `active` under the same mutex, so it cannot
+            // observe 0 (and destroy the stack Batch) while this worker is
+            // still touching it.
+            std::lock_guard<std::mutex> lk(b->dmu);
+            if (b->active.fetch_sub(1, std::memory_order_acq_rel) == 1) b->done.notify_all();
+        }
+    }
+}
+
+void ThreadPool::runBatch(Batch& b, unsigned slot) {
+    for (;;) {
+        const std::size_t begin = b.cursor.fetch_add(b.grain, std::memory_order_relaxed);
+        if (begin >= b.n) return;
+        const std::size_t end = std::min(begin + b.grain, b.n);
+        try {
+            for (std::size_t i = begin; i < end; ++i) (*b.fn)(i, slot);
+        } catch (...) {
+            std::lock_guard<std::mutex> lk(b.emu);
+            if (!b.error) b.error = std::current_exception();
+            // Drain the rest of the range so everyone retires quickly.
+            b.cursor.store(b.n, std::memory_order_relaxed);
+            return;
+        }
+    }
+}
+
+void ThreadPool::parallelForSlot(std::size_t n,
+                                 const std::function<void(std::size_t, unsigned)>& f,
+                                 std::size_t grain) {
+    if (n == 0) return;
+    if (workers_.empty() || n == 1) {
+        for (std::size_t i = 0; i < n; ++i) f(i, 0);
+        return;
+    }
+    if (grain == 0) {
+        // Aim for ~4 chunks per thread to balance scheduling overhead
+        // against tail imbalance.
+        grain = std::max<std::size_t>(1, n / (static_cast<std::size_t>(size()) * 4));
+    }
+
+    Batch b;
+    b.n = n;
+    b.grain = grain;
+    b.fn = &f;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        current_ = &b;
+        ++epoch_;
+        epochHint_.store(epoch_, std::memory_order_release);
+    }
+    cv_.notify_all();
+
+    runBatch(b, 0);  // caller participates
+
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        current_ = nullptr;
+    }
+    // Completion: spin first (workers retire within microseconds once the
+    // cursor drains), then fall back to the condition variable. In both
+    // paths, acquiring dmu after observing active == 0 is the barrier that
+    // guarantees the last worker has left the Batch's critical section
+    // before the stack object is destroyed.
+    bool drained = false;
+    for (int spin = 0; spin < 200000; ++spin) {
+        if (b.active.load(std::memory_order_acquire) == 0) {
+            drained = true;
+            break;
+        }
+        std::this_thread::yield();
+    }
+    if (drained) {
+        std::lock_guard<std::mutex> lk(b.dmu);
+    } else {
+        std::unique_lock<std::mutex> lk(b.dmu);
+        b.done.wait(lk, [&] { return b.active.load(std::memory_order_acquire) == 0; });
+    }
+    if (b.error) std::rethrow_exception(b.error);
+}
+
+void ThreadPool::parallelFor(std::size_t n, const std::function<void(std::size_t)>& f,
+                             std::size_t grain) {
+    parallelForSlot(n, [&f](std::size_t i, unsigned) { f(i); }, grain);
+}
+
+double ThreadPool::parallelReduce(std::size_t n, double identity,
+                                  const std::function<double(std::size_t)>& map,
+                                  const std::function<double(double, double)>& combine,
+                                  std::size_t grain) {
+    std::vector<double> partial(size(), identity);
+    parallelForSlot(
+        n, [&](std::size_t i, unsigned slot) { partial[slot] = combine(partial[slot], map(i)); },
+        grain);
+    double acc = identity;
+    for (double p : partial) acc = combine(acc, p);
+    return acc;
+}
+
+void serialFor(std::size_t n, const std::function<void(std::size_t)>& f) {
+    for (std::size_t i = 0; i < n; ++i) f(i);
+}
+
+void forEachIndex(ThreadPool* pool, std::size_t n, const std::function<void(std::size_t)>& f,
+                  std::size_t grain) {
+    if (pool)
+        pool->parallelFor(n, f, grain);
+    else
+        serialFor(n, f);
+}
+
+}  // namespace mpcgs

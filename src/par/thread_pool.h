@@ -1,0 +1,85 @@
+// CPU parallel-execution substrate.
+//
+// Substitutes for the paper's CUDA device (§4.4): a fixed pool of worker
+// threads with dynamic work-stealing chunks. All parallel phases of the
+// sampler (proposal generation, per-site likelihood, posterior reduction)
+// run through this pool, so the speedup experiments sweep thread count the
+// way the paper sweeps GPU occupancy.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mpcgs {
+
+/// Number of hardware threads, at least 1.
+unsigned hardwareThreads();
+
+class ThreadPool {
+  public:
+    /// Create a pool with `nThreads` total workers *including* the calling
+    /// thread: nThreads == 1 means fully serial (no worker threads spawned).
+    explicit ThreadPool(unsigned nThreads = hardwareThreads());
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Total parallel width (workers + caller).
+    unsigned size() const { return static_cast<unsigned>(workers_.size()) + 1; }
+
+    /// Parallel loop over [0, n): f(i) is invoked exactly once per index.
+    /// Indices are handed out in dynamic chunks of `grain` (0 = auto).
+    /// The calling thread participates. Exceptions from f propagate (the
+    /// first one thrown is rethrown after all chunks finish).
+    void parallelFor(std::size_t n, const std::function<void(std::size_t)>& f,
+                     std::size_t grain = 0);
+
+    /// Parallel loop receiving (index, workerSlot) where workerSlot is in
+    /// [0, size()). Lets callers keep per-thread scratch without locking.
+    void parallelForSlot(std::size_t n,
+                         const std::function<void(std::size_t, unsigned)>& f,
+                         std::size_t grain = 0);
+
+    /// Map-reduce over [0, n): combine(acc, map(i)) folded per worker then
+    /// across workers. `combine` must be associative and commutative.
+    double parallelReduce(std::size_t n, double identity,
+                          const std::function<double(std::size_t)>& map,
+                          const std::function<double(double, double)>& combine,
+                          std::size_t grain = 0);
+
+  private:
+    struct Batch;
+
+    void workerLoop(unsigned slot);
+    void runBatch(Batch& b, unsigned slot);
+
+    std::vector<std::thread> workers_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    Batch* current_ = nullptr;  // guarded by mu_
+    std::uint64_t epoch_ = 0;   // guarded by mu_
+    bool stop_ = false;         // guarded by mu_
+    // Lock-free mirror of epoch_ that workers spin on briefly before
+    // falling back to the condition variable; samplers issue thousands of
+    // small back-to-back batches, and futex sleep/wake latency would
+    // otherwise dominate them.
+    std::atomic<std::uint64_t> epochHint_{0};
+};
+
+/// Serial fallback used wherever a component accepts `ThreadPool*` and is
+/// handed nullptr.
+void serialFor(std::size_t n, const std::function<void(std::size_t)>& f);
+
+/// Run f(i) over [0,n) on `pool`, or serially when pool is nullptr.
+void forEachIndex(ThreadPool* pool, std::size_t n,
+                  const std::function<void(std::size_t)>& f, std::size_t grain = 0);
+
+}  // namespace mpcgs

@@ -1,0 +1,216 @@
+#include "phylo/newick.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "util/error.h"
+
+namespace mpcgs {
+namespace {
+
+// --- writing ---------------------------------------------------------------
+
+void writeNode(const Genealogy& g, NodeId id, int precision, std::string& out) {
+    const TreeNode& nd = g.node(id);
+    if (g.isTip(id)) {
+        out += g.tipNames()[static_cast<std::size_t>(id)];
+    } else {
+        out += '(';
+        writeNode(g, nd.child[0], precision, out);
+        out += ',';
+        writeNode(g, nd.child[1], precision, out);
+        out += ')';
+    }
+    if (nd.parent != kNoNode) {
+        char buf[48];
+        std::snprintf(buf, sizeof buf, ":%.*g", precision, g.branchLength(id));
+        out += buf;
+    }
+}
+
+// --- parsing ---------------------------------------------------------------
+
+struct ParseNode {
+    int left = -1;
+    int right = -1;
+    double branch = 0.0;  // length of the branch above this node
+    std::string name;
+    bool isTip = false;
+};
+
+class Parser {
+  public:
+    explicit Parser(const std::string& text) : s_(text) {}
+
+    int parseTree() {
+        skipWs();
+        const int root = parseClade();
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == ';') ++pos_;
+        skipWs();
+        if (pos_ != s_.size())
+            throw ParseError("newick: trailing characters at offset " + std::to_string(pos_));
+        return root;
+    }
+
+    std::vector<ParseNode>& nodes() { return nodes_; }
+
+  private:
+    int parseClade() {
+        skipWs();
+        int id;
+        if (peek() == '(') {
+            ++pos_;  // '('
+            const int left = parseClade();
+            skipWs();
+            if (peek() != ',') throw ParseError("newick: expected ',' (binary trees only)");
+            ++pos_;
+            const int right = parseClade();
+            skipWs();
+            if (peek() != ')') throw ParseError("newick: expected ')'");
+            ++pos_;
+            id = static_cast<int>(nodes_.size());
+            nodes_.push_back(ParseNode{});
+            nodes_[static_cast<std::size_t>(id)].left = left;
+            nodes_[static_cast<std::size_t>(id)].right = right;
+            // Optional internal label, ignored for topology purposes.
+            nodes_[static_cast<std::size_t>(id)].name = parseLabel();
+        } else {
+            id = static_cast<int>(nodes_.size());
+            nodes_.push_back(ParseNode{});
+            nodes_[static_cast<std::size_t>(id)].isTip = true;
+            nodes_[static_cast<std::size_t>(id)].name = parseLabel();
+        }
+        skipWs();
+        if (peek() == ':') {
+            ++pos_;
+            nodes_[static_cast<std::size_t>(id)].branch = parseNumber();
+        }
+        return id;
+    }
+
+    std::string parseLabel() {
+        skipWs();
+        std::string out;
+        if (peek() == '\'') {  // quoted label
+            ++pos_;
+            while (pos_ < s_.size() && s_[pos_] != '\'') out += s_[pos_++];
+            if (pos_ >= s_.size()) throw ParseError("newick: unterminated quoted label");
+            ++pos_;
+            return out;
+        }
+        while (pos_ < s_.size()) {
+            const char c = s_[pos_];
+            if (c == ',' || c == ')' || c == '(' || c == ':' || c == ';' ||
+                std::isspace(static_cast<unsigned char>(c)))
+                break;
+            out += c;
+            ++pos_;
+        }
+        return out;
+    }
+
+    double parseNumber() {
+        skipWs();
+        const char* begin = s_.c_str() + pos_;
+        char* end = nullptr;
+        const double v = std::strtod(begin, &end);
+        if (end == begin) throw ParseError("newick: expected a number");
+        pos_ += static_cast<std::size_t>(end - begin);
+        return v;
+    }
+
+    void skipWs() {
+        while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    }
+
+    char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+    const std::string& s_;
+    std::size_t pos_ = 0;
+    std::vector<ParseNode> nodes_;
+};
+
+}  // namespace
+
+std::string toNewick(const Genealogy& g, int precision) {
+    std::string out;
+    writeNode(g, g.root(), precision, out);
+    out += ';';
+    return out;
+}
+
+Genealogy fromNewick(const std::string& text, double ultrametricTol) {
+    Parser parser(text);
+    const int parseRoot = parser.parseTree();
+    auto& pnodes = parser.nodes();
+
+    int nTips = 0;
+    for (const auto& pn : pnodes)
+        if (pn.isTip) ++nTips;
+    if (nTips < 2) throw ParseError("newick: need at least two tips");
+
+    // Depth of each parse node from the root (sum of branch lengths).
+    std::vector<double> depth(pnodes.size(), 0.0);
+    std::vector<int> order{parseRoot};  // preorder
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        const auto& pn = pnodes[static_cast<std::size_t>(order[i])];
+        if (!pn.isTip) {
+            depth[static_cast<std::size_t>(pn.left)] =
+                depth[static_cast<std::size_t>(order[i])] + pnodes[static_cast<std::size_t>(pn.left)].branch;
+            depth[static_cast<std::size_t>(pn.right)] =
+                depth[static_cast<std::size_t>(order[i])] + pnodes[static_cast<std::size_t>(pn.right)].branch;
+            order.push_back(pn.left);
+            order.push_back(pn.right);
+        }
+    }
+
+    double height = 0.0;
+    for (std::size_t i = 0; i < pnodes.size(); ++i)
+        if (pnodes[i].isTip && depth[i] > height) height = depth[i];
+    if (height <= 0.0) throw ParseError("newick: tree has zero height");
+    for (std::size_t i = 0; i < pnodes.size(); ++i) {
+        if (pnodes[i].isTip && std::fabs(depth[i] - height) > ultrametricTol * height)
+            throw ParseError("newick: tree is not ultrametric (tip depths differ)");
+    }
+
+    Genealogy g(nTips);
+    std::vector<std::string> names;
+    names.reserve(static_cast<std::size_t>(nTips));
+    std::vector<NodeId> mapped(pnodes.size(), kNoNode);
+
+    int nextTip = 0;
+    int nextInternal = nTips;
+    // Assign ids in the preorder discovered above so tips get encounter
+    // order, matching `ms`-style unlabeled output.
+    for (const int pid : order) {
+        const auto& pn = pnodes[static_cast<std::size_t>(pid)];
+        if (pn.isTip) {
+            mapped[static_cast<std::size_t>(pid)] = nextTip;
+            names.push_back(pn.name.empty() ? ("t" + std::to_string(nextTip + 1)) : pn.name);
+            ++nextTip;
+        } else {
+            mapped[static_cast<std::size_t>(pid)] = nextInternal++;
+        }
+    }
+
+    for (const int pid : order) {
+        const auto& pn = pnodes[static_cast<std::size_t>(pid)];
+        const NodeId id = mapped[static_cast<std::size_t>(pid)];
+        const double t = height - depth[static_cast<std::size_t>(pid)];
+        g.node(id).time = pn.isTip ? 0.0 : t;
+        if (!pn.isTip) {
+            g.link(id, mapped[static_cast<std::size_t>(pn.left)]);
+            g.link(id, mapped[static_cast<std::size_t>(pn.right)]);
+        }
+    }
+    g.setRoot(mapped[static_cast<std::size_t>(parseRoot)]);
+    g.setTipNames(std::move(names));
+    g.validate();
+    return g;
+}
+
+}  // namespace mpcgs

@@ -1,0 +1,32 @@
+// Newick tree format reader/writer.
+//
+// This is the interchange format between the coalescent tree simulator (the
+// `ms` substitute) and the sequence simulator (the `seq-gen` substitute),
+// exactly as in §6.1 of the paper ("ms 12 1 -T" produces a tree in the
+// Newick tree format, piped into seq-gen).
+//
+// Reading requires an ultrametric tree (all tips equidistant from the
+// root), because a Genealogy stores coalescent *times*; a tolerance
+// parameter absorbs the rounding of decimal branch lengths.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "phylo/tree.h"
+
+namespace mpcgs {
+
+/// Serialize with branch lengths, e.g. "((a:0.1,b:0.1):0.2,c:0.3);".
+/// Precision controls the number of significant digits.
+std::string toNewick(const Genealogy& g, int precision = 10);
+
+/// Parse a Newick string into a Genealogy.
+///
+/// Tip name handling: named tips keep their labels; unnamed tips are named
+/// t1, t2, ... in encounter order. Throws ParseError on malformed input or
+/// when tip depths differ by more than `ultrametricTol` (relative to tree
+/// height).
+Genealogy fromNewick(const std::string& text, double ultrametricTol = 1e-6);
+
+}  // namespace mpcgs

@@ -1,0 +1,166 @@
+#include "phylo/tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace mpcgs {
+
+Genealogy::Genealogy(int nTips) : nTips_(nTips) {
+    require(nTips >= 2, "Genealogy needs at least 2 tips");
+    nodes_.resize(static_cast<std::size_t>(2 * nTips - 1));
+    tipNames_.resize(static_cast<std::size_t>(nTips));
+    for (int i = 0; i < nTips; ++i) tipNames_[static_cast<std::size_t>(i)] = "t" + std::to_string(i + 1);
+}
+
+void Genealogy::setTipNames(std::vector<std::string> names) {
+    require(static_cast<int>(names.size()) == nTips_, "tip name count mismatch");
+    tipNames_ = std::move(names);
+}
+
+NodeId Genealogy::tipByName(const std::string& name) const {
+    for (int i = 0; i < nTips_; ++i)
+        if (tipNames_[static_cast<std::size_t>(i)] == name) return i;
+    return kNoNode;
+}
+
+void Genealogy::link(NodeId parent, NodeId child) {
+    TreeNode& p = node(parent);
+    require(p.child[0] == kNoNode || p.child[1] == kNoNode, "link: parent already full");
+    if (p.child[0] == kNoNode)
+        p.child[0] = child;
+    else
+        p.child[1] = child;
+    node(child).parent = parent;
+}
+
+void Genealogy::unlink(NodeId child) {
+    const NodeId parent = node(child).parent;
+    require(parent != kNoNode, "unlink: node has no parent");
+    TreeNode& p = node(parent);
+    if (p.child[0] == child) {
+        p.child[0] = p.child[1];
+        p.child[1] = kNoNode;
+    } else if (p.child[1] == child) {
+        p.child[1] = kNoNode;
+    } else {
+        require(false, "unlink: parent/child links inconsistent");
+    }
+    node(child).parent = kNoNode;
+}
+
+NodeId Genealogy::sibling(NodeId id) const {
+    const NodeId parent = node(id).parent;
+    if (parent == kNoNode) return kNoNode;
+    const TreeNode& p = node(parent);
+    return p.child[0] == id ? p.child[1] : p.child[0];
+}
+
+double Genealogy::branchLength(NodeId id) const {
+    const NodeId parent = node(id).parent;
+    require(parent != kNoNode, "branchLength: root has no branch");
+    return node(parent).time - node(id).time;
+}
+
+std::vector<NodeId> Genealogy::postorder() const {
+    std::vector<NodeId> out;
+    out.reserve(nodes_.size());
+    // Iterative two-stack postorder.
+    std::vector<NodeId> stack{root_};
+    while (!stack.empty()) {
+        const NodeId id = stack.back();
+        stack.pop_back();
+        out.push_back(id);
+        const TreeNode& nd = node(id);
+        if (nd.child[0] != kNoNode) stack.push_back(nd.child[0]);
+        if (nd.child[1] != kNoNode) stack.push_back(nd.child[1]);
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+std::vector<NodeId> Genealogy::preorder() const {
+    std::vector<NodeId> out;
+    out.reserve(nodes_.size());
+    std::vector<NodeId> stack{root_};
+    while (!stack.empty()) {
+        const NodeId id = stack.back();
+        stack.pop_back();
+        out.push_back(id);
+        const TreeNode& nd = node(id);
+        if (nd.child[1] != kNoNode) stack.push_back(nd.child[1]);
+        if (nd.child[0] != kNoNode) stack.push_back(nd.child[0]);
+    }
+    return out;
+}
+
+std::vector<NodeId> Genealogy::internalsByTime() const {
+    std::vector<NodeId> ids;
+    ids.reserve(static_cast<std::size_t>(internalCount()));
+    for (NodeId id = nTips_; id < nodeCount(); ++id) ids.push_back(id);
+    std::sort(ids.begin(), ids.end(),
+              [this](NodeId a, NodeId b) { return node(a).time < node(b).time; });
+    return ids;
+}
+
+std::vector<CoalInterval> Genealogy::intervals() const {
+    const auto ids = internalsByTime();
+    std::vector<CoalInterval> out;
+    out.reserve(ids.size());
+    double prev = 0.0;
+    int k = nTips_;
+    for (const NodeId id : ids) {
+        const double t = node(id).time;
+        out.push_back(CoalInterval{prev, t, k});
+        prev = t;
+        --k;
+    }
+    return out;
+}
+
+double Genealogy::tmrca() const {
+    require(root_ != kNoNode, "tmrca: tree has no root");
+    return node(root_).time;
+}
+
+void Genealogy::scaleTimes(double f) {
+    require(f > 0.0, "scaleTimes: factor must be positive");
+    for (auto& nd : nodes_) nd.time *= f;
+}
+
+double Genealogy::totalBranchLength() const {
+    double total = 0.0;
+    for (NodeId id = 0; id < nodeCount(); ++id)
+        if (id != root_) total += branchLength(id);
+    return total;
+}
+
+void Genealogy::validate() const {
+    require(root_ != kNoNode, "validate: no root");
+    require(node(root_).parent == kNoNode, "validate: root has a parent");
+    require(nodeCount() == 2 * nTips_ - 1, "validate: wrong node count");
+
+    std::vector<char> seen(nodes_.size(), 0);
+    for (const NodeId id : postorder()) {
+        require(!seen[static_cast<std::size_t>(id)], "validate: node visited twice (cycle)");
+        seen[static_cast<std::size_t>(id)] = 1;
+        const TreeNode& nd = node(id);
+        if (isTip(id)) {
+            require(nd.isLeaf(), "validate: tip has children");
+            require(nd.time == 0.0, "validate: tip not at time 0");
+        } else {
+            require(nd.child[0] != kNoNode && nd.child[1] != kNoNode,
+                    "validate: internal node not bifurcating");
+            for (const NodeId c : nd.child) {
+                require(node(c).parent == id, "validate: parent/child asymmetry");
+                require(node(c).time < nd.time,
+                        "validate: child not strictly more recent than parent");
+            }
+        }
+    }
+    for (std::size_t i = 0; i < nodes_.size(); ++i)
+        require(seen[i], "validate: node unreachable from root");
+}
+
+}  // namespace mpcgs

@@ -1,0 +1,116 @@
+// Genealogical trees (§2.4 of Davis 2016).
+//
+// A Genealogy is a rooted, strictly bifurcating tree over n contemporary
+// tips. Node times are measured backwards from the present: every tip is at
+// time 0 and internal (coalescent) nodes carry strictly positive times, the
+// root being the most ancient. Branch length = time(parent) - time(child).
+//
+// Storage is an index-based arena (std::vector<Node>): tips occupy indices
+// [0, n), internal nodes [n, 2n-1). This makes the N+1 proposal slots of
+// the GMH sampler cheap to preallocate and copy (§5.1.3) and traversals
+// cache-friendly.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mpcgs {
+
+using NodeId = int;
+inline constexpr NodeId kNoNode = -1;
+
+struct TreeNode {
+    NodeId parent = kNoNode;
+    std::array<NodeId, 2> child{kNoNode, kNoNode};
+    double time = 0.0;  ///< backwards from the present; 0 for tips
+
+    bool isLeaf() const { return child[0] == kNoNode && child[1] == kNoNode; }
+
+    bool operator==(const TreeNode&) const = default;
+};
+
+/// One inter-coalescent interval of a genealogy: `lineages` lineages are
+/// extant for the duration [begin, end). Used by the coalescent prior
+/// (Eq. 18) and stored per-sample by the posterior kernel (§5.1.3 keeps
+/// only interval vectors for sampled genealogies).
+struct CoalInterval {
+    double begin = 0.0;    ///< more recent boundary
+    double end = 0.0;      ///< more ancient boundary
+    int lineages = 0;      ///< lineage count throughout the interval
+
+    double length() const { return end - begin; }
+};
+
+class Genealogy {
+  public:
+    Genealogy() = default;
+
+    /// An unlinked forest of n tips at time 0 (build topology afterwards).
+    explicit Genealogy(int nTips);
+
+    int tipCount() const { return nTips_; }
+    int nodeCount() const { return static_cast<int>(nodes_.size()); }
+    int internalCount() const { return nTips_ > 0 ? nTips_ - 1 : 0; }
+
+    NodeId root() const { return root_; }
+    void setRoot(NodeId r) { root_ = r; }
+
+    TreeNode& node(NodeId id) { return nodes_[static_cast<std::size_t>(id)]; }
+    const TreeNode& node(NodeId id) const { return nodes_[static_cast<std::size_t>(id)]; }
+
+    bool isTip(NodeId id) const { return id >= 0 && id < nTips_; }
+
+    const std::vector<std::string>& tipNames() const { return tipNames_; }
+    void setTipNames(std::vector<std::string> names);
+    /// Tip index by name; kNoNode when absent.
+    NodeId tipByName(const std::string& name) const;
+
+    /// Attach `child` under `parent` in the first free child slot.
+    void link(NodeId parent, NodeId child);
+    /// Detach `child` from its parent (compacting the parent's child slots).
+    void unlink(NodeId child);
+
+    /// Sibling of `id` under its parent (kNoNode for the root).
+    NodeId sibling(NodeId id) const;
+
+    /// Branch length above `id`; throws for the root.
+    double branchLength(NodeId id) const;
+
+    /// Node ids in postorder (children before parents) from the root.
+    std::vector<NodeId> postorder() const;
+    /// Node ids in preorder.
+    std::vector<NodeId> preorder() const;
+
+    /// Internal node ids sorted by time ascending.
+    std::vector<NodeId> internalsByTime() const;
+
+    /// The n-1 inter-coalescent intervals, most recent first (Fig 3).
+    std::vector<CoalInterval> intervals() const;
+
+    /// Time of the most recent common ancestor (root time).
+    double tmrca() const;
+
+    /// Multiply all node times by f > 0.
+    void scaleTimes(double f);
+
+    /// Structural invariants: bifurcating, parent/child symmetry, tip times
+    /// zero, parent strictly more ancient than child, single root, all
+    /// nodes reachable. Throws InvariantError with a description on
+    /// failure.
+    void validate() const;
+
+    /// Total branch length (sum over non-root nodes).
+    double totalBranchLength() const;
+
+    bool operator==(const Genealogy& o) const = default;
+
+  private:
+    std::vector<TreeNode> nodes_;
+    std::vector<std::string> tipNames_;
+    NodeId root_ = kNoNode;
+    int nTips_ = 0;
+};
+
+}  // namespace mpcgs

@@ -1,0 +1,96 @@
+#include "phylo/upgma.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.h"
+
+namespace mpcgs {
+
+Genealogy upgmaTree(const DistanceMatrix& d) {
+    const int n = static_cast<int>(d.size());
+    if (n < 2) throw ConfigError("upgma: need at least two sequences");
+    for (const auto& row : d)
+        if (static_cast<int>(row.size()) != n) throw ConfigError("upgma: matrix not square");
+
+    Genealogy g(n);
+
+    // Active cluster list: representative genealogy node, height, size.
+    struct Cluster {
+        NodeId node;
+        double height;
+        int size;
+    };
+    std::vector<Cluster> clusters;
+    clusters.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) clusters.push_back({i, 0.0, 1});
+
+    // Working copy of distances indexed by position in `clusters`.
+    std::vector<std::vector<double>> dist(static_cast<std::size_t>(n),
+                                          std::vector<double>(static_cast<std::size_t>(n)));
+    for (int i = 0; i < n; ++i)
+        for (int j = 0; j < n; ++j) dist[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = d[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+
+    NodeId nextInternal = n;
+    while (clusters.size() > 1) {
+        // Find the closest pair.
+        std::size_t bi = 0, bj = 1;
+        double best = std::numeric_limits<double>::infinity();
+        for (std::size_t i = 0; i < clusters.size(); ++i)
+            for (std::size_t j = i + 1; j < clusters.size(); ++j)
+                if (dist[i][j] < best) {
+                    best = dist[i][j];
+                    bi = i;
+                    bj = j;
+                }
+
+        // Merge height: half the distance, nudged to stay strictly above
+        // both children (identical sequences would otherwise produce
+        // zero-length branches).
+        const double childMax = std::max(clusters[bi].height, clusters[bj].height);
+        double h = best / 2.0;
+        const double eps = std::max(1e-12, childMax * 1e-9 + 1e-12);
+        if (h <= childMax) h = childMax + eps;
+
+        const NodeId parent = nextInternal++;
+        g.node(parent).time = h;
+        g.link(parent, clusters[bi].node);
+        g.link(parent, clusters[bj].node);
+
+        // Lance-Williams size-weighted average-linkage update.
+        const double wi = clusters[bi].size;
+        const double wj = clusters[bj].size;
+        for (std::size_t k = 0; k < clusters.size(); ++k) {
+            if (k == bi || k == bj) continue;
+            const double nd = (wi * dist[bi][k] + wj * dist[bj][k]) / (wi + wj);
+            dist[bi][k] = dist[k][bi] = nd;
+        }
+        clusters[bi] = {parent, h, clusters[bi].size + clusters[bj].size};
+
+        // Remove cluster bj by swapping with the last entry.
+        const std::size_t last = clusters.size() - 1;
+        if (bj != last) {
+            clusters[bj] = clusters[last];
+            for (std::size_t k = 0; k < clusters.size(); ++k) {
+                dist[bj][k] = dist[last][k];
+                dist[k][bj] = dist[k][last];
+            }
+        }
+        clusters.pop_back();
+    }
+
+    g.setRoot(clusters[0].node);
+    g.validate();
+    return g;
+}
+
+void scaleToExpectedHeight(Genealogy& g, double theta0) {
+    if (theta0 <= 0.0) throw ConfigError("scaleToExpectedHeight: theta0 must be positive");
+    const double n = g.tipCount();
+    const double target = theta0 * (1.0 - 1.0 / n);
+    const double height = g.tmrca();
+    require(height > 0.0, "scaleToExpectedHeight: degenerate tree height");
+    g.scaleTimes(target / height);
+}
+
+}  // namespace mpcgs

@@ -1,0 +1,30 @@
+// UPGMA clustering for the sampler's initial genealogy (§5.1.3).
+//
+// Following the paper (and LAMARC), the Markov chain is seeded with the
+// UPGMA tree of the pairwise sequence distances, with node heights scaled
+// to the expected coalescent height for the driving value θ0.
+#pragma once
+
+#include <vector>
+
+#include "phylo/tree.h"
+
+namespace mpcgs {
+
+/// Symmetric pairwise distance matrix (row i, column j).
+using DistanceMatrix = std::vector<std::vector<double>>;
+
+/// Agglomerative average-linkage (UPGMA) clustering. Node heights are half
+/// the cluster distance at each merge; zero or tied distances are nudged by
+/// a relative epsilon so the resulting genealogy has strictly increasing
+/// coalescent times (required by the coalescent density, which is
+/// continuous). Throws ConfigError on a non-square or too-small matrix.
+Genealogy upgmaTree(const DistanceMatrix& d);
+
+/// Scale `g` so its root height equals the expected coalescent TMRCA for
+/// the driving value theta0, E[TMRCA] = theta0 * (1 - 1/n) under Eq. (17).
+/// This is the paper's "branch lengths are scaled by the assumed driving
+/// value of theta" deviation from standard UPGMA.
+void scaleToExpectedHeight(Genealogy& g, double theta0);
+
+}  // namespace mpcgs

@@ -1,0 +1,37 @@
+#include "rng/mt19937.h"
+
+namespace mpcgs {
+
+void Mt19937::reseed(std::uint32_t seed) {
+    state_[0] = seed;
+    for (std::size_t i = 1; i < N; ++i) {
+        // Knuth-style initialization from the 2002 reference code.
+        state_[i] = 1812433253u * (state_[i - 1] ^ (state_[i - 1] >> 30)) +
+                    static_cast<std::uint32_t>(i);
+    }
+    index_ = N;
+}
+
+void Mt19937::twist() {
+    for (std::size_t i = 0; i < N; ++i) {
+        const std::uint32_t y =
+            (state_[i] & kUpperMask) | (state_[(i + 1) % N] & kLowerMask);
+        std::uint32_t next = state_[(i + M) % N] ^ (y >> 1);
+        if (y & 1u) next ^= kMatrixA;
+        state_[i] = next;
+    }
+    index_ = 0;
+}
+
+std::uint32_t Mt19937::nextU32() {
+    if (index_ >= N) twist();
+    std::uint32_t y = state_[index_++];
+    // Tempering transform.
+    y ^= y >> 11;
+    y ^= (y << 7) & 0x9d2c5680u;
+    y ^= (y << 15) & 0xefc60000u;
+    y ^= y >> 18;
+    return y;
+}
+
+}  // namespace mpcgs

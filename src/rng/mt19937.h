@@ -1,0 +1,37 @@
+// MT19937 Mersenne Twister (Matsumoto & Nishimura 1998), implemented from
+// the reference recurrence. This is the paper's host-side generator
+// (§5.1.2); outputs are bit-exact with the reference implementation and
+// with std::mt19937 (verified in tests/rng_test.cc).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "rng/rng.h"
+
+namespace mpcgs {
+
+class Mt19937 final : public Rng {
+  public:
+    static constexpr std::uint32_t kDefaultSeed = 5489u;
+
+    explicit Mt19937(std::uint32_t seed = kDefaultSeed) { reseed(seed); }
+
+    void reseed(std::uint32_t seed);
+
+    std::uint32_t nextU32() override;
+
+  private:
+    static constexpr std::size_t N = 624;
+    static constexpr std::size_t M = 397;
+    static constexpr std::uint32_t kMatrixA = 0x9908b0dfu;
+    static constexpr std::uint32_t kUpperMask = 0x80000000u;
+    static constexpr std::uint32_t kLowerMask = 0x7fffffffu;
+
+    void twist();
+
+    std::array<std::uint32_t, N> state_{};
+    std::size_t index_ = N;
+};
+
+}  // namespace mpcgs

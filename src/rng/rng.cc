@@ -1,0 +1,47 @@
+#include "rng/rng.h"
+
+#include <limits>
+#include <vector>
+
+#include "util/logspace.h"
+
+namespace mpcgs {
+
+std::uint64_t Rng::below(std::uint64_t n) {
+    if (n == 0) throw std::invalid_argument("Rng::below: n must be > 0");
+    // Rejection from the top of the 64-bit range to avoid modulo bias.
+    const std::uint64_t limit = std::numeric_limits<std::uint64_t>::max() -
+                                (std::numeric_limits<std::uint64_t>::max() % n);
+    std::uint64_t v;
+    do {
+        v = nextU64();
+    } while (v >= limit);
+    return v % n;
+}
+
+std::size_t Rng::categorical(std::span<const double> weights) {
+    if (weights.empty()) throw std::invalid_argument("categorical: empty weights");
+    double total = 0.0;
+    for (double w : weights) {
+        if (w < 0.0) throw std::invalid_argument("categorical: negative weight");
+        total += w;
+    }
+    if (total <= 0.0) throw std::invalid_argument("categorical: zero total weight");
+    // Draw x uniformly on (0, total] and take the lowest index whose running
+    // sum reaches x — the sampling rule of §4.3.
+    const double x = uniformPos() * total;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        acc += weights[i];
+        if (acc >= x) return i;
+    }
+    return weights.size() - 1;  // floating-point slack
+}
+
+std::size_t Rng::categoricalFromLog(std::span<const double> logWeights) {
+    std::vector<double> probs;
+    logNormalize(logWeights, probs);
+    return categorical(probs);
+}
+
+}  // namespace mpcgs

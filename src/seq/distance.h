@@ -1,0 +1,22 @@
+// Pairwise sequence distances feeding the UPGMA initial tree (§5.1.3: "the
+// distance between individual sequences is taken to be the number of base
+// pair positions that are different between the two sequences").
+#pragma once
+
+#include <vector>
+
+#include "seq/alignment.h"
+
+namespace mpcgs {
+
+/// Raw count of differing (known) positions — the paper's measure.
+std::vector<std::vector<double>> hammingMatrix(const Alignment& aln);
+
+/// Proportion of differing positions (count / length).
+std::vector<std::vector<double>> pDistanceMatrix(const Alignment& aln);
+
+/// Jukes-Cantor corrected distance, -3/4 ln(1 - 4p/3); saturated pairs
+/// (p >= 3/4) are clamped to a large finite distance.
+std::vector<std::vector<double>> jcDistanceMatrix(const Alignment& aln);
+
+}  // namespace mpcgs

@@ -1,0 +1,206 @@
+#include "seq/nexus.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "util/error.h"
+
+namespace mpcgs {
+namespace {
+
+std::string upper(std::string s) {
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+    return s;
+}
+
+/// Tokenizer: NEXUS punctuation ; = are their own tokens, [] comments are
+/// skipped, quoted labels preserved.
+class Tokens {
+  public:
+    explicit Tokens(std::istream& in) : in_(in) {}
+
+    /// Next token, or empty string at end of input.
+    std::string next() {
+        skipSpaceAndComments();
+        if (!in_.good()) return "";
+        const int c = in_.peek();
+        if (c == EOF) return "";
+        if (c == ';' || c == '=') {
+            in_.get();
+            return std::string(1, static_cast<char>(c));
+        }
+        if (c == '\'') {
+            in_.get();
+            std::string out;
+            int ch;
+            while ((ch = in_.get()) != EOF && ch != '\'') out += static_cast<char>(ch);
+            return out;
+        }
+        std::string out;
+        while (in_.good()) {
+            const int ch = in_.peek();
+            if (ch == EOF || std::isspace(ch) || ch == ';' || ch == '=' || ch == '[') break;
+            out += static_cast<char>(in_.get());
+        }
+        return out;
+    }
+
+    /// Rest of the current line's tokens are irrelevant; skip to after the
+    /// next ';'.
+    void skipStatement() {
+        std::string t;
+        while (!(t = next()).empty())
+            if (t == ";") return;
+    }
+
+  private:
+    void skipSpaceAndComments() {
+        for (;;) {
+            int c = in_.peek();
+            while (c != EOF && std::isspace(c)) {
+                in_.get();
+                c = in_.peek();
+            }
+            if (c == '[') {  // comment, possibly nested
+                int depth = 0;
+                int ch;
+                while ((ch = in_.get()) != EOF) {
+                    if (ch == '[') ++depth;
+                    if (ch == ']' && --depth == 0) break;
+                }
+                continue;
+            }
+            return;
+        }
+    }
+
+    std::istream& in_;
+};
+
+}  // namespace
+
+Alignment readNexus(std::istream& in) {
+    // Header check.
+    std::string header;
+    std::getline(in, header);
+    if (upper(header).rfind("#NEXUS", 0) != 0) throw ParseError("nexus: missing #NEXUS header");
+
+    Tokens toks(in);
+    std::size_t ntax = 0, nchar = 0;
+    bool interleave = false;
+
+    // Scan for a DATA or CHARACTERS block.
+    std::string t;
+    bool inData = false;
+    while (!(t = toks.next()).empty()) {
+        const std::string u = upper(t);
+        if (!inData) {
+            if (u == "BEGIN") {
+                const std::string block = upper(toks.next());
+                toks.next();  // ';'
+                if (block == "DATA" || block == "CHARACTERS") inData = true;
+                continue;
+            }
+            continue;
+        }
+        if (u == "DIMENSIONS") {
+            std::string k;
+            while (!(k = toks.next()).empty() && k != ";") {
+                const std::string ku = upper(k);
+                if (ku == "NTAX" || ku == "NCHAR") {
+                    if (toks.next() != "=") throw ParseError("nexus: expected '=' in DIMENSIONS");
+                    const std::string v = toks.next();
+                    (ku == "NTAX" ? ntax : nchar) =
+                        static_cast<std::size_t>(std::strtoull(v.c_str(), nullptr, 10));
+                }
+            }
+        } else if (u == "FORMAT") {
+            std::string k;
+            while (!(k = toks.next()).empty() && k != ";") {
+                const std::string ku = upper(k);
+                if (ku == "INTERLEAVE") {
+                    interleave = true;
+                } else if (ku == "DATATYPE" || ku == "MISSING" || ku == "GAP") {
+                    if (toks.next() != "=") throw ParseError("nexus: expected '=' in FORMAT");
+                    const std::string v = upper(toks.next());
+                    if (ku == "DATATYPE" && v != "DNA" && v != "NUCLEOTIDE" && v != "RNA")
+                        throw ParseError("nexus: unsupported DATATYPE '" + v + "'");
+                }
+            }
+        } else if (u == "MATRIX") {
+            if (ntax < 2 || nchar == 0)
+                throw ParseError("nexus: MATRIX before valid DIMENSIONS");
+            if (ntax > (1u << 22) || nchar > (1u << 30))
+                throw ParseError("nexus: implausible DIMENSIONS");
+            std::vector<std::string> names;
+            std::map<std::string, std::string> rows;
+            std::string tok;
+            std::string* active = nullptr;
+            while (!(tok = toks.next()).empty() && tok != ";") {
+                // A token is a taxon label when we're at a row boundary,
+                // i.e. when the previous row is full (non-interleaved) or
+                // on every odd token (name seq name seq ...). Simplest
+                // robust rule: a token that parses entirely as sequence
+                // content extends the active row *if* one is open and not
+                // full; otherwise it is a name.
+                const bool looksLikeSeq =
+                    active != nullptr &&
+                    std::all_of(tok.begin(), tok.end(), [](char c) { return charToNuc(c) != 0xFF; });
+                if (looksLikeSeq && active->size() < nchar) {
+                    *active += tok;
+                    if (active->size() >= nchar) active = nullptr;
+                } else {
+                    const auto it = rows.find(tok);
+                    if (it == rows.end()) {
+                        names.push_back(tok);
+                        active = &rows[tok];
+                    } else {
+                        active = &it->second;  // interleaved continuation
+                    }
+                }
+            }
+            if (names.size() != ntax)
+                throw ParseError("nexus: MATRIX has " + std::to_string(names.size()) +
+                                 " taxa, DIMENSIONS says " + std::to_string(ntax));
+            std::vector<Sequence> seqs;
+            seqs.reserve(ntax);
+            for (const auto& name : names) {
+                const std::string& chars = rows[name];
+                if (chars.size() != nchar)
+                    throw ParseError("nexus: taxon '" + name + "' has " +
+                                     std::to_string(chars.size()) + " characters, expected " +
+                                     std::to_string(nchar));
+                seqs.push_back(Sequence::fromString(name, chars));
+            }
+            (void)interleave;  // handled implicitly by the continuation rule
+            return Alignment(std::move(seqs));
+        } else if (u == "END" || u == "ENDBLOCK") {
+            toks.skipStatement();
+            inData = false;
+        } else if (t == ";") {
+            continue;
+        } else {
+            // Unknown command inside the data block: skip its statement.
+            toks.skipStatement();
+        }
+    }
+    throw ParseError("nexus: no DATA/CHARACTERS matrix found");
+}
+
+Alignment readNexusString(const std::string& text) {
+    std::istringstream in(text);
+    return readNexus(in);
+}
+
+Alignment readNexusFile(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw ParseError("nexus: cannot open '" + path + "'");
+    return readNexus(in);
+}
+
+}  // namespace mpcgs

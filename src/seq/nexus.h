@@ -1,0 +1,18 @@
+// Minimal NEXUS reader (DATA/CHARACTERS block) — the other interchange
+// format population-genetics users commonly hold sequence data in. Parses
+// DIMENSIONS (ntax/nchar), honours interleaved matrices, ignores blocks it
+// does not know.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "seq/alignment.h"
+
+namespace mpcgs {
+
+Alignment readNexus(std::istream& in);
+Alignment readNexusString(const std::string& text);
+Alignment readNexusFile(const std::string& path);
+
+}  // namespace mpcgs

@@ -1,0 +1,34 @@
+#include "seq/nucleotide.h"
+
+namespace mpcgs {
+
+NucCode charToNuc(char c) {
+    switch (c) {
+        case 'A': case 'a': return kNucA;
+        case 'C': case 'c': return kNucC;
+        case 'G': case 'g': return kNucG;
+        case 'T': case 't':
+        case 'U': case 'u': return kNucT;
+        // Unknown and IUPAC ambiguity codes: treated as fully ambiguous.
+        case 'N': case 'n': case 'X': case 'x': case '?': case '-':
+        case 'R': case 'r': case 'Y': case 'y': case 'S': case 's':
+        case 'W': case 'w': case 'K': case 'k': case 'M': case 'm':
+        case 'B': case 'b': case 'D': case 'd': case 'H': case 'h':
+        case 'V': case 'v':
+            return kNucUnknown;
+        default:
+            return 0xFF;
+    }
+}
+
+char nucToChar(NucCode c) {
+    switch (c) {
+        case kNucA: return 'A';
+        case kNucC: return 'C';
+        case kNucG: return 'G';
+        case kNucT: return 'T';
+        default: return 'N';
+    }
+}
+
+}  // namespace mpcgs

@@ -1,0 +1,150 @@
+#include "seq/phylip.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace mpcgs {
+namespace {
+
+bool isSeqChar(char c) { return charToNuc(c) != 0xFF; }
+
+std::string trim(const std::string& s) {
+    std::size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+    return s.substr(b, e - b);
+}
+
+/// Append every sequence character of `text` to `dst`, ignoring spaces.
+void appendSeqChars(const std::string& text, std::string& dst, int lineNo) {
+    for (const char c : text) {
+        if (std::isspace(static_cast<unsigned char>(c)) || std::isdigit(static_cast<unsigned char>(c)))
+            continue;
+        if (!isSeqChar(c))
+            throw ParseError("phylip line " + std::to_string(lineNo) +
+                             ": invalid sequence character '" + std::string(1, c) + "'");
+        dst += c;
+    }
+}
+
+}  // namespace
+
+Alignment readPhylip(std::istream& in) {
+    std::string line;
+    int lineNo = 0;
+
+    // Header: "<count> <length>".
+    std::size_t nSeq = 0, seqLen = 0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        if (trim(line).empty()) continue;
+        std::istringstream hs(line);
+        if (!(hs >> nSeq >> seqLen))
+            throw ParseError("phylip line " + std::to_string(lineNo) + ": bad header");
+        break;
+    }
+    if (nSeq < 2) throw ParseError("phylip: need at least 2 sequences");
+    if (seqLen == 0) throw ParseError("phylip: zero sequence length");
+    // Bound the header against nonsense (and allocation bombs): even the
+    // largest published alignments are orders of magnitude below these.
+    constexpr std::size_t kMaxSequences = 1u << 22;     // ~4 million taxa
+    constexpr std::size_t kMaxLength = 1u << 30;        // ~1 Gbp
+    if (nSeq > kMaxSequences)
+        throw ParseError("phylip: implausible sequence count " + std::to_string(nSeq));
+    if (seqLen > kMaxLength)
+        throw ParseError("phylip: implausible sequence length " + std::to_string(seqLen));
+
+    std::vector<std::string> names(nSeq);
+    std::vector<std::string> chars(nSeq);
+
+    // First block: each line starts with a name.
+    for (std::size_t i = 0; i < nSeq;) {
+        if (!std::getline(in, line))
+            throw ParseError("phylip: unexpected end of file in first block");
+        ++lineNo;
+        if (trim(line).empty()) continue;
+
+        // Strict layout puts the name in columns 1-10; relaxed layout
+        // separates it by whitespace. Heuristic: take the first
+        // whitespace-delimited token as the name unless the remainder of a
+        // 10-column name field continues without a gap.
+        std::string name, rest;
+        if (line.size() > 10 &&
+            line.find_first_of(" \t") == std::string::npos) {
+            // No whitespace at all: 10-column fixed name, rest is data.
+            name = trim(line.substr(0, 10));
+            rest = line.substr(10);
+        } else {
+            std::istringstream ls(line);
+            ls >> name;
+            std::getline(ls, rest);
+        }
+        if (name.empty())
+            throw ParseError("phylip line " + std::to_string(lineNo) + ": empty name");
+        names[i] = name;
+        appendSeqChars(rest, chars[i], lineNo);
+        ++i;
+    }
+
+    // Interleaved continuation blocks (no names), until every sequence is
+    // full or the stream ends.
+    std::size_t row = 0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        if (trim(line).empty()) {
+            row = 0;
+            continue;
+        }
+        if (row >= nSeq) row = 0;
+        appendSeqChars(line, chars[row], lineNo);
+        ++row;
+    }
+
+    std::vector<Sequence> seqs;
+    seqs.reserve(nSeq);
+    for (std::size_t i = 0; i < nSeq; ++i) {
+        if (chars[i].size() != seqLen)
+            throw ParseError("phylip: sequence '" + names[i] + "' has " +
+                             std::to_string(chars[i].size()) + " bases, header says " +
+                             std::to_string(seqLen));
+        seqs.push_back(Sequence::fromString(names[i], chars[i]));
+    }
+    return Alignment(std::move(seqs));
+}
+
+Alignment readPhylipString(const std::string& text) {
+    std::istringstream in(text);
+    return readPhylip(in);
+}
+
+Alignment readPhylipFile(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw ParseError("phylip: cannot open '" + path + "'");
+    return readPhylip(in);
+}
+
+void writePhylip(std::ostream& out, const Alignment& aln) {
+    out << ' ' << aln.sequenceCount() << ' ' << aln.length() << '\n';
+    for (const auto& s : aln.sequences()) {
+        std::string name = s.name().substr(0, 10);
+        name.resize(10, ' ');
+        out << name << s.toString() << '\n';
+    }
+}
+
+std::string writePhylipString(const Alignment& aln) {
+    std::ostringstream os;
+    writePhylip(os, aln);
+    return os.str();
+}
+
+void writePhylipFile(const std::string& path, const Alignment& aln) {
+    std::ofstream out(path);
+    if (!out) throw ParseError("phylip: cannot write '" + path + "'");
+    writePhylip(out, aln);
+}
+
+}  // namespace mpcgs

@@ -1,0 +1,29 @@
+// PHYLIP sequence file format (§5.1.1).
+//
+// The paper's `mpcgs` takes sequence data "in the PHYLIP genealogical data
+// format, in which the first line provides the number of samples and the
+// length of the samples", each following line a name plus sequence data.
+// Both the strict layout (10-character name field) and a relaxed layout
+// (whitespace-separated name) are accepted; interleaved continuation
+// blocks are supported for compatibility with seq-gen output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "seq/alignment.h"
+
+namespace mpcgs {
+
+/// Parse PHYLIP text. Throws ParseError with a line-number diagnostic on
+/// malformed input.
+Alignment readPhylip(std::istream& in);
+Alignment readPhylipString(const std::string& text);
+Alignment readPhylipFile(const std::string& path);
+
+/// Write sequential PHYLIP (names padded to 10 characters).
+void writePhylip(std::ostream& out, const Alignment& aln);
+std::string writePhylipString(const Alignment& aln);
+void writePhylipFile(const std::string& path, const Alignment& aln);
+
+}  // namespace mpcgs

@@ -1,0 +1,47 @@
+#include "seq/seqgen.h"
+
+#include <vector>
+
+#include "util/error.h"
+
+namespace mpcgs {
+
+Alignment simulateSequences(const Genealogy& g, const SubstModel& model,
+                            const SeqGenOptions& opts, Rng& rng) {
+    if (opts.length == 0) throw ConfigError("seqgen: zero length");
+    if (opts.scale <= 0.0) throw ConfigError("seqgen: scale must be positive");
+
+    const BaseFreqs& pi = model.stationary();
+    const std::array<double, 4> piW{pi[0], pi[1], pi[2], pi[3]};
+
+    // Working sequence per node; filled root-to-tips in preorder.
+    std::vector<std::vector<NucCode>> state(
+        static_cast<std::size_t>(g.nodeCount()), std::vector<NucCode>(opts.length));
+
+    const auto order = g.preorder();
+    for (const NodeId id : order) {
+        auto& seq = state[static_cast<std::size_t>(id)];
+        if (id == g.root()) {
+            for (std::size_t i = 0; i < opts.length; ++i)
+                seq[i] = static_cast<NucCode>(rng.categorical(piW));
+            continue;
+        }
+        const auto& parentSeq = state[static_cast<std::size_t>(g.node(id).parent)];
+        const Matrix4 p = model.transition(opts.scale * g.branchLength(id));
+        // Per-source-nucleotide transition rows as sampling weights.
+        std::array<std::array<double, 4>, 4> rows{};
+        for (std::size_t x = 0; x < 4; ++x)
+            for (std::size_t y = 0; y < 4; ++y) rows[x][y] = p(x, y);
+        for (std::size_t i = 0; i < opts.length; ++i)
+            seq[i] = static_cast<NucCode>(rng.categorical(rows[parentSeq[i]]));
+    }
+
+    std::vector<Sequence> out;
+    out.reserve(static_cast<std::size_t>(g.tipCount()));
+    for (int tip = 0; tip < g.tipCount(); ++tip)
+        out.emplace_back(g.tipNames()[static_cast<std::size_t>(tip)],
+                         std::move(state[static_cast<std::size_t>(tip)]));
+    return Alignment(std::move(out));
+}
+
+}  // namespace mpcgs

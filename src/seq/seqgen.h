@@ -1,0 +1,28 @@
+// Sequence evolution simulator — the seq-gen substitute (§6.1).
+//
+// Given a genealogy and a substitution model, draws a root sequence from
+// the model's stationary distribution and mutates it down every branch with
+// the model's transition probabilities, exactly the generative process
+// seq-gen implements for the models this library provides. The paper's
+// data sets come from `seq-gen -mF84 -l <L> -s <theta>`; the `-s` scale
+// multiplies branch lengths before simulation.
+#pragma once
+
+#include "phylo/tree.h"
+#include "rng/rng.h"
+#include "seq/alignment.h"
+#include "seq/subst_model.h"
+
+namespace mpcgs {
+
+struct SeqGenOptions {
+    std::size_t length = 200;  ///< sites per sequence (seq-gen -l)
+    double scale = 1.0;        ///< branch-length multiplier (seq-gen -s)
+};
+
+/// Simulate one alignment over the tips of `g`. Tip names are taken from
+/// the genealogy. Deterministic given the Rng state.
+Alignment simulateSequences(const Genealogy& g, const SubstModel& model,
+                            const SeqGenOptions& opts, Rng& rng);
+
+}  // namespace mpcgs

@@ -1,0 +1,71 @@
+#include "seq/sequence.h"
+
+#include "util/error.h"
+
+namespace mpcgs {
+
+Sequence Sequence::fromString(std::string name, const std::string& chars) {
+    std::vector<NucCode> codes;
+    codes.reserve(chars.size());
+    for (const char c : chars) {
+        const NucCode n = charToNuc(c);
+        if (n == 0xFF)
+            throw ParseError(std::string("invalid sequence character '") + c + "' in " + name);
+        codes.push_back(n);
+    }
+    return Sequence(std::move(name), std::move(codes));
+}
+
+std::string Sequence::toString() const {
+    std::string out;
+    out.reserve(codes_.size());
+    for (const NucCode c : codes_) out += nucToChar(c);
+    return out;
+}
+
+std::size_t Sequence::hammingDistance(const Sequence& other) const {
+    require(length() == other.length(), "hammingDistance: length mismatch");
+    std::size_t d = 0;
+    for (std::size_t i = 0; i < codes_.size(); ++i) {
+        const NucCode a = codes_[i];
+        const NucCode b = other.codes_[i];
+        if (a == kNucUnknown || b == kNucUnknown) continue;
+        if (a != b) ++d;
+    }
+    return d;
+}
+
+PackedAlignment::PackedAlignment(const std::vector<Sequence>& seqs) {
+    nSeq_ = seqs.size();
+    length_ = seqs.empty() ? 0 : seqs[0].length();
+    for (const auto& s : seqs)
+        require(s.length() == length_, "PackedAlignment: ragged alignment");
+    wordsPerSeq_ = (length_ + 31) / 32;
+    maskWordsPerSeq_ = (length_ + 63) / 64;
+    words_.assign(nSeq_ * wordsPerSeq_, 0);
+    unknownMask_.assign(nSeq_ * maskWordsPerSeq_, 0);
+    for (std::size_t s = 0; s < nSeq_; ++s) {
+        for (std::size_t i = 0; i < length_; ++i) {
+            const NucCode c = seqs[s].at(i);
+            if (c == kNucUnknown) {
+                unknownMask_[s * maskWordsPerSeq_ + i / 64] |= (std::uint64_t{1} << (i % 64));
+                continue;  // packed bits stay 0 (reads as A; mask overrides)
+            }
+            words_[s * wordsPerSeq_ + i / 32] |=
+                (static_cast<std::uint64_t>(c & 0x3u) << (2 * (i % 32)));
+        }
+    }
+}
+
+NucCode PackedAlignment::at(std::size_t seq, std::size_t site) const {
+    if (unknownMask_[seq * maskWordsPerSeq_ + site / 64] & (std::uint64_t{1} << (site % 64)))
+        return kNucUnknown;
+    const std::uint64_t w = words_[seq * wordsPerSeq_ + site / 32];
+    return static_cast<NucCode>((w >> (2 * (site % 32))) & 0x3u);
+}
+
+std::uint64_t PackedAlignment::word(std::size_t seq, std::size_t w) const {
+    return words_[seq * wordsPerSeq_ + w];
+}
+
+}  // namespace mpcgs

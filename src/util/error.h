@@ -1,0 +1,39 @@
+// Library-wide exception types and precondition checks.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mpcgs {
+
+/// Base class for all mpcgs errors.
+class Error : public std::runtime_error {
+  public:
+    explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed input data (PHYLIP/Newick/FASTA parse failures, bad sequences).
+class ParseError : public Error {
+  public:
+    explicit ParseError(const std::string& what) : Error("parse error: " + what) {}
+};
+
+/// Violated invariant in a genealogy or sampler state.
+class InvariantError : public Error {
+  public:
+    explicit InvariantError(const std::string& what) : Error("invariant violated: " + what) {}
+};
+
+/// Invalid user-supplied configuration (e.g. non-positive theta).
+class ConfigError : public Error {
+  public:
+    explicit ConfigError(const std::string& what) : Error("config error: " + what) {}
+};
+
+/// Throw InvariantError when cond is false. Used for checks that must stay
+/// active in release builds (tree validity after proposals, etc.).
+inline void require(bool cond, const char* msg) {
+    if (!cond) throw InvariantError(msg);
+}
+
+}  // namespace mpcgs

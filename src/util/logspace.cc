@@ -1,0 +1,20 @@
+#include "util/logspace.h"
+
+namespace mpcgs {
+
+double logNormalize(std::span<const double> logWeights, std::vector<double>& probsOut) {
+    probsOut.resize(logWeights.size());
+    const double lz = logSumExp(logWeights);
+    if (lz == -std::numeric_limits<double>::infinity()) {
+        // All weights are zero: fall back to uniform so callers can still
+        // sample; this only happens on degenerate inputs.
+        const double u = logWeights.empty() ? 0.0 : 1.0 / static_cast<double>(logWeights.size());
+        for (auto& p : probsOut) p = u;
+        return lz;
+    }
+    for (std::size_t i = 0; i < logWeights.size(); ++i)
+        probsOut[i] = std::exp(logWeights[i] - lz);
+    return lz;
+}
+
+}  // namespace mpcgs

@@ -1,0 +1,132 @@
+#include "util/matrix4.h"
+
+#include <cmath>
+
+namespace mpcgs {
+
+Matrix4 Matrix4::identity() {
+    Matrix4 r;
+    for (std::size_t i = 0; i < 4; ++i) r.m[i][i] = 1.0;
+    return r;
+}
+
+Matrix4 Matrix4::operator*(const Matrix4& o) const {
+    Matrix4 r;
+    for (std::size_t i = 0; i < 4; ++i)
+        for (std::size_t k = 0; k < 4; ++k) {
+            const double a = m[i][k];
+            if (a == 0.0) continue;
+            for (std::size_t j = 0; j < 4; ++j) r.m[i][j] += a * o.m[k][j];
+        }
+    return r;
+}
+
+Matrix4 Matrix4::operator+(const Matrix4& o) const {
+    Matrix4 r;
+    for (std::size_t i = 0; i < 4; ++i)
+        for (std::size_t j = 0; j < 4; ++j) r.m[i][j] = m[i][j] + o.m[i][j];
+    return r;
+}
+
+Matrix4 Matrix4::operator-(const Matrix4& o) const {
+    Matrix4 r;
+    for (std::size_t i = 0; i < 4; ++i)
+        for (std::size_t j = 0; j < 4; ++j) r.m[i][j] = m[i][j] - o.m[i][j];
+    return r;
+}
+
+Matrix4 Matrix4::scaled(double s) const {
+    Matrix4 r;
+    for (std::size_t i = 0; i < 4; ++i)
+        for (std::size_t j = 0; j < 4; ++j) r.m[i][j] = m[i][j] * s;
+    return r;
+}
+
+Matrix4 Matrix4::transposed() const {
+    Matrix4 r;
+    for (std::size_t i = 0; i < 4; ++i)
+        for (std::size_t j = 0; j < 4; ++j) r.m[j][i] = m[i][j];
+    return r;
+}
+
+std::array<double, 4> Matrix4::apply(const std::array<double, 4>& v) const {
+    std::array<double, 4> r{};
+    for (std::size_t i = 0; i < 4; ++i)
+        for (std::size_t j = 0; j < 4; ++j) r[i] += m[i][j] * v[j];
+    return r;
+}
+
+double Matrix4::maxAbsDiff(const Matrix4& o) const {
+    double d = 0.0;
+    for (std::size_t i = 0; i < 4; ++i)
+        for (std::size_t j = 0; j < 4; ++j) {
+            const double v = std::fabs(m[i][j] - o.m[i][j]);
+            if (v > d) d = v;
+        }
+    return d;
+}
+
+double Matrix4::rowSumError() const {
+    double e = 0.0;
+    for (std::size_t i = 0; i < 4; ++i) {
+        double s = 0.0;
+        for (std::size_t j = 0; j < 4; ++j) s += m[i][j];
+        const double v = std::fabs(s - 1.0);
+        if (v > e) e = v;
+    }
+    return e;
+}
+
+SymEigen4 symmetricEigen(const Matrix4& input) {
+    // Symmetrize defensively; inputs should already be symmetric.
+    Matrix4 a;
+    for (std::size_t i = 0; i < 4; ++i)
+        for (std::size_t j = 0; j < 4; ++j) a.m[i][j] = 0.5 * (input.m[i][j] + input.m[j][i]);
+
+    Matrix4 v = Matrix4::identity();
+    // Cyclic Jacobi sweeps; 4x4 converges in a handful of sweeps.
+    for (int sweep = 0; sweep < 64; ++sweep) {
+        double off = 0.0;
+        for (std::size_t p = 0; p < 4; ++p)
+            for (std::size_t q = p + 1; q < 4; ++q) off += a.m[p][q] * a.m[p][q];
+        if (off < 1e-30) break;
+
+        for (std::size_t p = 0; p < 4; ++p) {
+            for (std::size_t q = p + 1; q < 4; ++q) {
+                const double apq = a.m[p][q];
+                if (std::fabs(apq) < 1e-300) continue;
+                const double theta = (a.m[q][q] - a.m[p][p]) / (2.0 * apq);
+                const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                                 (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+                const double c = 1.0 / std::sqrt(t * t + 1.0);
+                const double s = t * c;
+
+                for (std::size_t k = 0; k < 4; ++k) {
+                    const double akp = a.m[k][p];
+                    const double akq = a.m[k][q];
+                    a.m[k][p] = c * akp - s * akq;
+                    a.m[k][q] = s * akp + c * akq;
+                }
+                for (std::size_t k = 0; k < 4; ++k) {
+                    const double apk = a.m[p][k];
+                    const double aqk = a.m[q][k];
+                    a.m[p][k] = c * apk - s * aqk;
+                    a.m[q][k] = s * apk + c * aqk;
+                }
+                for (std::size_t k = 0; k < 4; ++k) {
+                    const double vkp = v.m[k][p];
+                    const double vkq = v.m[k][q];
+                    v.m[k][p] = c * vkp - s * vkq;
+                    v.m[k][q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    SymEigen4 out;
+    for (std::size_t i = 0; i < 4; ++i) out.values[i] = a.m[i][i];
+    out.vectors = v;
+    return out;
+}
+
+}  // namespace mpcgs

@@ -1,0 +1,48 @@
+// Dense 4x4 real matrices and a symmetric eigensolver, sized for nucleotide
+// substitution models. Self-contained so the seq module needs no external
+// linear-algebra dependency.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace mpcgs {
+
+/// Row-major 4x4 matrix of doubles.
+struct Matrix4 {
+    std::array<std::array<double, 4>, 4> m{};
+
+    static Matrix4 identity();
+    static Matrix4 zero() { return Matrix4{}; }
+
+    double& operator()(std::size_t r, std::size_t c) { return m[r][c]; }
+    double operator()(std::size_t r, std::size_t c) const { return m[r][c]; }
+
+    Matrix4 operator*(const Matrix4& o) const;
+    Matrix4 operator+(const Matrix4& o) const;
+    Matrix4 operator-(const Matrix4& o) const;
+    Matrix4 scaled(double s) const;
+    Matrix4 transposed() const;
+
+    /// Multiply a column vector.
+    std::array<double, 4> apply(const std::array<double, 4>& v) const;
+
+    /// Largest absolute entry of (this - o).
+    double maxAbsDiff(const Matrix4& o) const;
+
+    /// Max row-sum deviation from 1 (stochasticity check).
+    double rowSumError() const;
+};
+
+/// Eigendecomposition of a symmetric 4x4 matrix via cyclic Jacobi rotation.
+/// On return: `values` are eigenvalues and the columns of `vectors` the
+/// corresponding orthonormal eigenvectors (A = V diag(values) V^T).
+struct SymEigen4 {
+    std::array<double, 4> values{};
+    Matrix4 vectors;
+};
+
+/// Requires a symmetric input (asymmetry is averaged away first).
+SymEigen4 symmetricEigen(const Matrix4& a);
+
+}  // namespace mpcgs

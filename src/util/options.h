@@ -1,0 +1,36 @@
+// Minimal command-line option parsing for the tools, examples and bench
+// harnesses. Supports --flag, --key value, --key=value and positional
+// arguments; no external dependencies.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mpcgs {
+
+class Options {
+  public:
+    /// Parse argv. Anything starting with "--" is an option; a following
+    /// token that is not an option is its value, otherwise it is a flag.
+    static Options parse(int argc, const char* const* argv);
+
+    bool has(const std::string& key) const;
+
+    std::optional<std::string> get(const std::string& key) const;
+    std::string get(const std::string& key, const std::string& dflt) const;
+    long long getInt(const std::string& key, long long dflt) const;
+    double getDouble(const std::string& key, double dflt) const;
+    bool getBool(const std::string& key, bool dflt) const;
+
+    const std::vector<std::string>& positional() const { return positional_; }
+    const std::string& programName() const { return program_; }
+
+  private:
+    std::string program_;
+    std::map<std::string, std::string> kv_;
+    std::vector<std::string> positional_;
+};
+
+}  // namespace mpcgs

@@ -1,0 +1,68 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace mpcgs {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+    if (headers_.empty()) throw std::invalid_argument("Table: no headers");
+}
+
+Table& Table::addRow(std::vector<std::string> cells) {
+    if (cells.size() != headers_.size())
+        throw std::invalid_argument("Table: row width mismatch");
+    rows_.push_back(std::move(cells));
+    return *this;
+}
+
+std::string Table::num(double v, int precision) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+    return buf;
+}
+
+std::string Table::integer(long long v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", v);
+    return buf;
+}
+
+void Table::print(std::ostream& os) const {
+    std::vector<std::size_t> w(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) w[c] = headers_[c].size();
+    for (const auto& r : rows_)
+        for (std::size_t c = 0; c < r.size(); ++c) w[c] = std::max(w[c], r[c].size());
+
+    auto line = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << "| " << cells[c];
+            for (std::size_t k = cells[c].size(); k < w[c]; ++k) os << ' ';
+            os << ' ';
+        }
+        os << "|\n";
+    };
+    line(headers_);
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        os << "|";
+        for (std::size_t k = 0; k < w[c] + 2; ++k) os << '-';
+    }
+    os << "|\n";
+    for (const auto& r : rows_) line(r);
+}
+
+void Table::printCsv(std::ostream& os) const {
+    auto emit = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c) os << ',';
+            os << cells[c];
+        }
+        os << '\n';
+    };
+    emit(headers_);
+    for (const auto& r : rows_) emit(r);
+}
+
+}  // namespace mpcgs

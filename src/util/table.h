@@ -1,0 +1,39 @@
+// Aligned text tables and CSV output for the benchmark harnesses, so every
+// bench binary prints paper-style rows (Tables 1-4) uniformly.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mpcgs {
+
+/// Column-aligned table builder. Cells are strings; numeric helpers format
+/// with fixed precision. Renders as a Markdown-ish aligned table and as CSV.
+class Table {
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    Table& addRow(std::vector<std::string> cells);
+
+    /// Format helpers.
+    static std::string num(double v, int precision = 3);
+    static std::string integer(long long v);
+
+    /// Pretty-print with column alignment and a header rule.
+    void print(std::ostream& os) const;
+
+    /// Comma-separated values (headers first).
+    void printCsv(std::ostream& os) const;
+
+    std::size_t rows() const { return rows_.size(); }
+    std::size_t cols() const { return headers_.size(); }
+    const std::vector<std::string>& row(std::size_t i) const { return rows_.at(i); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mpcgs

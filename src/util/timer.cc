@@ -1,0 +1,21 @@
+#include "util/timer.h"
+
+#include <cstdio>
+
+namespace mpcgs {
+
+std::string formatDuration(double seconds) {
+    char buf[64];
+    if (seconds >= 60.0) {
+        std::snprintf(buf, sizeof buf, "%.1f min", seconds / 60.0);
+    } else if (seconds >= 1.0) {
+        std::snprintf(buf, sizeof buf, "%.2f s", seconds);
+    } else if (seconds >= 1e-3) {
+        std::snprintf(buf, sizeof buf, "%.0f ms", seconds * 1e3);
+    } else {
+        std::snprintf(buf, sizeof buf, "%.0f us", seconds * 1e6);
+    }
+    return buf;
+}
+
+}  // namespace mpcgs

@@ -1,0 +1,49 @@
+// Wall-clock timing for the speedup experiments (Tables 2-4 / Figs 14-16).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace mpcgs {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+  public:
+    Timer() : start_(Clock::now()) {}
+
+    void reset() { start_ = Clock::now(); }
+
+    /// Elapsed seconds since construction or last reset().
+    double seconds() const {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    double millis() const { return seconds() * 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+/// Accumulates time across start/stop intervals (for phase breakdowns).
+class PhaseTimer {
+  public:
+    void start() { t_.reset(); running_ = true; }
+    void stop() {
+        if (running_) total_ += t_.seconds();
+        running_ = false;
+    }
+    double totalSeconds() const { return total_; }
+    void reset() { total_ = 0.0; running_ = false; }
+
+  private:
+    Timer t_;
+    double total_ = 0.0;
+    bool running_ = false;
+};
+
+/// Human-readable duration, e.g. "1.24 s" or "312 ms".
+std::string formatDuration(double seconds);
+
+}  // namespace mpcgs

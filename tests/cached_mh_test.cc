@@ -1,0 +1,106 @@
+#include "core/cached_mh.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "coalescent/simulator.h"
+#include "core/driver.h"
+#include "core/genealogy_problem.h"
+#include "mcmc/mh.h"
+#include "rng/mt19937.h"
+#include "seq/seqgen.h"
+#include "seq/subst_model.h"
+#include "util/stats.h"
+
+namespace mpcgs {
+namespace {
+
+struct ChainFixture {
+    Alignment data;
+    Genealogy init;
+};
+
+ChainFixture makeSetup(int n, std::size_t length, unsigned seed) {
+    Mt19937 rng(seed);
+    const Genealogy truth = simulateCoalescent(n, 1.0, rng);
+    const auto model = makeF84(2.0, kUniformFreqs);
+    Alignment data = simulateSequences(truth, *model, {length, 1.0}, rng);
+    Genealogy init = simulateCoalescent(n, 1.0, rng);
+    init.setTipNames(data.names());
+    return ChainFixture{std::move(data), std::move(init)};
+}
+
+TEST(CachedMhSampler, CacheStaysCoherentAlongTheChain) {
+    // The decisive invariant: after arbitrary accept/reject sequences, the
+    // incrementally maintained log-likelihood equals a fresh full pruning
+    // evaluation of the current genealogy.
+    const ChainFixture s = makeSetup(10, 150, 51);
+    const F81Model model(s.data.baseFrequencies());
+    const DataLikelihood lik(s.data, model);
+    CachedMhSampler chain(lik, 1.0, s.init, 7);
+    for (int block = 0; block < 20; ++block) {
+        for (int i = 0; i < 25; ++i) chain.step();
+        EXPECT_NEAR(chain.currentDataLogLik(), lik.logLikelihood(chain.current()), 1e-8)
+            << "after " << (block + 1) * 25 << " steps";
+    }
+    EXPECT_GT(chain.acceptanceRate(), 0.0);
+}
+
+TEST(CachedMhSampler, CoherentOnLargerTrees) {
+    const ChainFixture s = makeSetup(24, 100, 52);
+    const F81Model model(s.data.baseFrequencies());
+    const DataLikelihood lik(s.data, model);
+    CachedMhSampler chain(lik, 0.7, s.init, 8);
+    for (int i = 0; i < 300; ++i) chain.step();
+    EXPECT_NEAR(chain.currentDataLogLik(), lik.logLikelihood(chain.current()), 1e-8);
+    EXPECT_NO_THROW(chain.current().validate());
+}
+
+TEST(CachedMhSampler, AgreesWithRecomputeChainStatistically) {
+    // Same posterior, same proposal distribution: the cached and recompute
+    // chains must sample the same distribution (compare TMRCA moments).
+    const ChainFixture s = makeSetup(8, 200, 53);
+    const F81Model model(s.data.baseFrequencies());
+    const DataLikelihood lik(s.data, model);
+    const double theta = 1.0;
+
+    RunningStats cachedStats;
+    CachedMhSampler cached(lik, theta, s.init, 9);
+    cached.run(1500, 12000, [&](const Genealogy& g) { cachedStats.add(g.tmrca()); });
+
+    const MhGenealogyProblem problem(lik, theta);
+    RunningStats recomputeStats;
+    MhChain<MhGenealogyProblem> recompute(problem, s.init, 10);
+    recompute.run(1500, 12000, [&](const Genealogy& g) { recomputeStats.add(g.tmrca()); });
+
+    EXPECT_NEAR(cachedStats.mean(), recomputeStats.mean(),
+                0.25 * recomputeStats.mean());
+}
+
+TEST(CachedMhSampler, DriverIntegration) {
+    const ChainFixture s = makeSetup(8, 250, 54);
+    MpcgsOptions opts;
+    opts.theta0 = 0.4;
+    opts.emIterations = 3;
+    opts.samplesPerIteration = 1500;
+    opts.strategy = Strategy::SerialMh;
+    opts.cachedBaseline = true;
+    const MpcgsResult res = estimateTheta(s.data, opts);
+    EXPECT_GT(res.theta, 0.05);
+    EXPECT_LT(res.theta, 20.0);
+}
+
+TEST(CachedMhSampler, RunEmitsRequestedSamples) {
+    const ChainFixture s = makeSetup(6, 80, 55);
+    const F81Model model(s.data.baseFrequencies());
+    const DataLikelihood lik(s.data, model);
+    CachedMhSampler chain(lik, 1.0, s.init, 11);
+    std::size_t count = 0;
+    chain.run(10, 123, [&](const Genealogy&) { ++count; });
+    EXPECT_EQ(count, 123u);
+    EXPECT_EQ(chain.steps(), 133u);
+}
+
+}  // namespace
+}  // namespace mpcgs

@@ -1,0 +1,99 @@
+#include "mcmc/diagnostics.h"
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mpcgs {
+namespace {
+
+std::vector<double> normalSeries(std::size_t n, double mu, double sigma, unsigned seed) {
+    std::mt19937 gen(seed);
+    std::normal_distribution<double> d(mu, sigma);
+    std::vector<double> out(n);
+    for (auto& x : out) x = d(gen);
+    return out;
+}
+
+TEST(GelmanRubin, NearOneForHomogeneousChains) {
+    std::vector<std::vector<double>> chains;
+    for (unsigned c = 0; c < 4; ++c) chains.push_back(normalSeries(2000, 0.0, 1.0, 10 + c));
+    const double r = gelmanRubin(chains);
+    EXPECT_GT(r, 0.98);
+    EXPECT_LT(r, 1.05);
+}
+
+TEST(GelmanRubin, LargeForShiftedChains) {
+    std::vector<std::vector<double>> chains{normalSeries(2000, 0.0, 1.0, 1),
+                                            normalSeries(2000, 8.0, 1.0, 2)};
+    EXPECT_GT(gelmanRubin(chains), 2.0);
+}
+
+TEST(GelmanRubin, Validation) {
+    EXPECT_THROW(gelmanRubin({normalSeries(100, 0, 1, 1)}), std::invalid_argument);
+    EXPECT_THROW(gelmanRubin({{1.0, 2.0}, {1.0}}), std::invalid_argument);
+}
+
+TEST(Geweke, SmallForStationarySeries) {
+    const auto xs = normalSeries(5000, 2.0, 1.0, 3);
+    EXPECT_LT(std::fabs(gewekeZ(xs)), 3.0);
+}
+
+TEST(Geweke, LargeForDriftingSeries) {
+    std::vector<double> xs(5000);
+    std::mt19937 gen(4);
+    std::normal_distribution<double> d(0.0, 0.5);
+    for (std::size_t i = 0; i < xs.size(); ++i)
+        xs[i] = static_cast<double>(i) * 0.002 + d(gen);  // strong drift
+    EXPECT_GT(std::fabs(gewekeZ(xs)), 4.0);
+}
+
+TEST(Geweke, Validation) {
+    const std::vector<double> tooShort(5, 1.0);
+    EXPECT_THROW(gewekeZ(tooShort), std::invalid_argument);
+}
+
+TEST(IntegratedAutocorrelationTime, NearOneForIid) {
+    const auto xs = normalSeries(8000, 0.0, 1.0, 5);
+    const double tau = integratedAutocorrelationTime(xs);
+    EXPECT_GT(tau, 0.5);
+    EXPECT_LT(tau, 2.0);
+}
+
+TEST(IntegratedAutocorrelationTime, LargeForPersistentSeries) {
+    std::vector<double> xs(8000);
+    std::mt19937 gen(6);
+    std::normal_distribution<double> d(0.0, 0.1);
+    double v = 0.0;
+    for (auto& x : xs) {
+        v = 0.97 * v + d(gen);
+        x = v;
+    }
+    EXPECT_GT(integratedAutocorrelationTime(xs), 10.0);
+}
+
+TEST(EstimateBurnIn, DetectsInitialTransient) {
+    // Chain starts far away and decays toward stationarity at 0 — the Fig 2
+    // shape.
+    std::vector<double> xs(4000);
+    std::mt19937 gen(7);
+    std::normal_distribution<double> d(0.0, 0.5);
+    double v = 50.0;
+    for (auto& x : xs) {
+        v = 0.99 * v + d(gen);
+        x = v;
+    }
+    const std::size_t b = estimateBurnIn(xs);
+    EXPECT_GT(b, 50u);    // the transient is visible
+    EXPECT_LT(b, 2000u);  // but bounded
+}
+
+TEST(EstimateBurnIn, ZeroForStationarySeries) {
+    const auto xs = normalSeries(2000, 1.0, 1.0, 8);
+    EXPECT_LT(estimateBurnIn(xs), 200u);
+}
+
+}  // namespace
+}  // namespace mpcgs

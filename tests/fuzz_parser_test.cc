@@ -1,0 +1,114 @@
+// Robustness: parsers must reject malformed input with ParseError — never
+// crash, hang or accept garbage — across randomized mutations of valid
+// inputs and raw random bytes.
+#include <random>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "phylo/newick.h"
+#include "seq/fasta.h"
+#include "seq/nexus.h"
+#include "seq/phylip.h"
+#include "util/error.h"
+
+namespace mpcgs {
+namespace {
+
+const char* kValidNewick = "((a:1.0,b:1.0):2.0,(c:1.5,d:1.5):1.5);";
+const char* kValidPhylip = " 3 8\nalpha ACGTACGT\nbeta  ACGTACGA\ngamma TTGTACGT\n";
+const char* kValidFasta = ">one\nACGTACGT\n>two\nTTGTACGA\n";
+const char* kValidNexus =
+    "#NEXUS\nBEGIN DATA;\nDIMENSIONS NTAX=2 NCHAR=4;\nFORMAT DATATYPE=DNA;\n"
+    "MATRIX\none ACGT\ntwo TGCA\n;\nEND;\n";
+
+/// Either parses successfully or throws ParseError/InvariantError; any
+/// other behaviour (other exception types, crash) fails the test.
+template <class F>
+void mustParseOrReject(F&& parse, const std::string& input) {
+    try {
+        parse(input);
+    } catch (const Error&) {
+        // expected rejection path
+    }
+}
+
+std::string mutate(const std::string& base, std::mt19937& gen) {
+    std::string s = base;
+    std::uniform_int_distribution<int> op(0, 3);
+    std::uniform_int_distribution<std::size_t> pos(0, s.empty() ? 0 : s.size() - 1);
+    std::uniform_int_distribution<int> ch(32, 126);
+    switch (op(gen)) {
+        case 0:  // flip a character
+            if (!s.empty()) s[pos(gen)] = static_cast<char>(ch(gen));
+            break;
+        case 1:  // delete a character
+            if (!s.empty()) s.erase(pos(gen), 1);
+            break;
+        case 2:  // insert a character
+            s.insert(pos(gen), 1, static_cast<char>(ch(gen)));
+            break;
+        case 3:  // truncate
+            s.resize(pos(gen));
+            break;
+    }
+    return s;
+}
+
+std::string randomBytes(std::mt19937& gen, std::size_t n) {
+    std::uniform_int_distribution<int> ch(1, 255);
+    std::string s;
+    for (std::size_t i = 0; i < n; ++i) s += static_cast<char>(ch(gen));
+    return s;
+}
+
+TEST(FuzzParsers, NewickSurvivesMutations) {
+    std::mt19937 gen(1);
+    for (int i = 0; i < 3000; ++i)
+        mustParseOrReject([](const std::string& s) { fromNewick(s); }, mutate(kValidNewick, gen));
+}
+
+TEST(FuzzParsers, PhylipSurvivesMutations) {
+    std::mt19937 gen(2);
+    for (int i = 0; i < 3000; ++i)
+        mustParseOrReject([](const std::string& s) { readPhylipString(s); },
+                          mutate(kValidPhylip, gen));
+}
+
+TEST(FuzzParsers, FastaSurvivesMutations) {
+    std::mt19937 gen(3);
+    for (int i = 0; i < 3000; ++i)
+        mustParseOrReject([](const std::string& s) { readFastaString(s); },
+                          mutate(kValidFasta, gen));
+}
+
+TEST(FuzzParsers, NexusSurvivesMutations) {
+    std::mt19937 gen(4);
+    for (int i = 0; i < 3000; ++i)
+        mustParseOrReject([](const std::string& s) { readNexusString(s); },
+                          mutate(kValidNexus, gen));
+}
+
+TEST(FuzzParsers, AllSurviveRandomBytes) {
+    std::mt19937 gen(5);
+    for (int i = 0; i < 500; ++i) {
+        const std::string junk = randomBytes(gen, 1 + (i % 400));
+        mustParseOrReject([](const std::string& s) { fromNewick(s); }, junk);
+        mustParseOrReject([](const std::string& s) { readPhylipString(s); }, junk);
+        mustParseOrReject([](const std::string& s) { readFastaString(s); }, junk);
+        mustParseOrReject([](const std::string& s) { readNexusString(s); }, junk);
+    }
+}
+
+TEST(FuzzParsers, DeeplyNestedNewickDoesNotOverflow) {
+    // 2000 nested clades: the parser must either handle or reject cleanly.
+    std::string deep;
+    for (int i = 0; i < 2000; ++i) deep += '(';
+    deep += "a:1,b:1";
+    for (int i = 0; i < 2000; ++i) deep += "):1,x:1";
+    deep += ";";
+    mustParseOrReject([](const std::string& s) { fromNewick(s); }, deep);
+}
+
+}  // namespace
+}  // namespace mpcgs

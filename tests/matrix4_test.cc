@@ -1,0 +1,107 @@
+#include "util/matrix4.h"
+
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace mpcgs {
+namespace {
+
+TEST(Matrix4Test, IdentityMultiplication) {
+    Matrix4 a;
+    for (std::size_t i = 0; i < 4; ++i)
+        for (std::size_t j = 0; j < 4; ++j) a(i, j) = static_cast<double>(i * 4 + j + 1);
+    const Matrix4 id = Matrix4::identity();
+    EXPECT_LT((a * id).maxAbsDiff(a), 1e-15);
+    EXPECT_LT((id * a).maxAbsDiff(a), 1e-15);
+}
+
+TEST(Matrix4Test, MultiplicationAgainstHandComputed) {
+    Matrix4 a = Matrix4::zero(), b = Matrix4::zero();
+    a(0, 0) = 1;
+    a(0, 1) = 2;
+    a(1, 0) = 3;
+    a(1, 1) = 4;
+    b(0, 0) = 5;
+    b(0, 1) = 6;
+    b(1, 0) = 7;
+    b(1, 1) = 8;
+    const Matrix4 c = a * b;
+    EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+    EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+    EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+    EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix4Test, TransposeAndApply) {
+    Matrix4 a = Matrix4::zero();
+    a(0, 1) = 2.0;
+    a(2, 3) = -1.0;
+    const Matrix4 t = a.transposed();
+    EXPECT_DOUBLE_EQ(t(1, 0), 2.0);
+    EXPECT_DOUBLE_EQ(t(3, 2), -1.0);
+
+    const auto v = a.apply({1.0, 1.0, 1.0, 1.0});
+    EXPECT_DOUBLE_EQ(v[0], 2.0);
+    EXPECT_DOUBLE_EQ(v[2], -1.0);
+    EXPECT_DOUBLE_EQ(v[1], 0.0);
+}
+
+TEST(Matrix4Test, AddSubScale) {
+    Matrix4 a = Matrix4::identity();
+    const Matrix4 two = a + a;
+    EXPECT_DOUBLE_EQ(two(0, 0), 2.0);
+    EXPECT_LT((two - a).maxAbsDiff(a), 1e-15);
+    EXPECT_DOUBLE_EQ(a.scaled(3.0)(2, 2), 3.0);
+}
+
+TEST(Matrix4Test, RowSumError) {
+    Matrix4 p = Matrix4::identity();
+    EXPECT_DOUBLE_EQ(p.rowSumError(), 0.0);
+    p(0, 0) = 0.9;
+    EXPECT_NEAR(p.rowSumError(), 0.1, 1e-15);
+}
+
+TEST(SymEigenTest, DiagonalMatrix) {
+    Matrix4 a = Matrix4::zero();
+    a(0, 0) = 3.0;
+    a(1, 1) = -1.0;
+    a(2, 2) = 0.5;
+    a(3, 3) = 7.0;
+    const SymEigen4 e = symmetricEigen(a);
+    std::array<double, 4> sorted = e.values;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_NEAR(sorted[0], -1.0, 1e-12);
+    EXPECT_NEAR(sorted[1], 0.5, 1e-12);
+    EXPECT_NEAR(sorted[2], 3.0, 1e-12);
+    EXPECT_NEAR(sorted[3], 7.0, 1e-12);
+}
+
+class SymEigenReconstruction : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SymEigenReconstruction, VDVtEqualsInput) {
+    std::mt19937 gen(GetParam());
+    std::uniform_real_distribution<double> d(-2.0, 2.0);
+    Matrix4 a;
+    for (std::size_t i = 0; i < 4; ++i)
+        for (std::size_t j = i; j < 4; ++j) a(i, j) = a(j, i) = d(gen);
+
+    const SymEigen4 e = symmetricEigen(a);
+
+    // Reconstruct V diag(values) V^T.
+    Matrix4 lam = Matrix4::zero();
+    for (std::size_t i = 0; i < 4; ++i) lam(i, i) = e.values[i];
+    const Matrix4 recon = e.vectors * lam * e.vectors.transposed();
+    EXPECT_LT(recon.maxAbsDiff(a), 1e-10);
+
+    // Eigenvectors are orthonormal.
+    const Matrix4 vtv = e.vectors.transposed() * e.vectors;
+    EXPECT_LT(vtv.maxAbsDiff(Matrix4::identity()), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomMatrices, SymEigenReconstruction,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace mpcgs

@@ -1,0 +1,90 @@
+#include "phylo/newick.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace mpcgs {
+namespace {
+
+TEST(NewickTest, ParsesSimpleUltrametricTree) {
+    const Genealogy g = fromNewick("((a:1.0,b:1.0):2.0,c:3.0);");
+    EXPECT_EQ(g.tipCount(), 3);
+    EXPECT_DOUBLE_EQ(g.tmrca(), 3.0);
+    const NodeId a = g.tipByName("a");
+    const NodeId c = g.tipByName("c");
+    ASSERT_NE(a, kNoNode);
+    ASSERT_NE(c, kNoNode);
+    EXPECT_EQ(g.node(c).parent, g.root());
+    EXPECT_DOUBLE_EQ(g.node(g.node(a).parent).time, 1.0);
+}
+
+TEST(NewickTest, RoundTripPreservesStructure) {
+    const std::string text = "((a:0.5,b:0.5):1.5,(c:1.25,d:1.25):0.75);";
+    const Genealogy g = fromNewick(text);
+    const Genealogy g2 = fromNewick(toNewick(g));
+    EXPECT_EQ(g2.tipCount(), g.tipCount());
+    EXPECT_NEAR(g2.tmrca(), g.tmrca(), 1e-9);
+    // Same parent heights for corresponding named tips.
+    for (const auto& name : {"a", "b", "c", "d"}) {
+        const NodeId t1 = g.tipByName(name);
+        const NodeId t2 = g2.tipByName(name);
+        EXPECT_NEAR(g.node(g.node(t1).parent).time, g2.node(g2.node(t2).parent).time, 1e-9);
+    }
+}
+
+TEST(NewickTest, NamesUnnamedTipsSequentially) {
+    const Genealogy g = fromNewick("((:1,:1):1,:2);");
+    EXPECT_EQ(g.tipNames().size(), 3u);
+    EXPECT_NE(g.tipByName("t1"), kNoNode);
+    EXPECT_NE(g.tipByName("t3"), kNoNode);
+}
+
+TEST(NewickTest, QuotedLabels) {
+    const Genealogy g = fromNewick("(('taxon one':1,'taxon two':1):1,three:2);");
+    EXPECT_NE(g.tipByName("taxon one"), kNoNode);
+    EXPECT_NE(g.tipByName("taxon two"), kNoNode);
+}
+
+TEST(NewickTest, ToleratesWhitespace) {
+    const Genealogy g = fromNewick("  ( ( a : 1 , b : 1 ) : 1 , c : 2 ) ;  ");
+    EXPECT_EQ(g.tipCount(), 3);
+}
+
+TEST(NewickTest, RejectsNonUltrametric) {
+    EXPECT_THROW(fromNewick("((a:1.0,b:2.0):1.0,c:3.0);"), ParseError);
+}
+
+TEST(NewickTest, RejectsMalformedInput) {
+    EXPECT_THROW(fromNewick("((a:1,b:1):1,c:2"), ParseError);      // missing ')'
+    EXPECT_THROW(fromNewick("(a:1);"), ParseError);                // single tip
+    EXPECT_THROW(fromNewick("((a:1,b:1):1,c:2); junk"), ParseError);
+    EXPECT_THROW(fromNewick("((a:1,b:1,c:1):1,d:2);"), ParseError);  // trifurcation
+}
+
+TEST(NewickTest, ParsesMsStyleOutput) {
+    // An actual tree produced by Hudson's ms (ultrametric, unnamed inner
+    // nodes, high-precision branch lengths).
+    const std::string ms =
+        "(((((t7:0.001417444849,t2:0.001417444849):0.0306052032,t8:0.03202264805):"
+        "0.05782529777,t6:0.08984794582):0.4405361445,(t1:0.05520233555,t5:0.05520233555):"
+        "0.4751817548):1.338319544,(t4:0.1298108551,t3:0.1298108551):1.738892779);";
+    const Genealogy g = fromNewick(ms);
+    EXPECT_EQ(g.tipCount(), 8);
+    EXPECT_NEAR(g.tmrca(), 1.338319544 + 0.4405361445 + 0.05782529777 + 0.0306052032 +
+                               0.001417444849,
+                1e-6);
+    EXPECT_NO_THROW(g.validate());
+}
+
+TEST(NewickTest, WriterEmitsParsableBranchLengths) {
+    const Genealogy g = fromNewick("((a:0.001,b:0.001):1e-4,c:0.0011);", 1e-3);
+    const std::string out = toNewick(g);
+    EXPECT_NE(out.find("a:"), std::string::npos);
+    EXPECT_EQ(out.back(), ';');
+}
+
+}  // namespace
+}  // namespace mpcgs

@@ -1,0 +1,107 @@
+#include "seq/nexus.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace mpcgs {
+namespace {
+
+TEST(NexusTest, ParsesBasicDataBlock) {
+    const std::string text =
+        "#NEXUS\n"
+        "BEGIN DATA;\n"
+        "  DIMENSIONS NTAX=3 NCHAR=8;\n"
+        "  FORMAT DATATYPE=DNA MISSING=? GAP=-;\n"
+        "  MATRIX\n"
+        "    alpha ACGTACGT\n"
+        "    beta  ACGTACGA\n"
+        "    gamma TTGTACGT\n"
+        "  ;\n"
+        "END;\n";
+    const Alignment a = readNexusString(text);
+    EXPECT_EQ(a.sequenceCount(), 3u);
+    EXPECT_EQ(a.length(), 8u);
+    EXPECT_EQ(a.sequence(0).name(), "alpha");
+    EXPECT_EQ(a.sequence(2).toString(), "TTGTACGT");
+}
+
+TEST(NexusTest, ParsesInterleavedMatrix) {
+    const std::string text =
+        "#NEXUS\n"
+        "BEGIN DATA;\n"
+        "  DIMENSIONS NTAX=2 NCHAR=8;\n"
+        "  FORMAT DATATYPE=DNA INTERLEAVE;\n"
+        "  MATRIX\n"
+        "    one ACGT\n"
+        "    two TGCA\n"
+        "    one ACGT\n"
+        "    two TGCA\n"
+        "  ;\n"
+        "END;\n";
+    const Alignment a = readNexusString(text);
+    EXPECT_EQ(a.sequence(0).toString(), "ACGTACGT");
+    EXPECT_EQ(a.sequence(1).toString(), "TGCATGCA");
+}
+
+TEST(NexusTest, SkipsCommentsAndOtherBlocks) {
+    const std::string text =
+        "#NEXUS\n"
+        "[a file-level comment]\n"
+        "BEGIN TAXA;\n"
+        "  DIMENSIONS NTAX=2;\n"
+        "  TAXLABELS one two;\n"
+        "END;\n"
+        "BEGIN DATA;\n"
+        "  DIMENSIONS NTAX=2 NCHAR=4;\n"
+        "  FORMAT DATATYPE=DNA;\n"
+        "  MATRIX\n"
+        "    one AC[inline comment]GT\n"
+        "    two TGCA\n"
+        "  ;\n"
+        "END;\n";
+    const Alignment a = readNexusString(text);
+    EXPECT_EQ(a.sequence(0).toString(), "ACGT");
+}
+
+TEST(NexusTest, QuotedTaxonNames) {
+    const std::string text =
+        "#NEXUS\n"
+        "BEGIN DATA;\n"
+        "DIMENSIONS NTAX=2 NCHAR=4;\n"
+        "FORMAT DATATYPE=DNA;\n"
+        "MATRIX\n"
+        "'taxon one' ACGT\n"
+        "'taxon two' TGCA\n"
+        ";\n"
+        "END;\n";
+    const Alignment a = readNexusString(text);
+    EXPECT_EQ(a.sequence(0).name(), "taxon one");
+}
+
+TEST(NexusTest, SequencesSplitAcrossTokens) {
+    const std::string text =
+        "#NEXUS\nBEGIN DATA;\nDIMENSIONS NTAX=2 NCHAR=8;\nFORMAT DATATYPE=DNA;\n"
+        "MATRIX\none ACGT ACGT\ntwo TGCA TGCA\n;\nEND;\n";
+    const Alignment a = readNexusString(text);
+    EXPECT_EQ(a.sequence(0).toString(), "ACGTACGT");
+}
+
+TEST(NexusTest, RejectsBadInputs) {
+    EXPECT_THROW(readNexusString("not nexus at all"), ParseError);
+    EXPECT_THROW(readNexusString("#NEXUS\nBEGIN DATA;\nMATRIX\n;\nEND;\n"), ParseError);
+    // Wrong character count.
+    EXPECT_THROW(readNexusString("#NEXUS\nBEGIN DATA;\nDIMENSIONS NTAX=2 NCHAR=6;\n"
+                                 "FORMAT DATATYPE=DNA;\nMATRIX\none ACGT\ntwo TGCATG\n;\nEND;\n"),
+                 ParseError);
+    // Unsupported datatype.
+    EXPECT_THROW(readNexusString("#NEXUS\nBEGIN DATA;\nDIMENSIONS NTAX=2 NCHAR=4;\n"
+                                 "FORMAT DATATYPE=PROTEIN;\nMATRIX\none ACGT\ntwo TGCA\n;\nEND;\n"),
+                 ParseError);
+    // No data block at all.
+    EXPECT_THROW(readNexusString("#NEXUS\nBEGIN TREES;\nEND;\n"), ParseError);
+    EXPECT_THROW(readNexusFile("/nonexistent.nex"), ParseError);
+}
+
+}  // namespace
+}  // namespace mpcgs

@@ -1,0 +1,91 @@
+#include "seq/phylip.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace mpcgs {
+namespace {
+
+TEST(PhylipTest, ParsesRelaxedFormat) {
+    const std::string text =
+        " 3 8\n"
+        "alpha ACGTACGT\n"
+        "beta  ACGTACGA\n"
+        "gamma TTGTACGT\n";
+    const Alignment a = readPhylipString(text);
+    EXPECT_EQ(a.sequenceCount(), 3u);
+    EXPECT_EQ(a.length(), 8u);
+    EXPECT_EQ(a.sequence(0).name(), "alpha");
+    EXPECT_EQ(a.sequence(2).toString(), "TTGTACGT");
+}
+
+TEST(PhylipTest, ParsesStrictTenColumnNames) {
+    const std::string text =
+        "2 4\n"
+        "seqA______ACGT\n"
+        "seqB______TGCA\n";
+    // Without whitespace the first 10 columns are the name field.
+    const Alignment a = readPhylipString(text);
+    EXPECT_EQ(a.sequence(0).name(), "seqA______");
+    EXPECT_EQ(a.sequence(0).toString(), "ACGT");
+}
+
+TEST(PhylipTest, ParsesInterleavedContinuation) {
+    const std::string text =
+        " 2 8\n"
+        "one  ACGT\n"
+        "two  TGCA\n"
+        "\n"
+        "ACGT\n"
+        "TGCA\n";
+    const Alignment a = readPhylipString(text);
+    EXPECT_EQ(a.length(), 8u);
+    EXPECT_EQ(a.sequence(0).toString(), "ACGTACGT");
+    EXPECT_EQ(a.sequence(1).toString(), "TGCATGCA");
+}
+
+TEST(PhylipTest, SequenceDataMayContainSpaces) {
+    const std::string text =
+        " 2 8\n"
+        "one  ACGT ACGT\n"
+        "two  TGCA TGCA\n";
+    const Alignment a = readPhylipString(text);
+    EXPECT_EQ(a.sequence(0).toString(), "ACGTACGT");
+}
+
+TEST(PhylipTest, RoundTrip) {
+    const Alignment a({Sequence::fromString("first", "ACGTN"),
+                       Sequence::fromString("second", "TTGCA"),
+                       Sequence::fromString("third", "GGGCC")});
+    const Alignment b = readPhylipString(writePhylipString(a));
+    EXPECT_EQ(b.sequenceCount(), 3u);
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_EQ(b.sequence(i).toString(), a.sequence(i).toString());
+    EXPECT_EQ(b.sequence(0).name(), "first");
+}
+
+TEST(PhylipTest, RejectsBadHeader) {
+    EXPECT_THROW(readPhylipString("nonsense\n"), ParseError);
+    EXPECT_THROW(readPhylipString(" 1 10\nonly AAAAAAAAAA\n"), ParseError);
+    EXPECT_THROW(readPhylipString(" 2 0\n"), ParseError);
+}
+
+TEST(PhylipTest, RejectsLengthMismatch) {
+    EXPECT_THROW(readPhylipString(" 2 8\none ACGT\ntwo TGCATGCA\n"), ParseError);
+}
+
+TEST(PhylipTest, RejectsInvalidCharacters) {
+    EXPECT_THROW(readPhylipString(" 2 4\none ACQT\ntwo ACGT\n"), ParseError);
+}
+
+TEST(PhylipTest, RejectsTruncatedFile) {
+    EXPECT_THROW(readPhylipString(" 3 4\none ACGT\ntwo ACGT\n"), ParseError);
+}
+
+TEST(PhylipTest, MissingFileThrows) {
+    EXPECT_THROW(readPhylipFile("/nonexistent/path.phy"), ParseError);
+}
+
+}  // namespace
+}  // namespace mpcgs

@@ -1,0 +1,173 @@
+#include "par/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "par/kernel.h"
+#include "util/logspace.h"
+
+namespace mpcgs {
+namespace {
+
+TEST(ThreadPoolTest, SizeIncludesCaller) {
+    ThreadPool serial(1);
+    EXPECT_EQ(serial.size(), 1u);
+    ThreadPool four(4);
+    EXPECT_EQ(four.size(), 4u);
+}
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryIndexOnce) {
+    ThreadPool pool(4);
+    const std::size_t n = 10000;
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallelFor(n, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, SerialPoolVisitsEveryIndex) {
+    ThreadPool pool(1);
+    std::vector<int> hits(257, 0);
+    pool.parallelFor(hits.size(), [&](std::size_t i) { hits[i]++; });
+    for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsNoop) {
+    ThreadPool pool(4);
+    bool called = false;
+    pool.parallelFor(0, [&](std::size_t) { called = true; });
+    EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, SlotsAreWithinBounds) {
+    ThreadPool pool(3);
+    std::atomic<bool> ok{true};
+    pool.parallelForSlot(5000, [&](std::size_t, unsigned slot) {
+        if (slot >= pool.size()) ok = false;
+    });
+    EXPECT_TRUE(ok);
+}
+
+TEST(ThreadPoolTest, SlotsDoNotCollideConcurrently) {
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> inUse(pool.size());
+    std::atomic<bool> collision{false};
+    pool.parallelForSlot(20000, [&](std::size_t, unsigned slot) {
+        if (inUse[slot].fetch_add(1) != 0) collision = true;
+        inUse[slot].fetch_sub(1);
+    });
+    EXPECT_FALSE(collision);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagates) {
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.parallelFor(1000,
+                                  [&](std::size_t i) {
+                                      if (i == 567) throw std::runtime_error("boom");
+                                  }),
+                 std::runtime_error);
+    // Pool remains usable afterwards.
+    std::atomic<int> count{0};
+    pool.parallelFor(100, [&](std::size_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ReduceSumsCorrectly) {
+    ThreadPool pool(4);
+    const double sum = pool.parallelReduce(
+        1000, 0.0, [](std::size_t i) { return static_cast<double>(i); },
+        [](double a, double b) { return a + b; });
+    EXPECT_DOUBLE_EQ(sum, 999.0 * 1000.0 / 2.0);
+}
+
+TEST(ThreadPoolTest, ReduceMax) {
+    ThreadPool pool(4);
+    const double m = pool.parallelReduce(
+        777, -1e300, [](std::size_t i) { return static_cast<double>((i * 37) % 1000); },
+        [](double a, double b) { return a > b ? a : b; });
+    double expect = -1e300;
+    for (std::size_t i = 0; i < 777; ++i)
+        expect = std::max(expect, static_cast<double>((i * 37) % 1000));
+    EXPECT_DOUBLE_EQ(m, expect);
+}
+
+TEST(ThreadPoolTest, BackToBackBatches) {
+    ThreadPool pool(4);
+    for (int round = 0; round < 50; ++round) {
+        std::atomic<int> count{0};
+        pool.parallelFor(100, [&](std::size_t) { count.fetch_add(1); });
+        ASSERT_EQ(count.load(), 100);
+    }
+}
+
+TEST(ForEachIndexTest, NullPoolRunsSerially) {
+    std::vector<int> hits(100, 0);
+    forEachIndex(nullptr, hits.size(), [&](std::size_t i) { hits[i]++; });
+    for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+// --- kernel facade -----------------------------------------------------------
+
+TEST(KernelTest, LaunchCoversGrid) {
+    ThreadPool pool(4);
+    LaunchConfig cfg{8, 32};
+    std::vector<std::atomic<int>> hits(cfg.totalThreads());
+    launchKernel(&pool, cfg, [&](const ThreadIdx& idx) {
+        EXPECT_EQ(idx.global, idx.block * 32 + idx.thread);
+        hits[idx.global].fetch_add(1);
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(KernelTest, BlockReduceAddMatchesSerial) {
+    ThreadPool pool(4);
+    std::vector<double> v(1237);
+    for (std::size_t i = 0; i < v.size(); ++i) v[i] = std::sin(static_cast<double>(i));
+    const double expect = std::accumulate(v.begin(), v.end(), 0.0);
+    EXPECT_NEAR(blockReduceAdd(&pool, v, 64), expect, 1e-9);
+    EXPECT_NEAR(blockReduceAdd(nullptr, v, 64), expect, 1e-9);
+}
+
+TEST(KernelTest, BlockReduceAddEmpty) {
+    EXPECT_DOUBLE_EQ(blockReduceAdd(nullptr, {}, 32), 0.0);
+}
+
+TEST(KernelTest, BlockReduceLogSumExpMatchesDirect) {
+    ThreadPool pool(4);
+    std::vector<double> v(513);
+    for (std::size_t i = 0; i < v.size(); ++i)
+        v[i] = -1000.0 + 0.5 * static_cast<double>(i % 97);
+    EXPECT_NEAR(blockReduceLogSumExp(&pool, v, 32), logSumExp(v), 1e-10);
+}
+
+TEST(KernelTest, BlockReduceMaxMatchesDirect) {
+    ThreadPool pool(4);
+    std::vector<double> v{3.0, -1.0, 7.5, 2.0, 7.4999};
+    EXPECT_DOUBLE_EQ(blockReduceMax(&pool, v, 2), 7.5);
+}
+
+// Parameterized sweep: all reductions agree with serial references across
+// block sizes.
+class BlockSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BlockSizeSweep, ReductionsConsistent) {
+    ThreadPool pool(4);
+    const std::size_t blockDim = GetParam();
+    std::vector<double> v(301);
+    for (std::size_t i = 0; i < v.size(); ++i)
+        v[i] = std::cos(static_cast<double>(i) * 0.37) * 3.0 - 1.0;
+    const double sum = std::accumulate(v.begin(), v.end(), 0.0);
+    EXPECT_NEAR(blockReduceAdd(&pool, v, blockDim), sum, 1e-10);
+    EXPECT_NEAR(blockReduceLogSumExp(&pool, v, blockDim), logSumExp(v), 1e-10);
+    EXPECT_NEAR(blockReduceMax(&pool, v, blockDim), *std::max_element(v.begin(), v.end()),
+                1e-15);
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockSizes, BlockSizeSweep,
+                         ::testing::Values(1u, 2u, 3u, 32u, 256u, 1024u));
+
+}  // namespace
+}  // namespace mpcgs

@@ -1,0 +1,139 @@
+// Tests for the util layer: option parsing, table formatting, timers.
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/options.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace mpcgs {
+namespace {
+
+Options parse(std::initializer_list<const char*> args) {
+    std::vector<const char*> argv{"prog"};
+    argv.insert(argv.end(), args.begin(), args.end());
+    return Options::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(OptionsTest, KeyValueForms) {
+    // NB: a bare option followed by a non-option token consumes it as a
+    // value (documented contract), so flags belong after positionals or
+    // before other options.
+    const Options o = parse({"pos1", "pos2", "--alpha", "1.5", "--name=foo", "--flag"});
+    EXPECT_TRUE(o.has("alpha"));
+    EXPECT_DOUBLE_EQ(o.getDouble("alpha", 0.0), 1.5);
+    EXPECT_EQ(o.get("name", ""), "foo");
+    EXPECT_TRUE(o.has("flag"));
+    EXPECT_TRUE(o.getBool("flag", false));
+    ASSERT_EQ(o.positional().size(), 2u);
+    EXPECT_EQ(o.positional()[0], "pos1");
+    EXPECT_EQ(o.programName(), "prog");
+}
+
+TEST(OptionsTest, BareOptionConsumesFollowingToken) {
+    const Options o = parse({"--flag", "pos1", "pos2"});
+    EXPECT_EQ(o.get("flag", ""), "pos1");
+    ASSERT_EQ(o.positional().size(), 1u);
+    EXPECT_EQ(o.positional()[0], "pos2");
+}
+
+TEST(OptionsTest, DefaultsWhenMissing) {
+    const Options o = parse({});
+    EXPECT_FALSE(o.has("x"));
+    EXPECT_EQ(o.getInt("x", 42), 42);
+    EXPECT_DOUBLE_EQ(o.getDouble("x", 2.5), 2.5);
+    EXPECT_EQ(o.get("x", "d"), "d");
+    EXPECT_FALSE(o.getBool("x", false));
+    EXPECT_TRUE(o.getBool("x", true));
+}
+
+TEST(OptionsTest, BoolSpellings) {
+    EXPECT_TRUE(parse({"--a", "true"}).getBool("a", false));
+    EXPECT_TRUE(parse({"--a", "1"}).getBool("a", false));
+    EXPECT_TRUE(parse({"--a", "yes"}).getBool("a", false));
+    EXPECT_FALSE(parse({"--a", "no"}).getBool("a", true));
+    EXPECT_FALSE(parse({"--a", "0"}).getBool("a", true));
+}
+
+TEST(OptionsTest, FlagFollowedByOption) {
+    // A bare flag directly before another option must not eat it.
+    const Options o = parse({"--verbose", "--count", "3"});
+    EXPECT_TRUE(o.getBool("verbose", false));
+    EXPECT_EQ(o.getInt("count", 0), 3);
+}
+
+TEST(OptionsTest, NegativeNumberAsValue) {
+    const Options o = parse({"--offset", "-2.5"});
+    EXPECT_DOUBLE_EQ(o.getDouble("offset", 0.0), -2.5);
+}
+
+TEST(TableTest, AlignedOutput) {
+    Table t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"a-very-long-name", "2.75"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("| name"), std::string::npos);
+    EXPECT_NE(out.find("a-very-long-name"), std::string::npos);
+    // All lines equal width.
+    std::istringstream lines(out);
+    std::string line, first;
+    std::getline(lines, first);
+    while (std::getline(lines, line)) EXPECT_EQ(line.size(), first.size());
+}
+
+TEST(TableTest, CsvOutput) {
+    Table t({"a", "b"});
+    t.addRow({"1", "2"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TableTest, Validation) {
+    EXPECT_THROW(Table({}), std::invalid_argument);
+    Table t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), std::invalid_argument);
+    EXPECT_EQ(t.rows(), 0u);
+    EXPECT_EQ(t.cols(), 2u);
+}
+
+TEST(TableTest, NumberFormatting) {
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(1.0, 0), "1");
+    EXPECT_EQ(Table::integer(-42), "-42");
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+    Timer t;
+    // Trivial busy loop; just verify monotonicity and reset.
+    volatile double x = 0.0;
+    for (int i = 0; i < 100000; ++i) x = x + i;
+    const double a = t.seconds();
+    EXPECT_GE(a, 0.0);
+    t.reset();
+    EXPECT_LE(t.seconds(), a + 1.0);
+}
+
+TEST(TimerTest, PhaseTimerAccumulates) {
+    PhaseTimer pt;
+    pt.start();
+    pt.stop();
+    pt.start();
+    pt.stop();
+    EXPECT_GE(pt.totalSeconds(), 0.0);
+    pt.reset();
+    EXPECT_DOUBLE_EQ(pt.totalSeconds(), 0.0);
+}
+
+TEST(FormatDurationTest, PicksUnits) {
+    EXPECT_EQ(formatDuration(90.0), "1.5 min");
+    EXPECT_EQ(formatDuration(2.5), "2.50 s");
+    EXPECT_EQ(formatDuration(0.25), "250 ms");
+    EXPECT_EQ(formatDuration(2e-5), "20 us");
+}
+
+}  // namespace
+}  // namespace mpcgs

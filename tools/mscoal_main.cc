@@ -1,0 +1,35 @@
+// mscoal — Kingman coalescent tree simulator (the `ms` substitute, §6.1).
+//
+//   mscoal <nTips> [--theta T] [--seed S] [--reps R]
+//
+// Prints one Newick tree per replicate, like `ms <n> <R> -T`.
+#include <cstdio>
+#include <iostream>
+
+#include "coalescent/simulator.h"
+#include "phylo/newick.h"
+#include "rng/mt19937.h"
+#include "util/options.h"
+
+int main(int argc, char** argv) {
+    using namespace mpcgs;
+    const Options opts = Options::parse(argc, argv);
+    if (opts.positional().empty()) {
+        std::fprintf(stderr, "usage: %s <nTips> [--theta T] [--seed S] [--reps R]\n", argv[0]);
+        return 2;
+    }
+    try {
+        const int n = std::stoi(opts.positional()[0]);
+        const double theta = opts.getDouble("theta", 1.0);
+        const auto reps = opts.getInt("reps", 1);
+        Mt19937 rng(static_cast<std::uint32_t>(opts.getInt("seed", 42)));
+        for (long long r = 0; r < reps; ++r) {
+            const Genealogy g = simulateCoalescent(n, theta, rng);
+            std::cout << toNewick(g) << "\n";
+        }
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "mscoal: %s\n", e.what());
+        return 1;
+    }
+}
