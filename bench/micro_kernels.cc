@@ -1,8 +1,17 @@
 // Experiment E8 — micro-kernel benchmarks (google-benchmark): the costs of
 // the sampler's building blocks, including the §5.2.2 ablation comparing
 // full likelihood recomputation (the paper's GPU choice) against
-// incremental dirty-path caching (the CPU alternative).
+// incremental dirty-path caching (the CPU alternative), and the
+// scalar-vs-pattern-major likelihood kernel comparison (patterns/sec via
+// items_per_second).
+//
+// Unless --benchmark_out is given, results are also written to
+// BENCH_likelihood.json so successive PRs can track the perf trajectory.
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "coalescent/death_process.h"
 #include "coalescent/simulator.h"
@@ -83,7 +92,8 @@ void BM_BlockReduceLogSumExp(benchmark::State& state) {
 BENCHMARK(BM_BlockReduceLogSumExp)->Arg(1)->Arg(4)->Arg(16);
 
 /// The data-likelihood kernel: full pruning recomputation per call, the
-/// paper's GPU strategy (§5.2.2), across sequence lengths.
+/// paper's GPU strategy (§5.2.2), across sequence lengths. Runs the
+/// pattern-major engine; items/sec is patterns/sec.
 void BM_LikelihoodRecompute(benchmark::State& state) {
     Mt19937 rng(5);
     const Genealogy g = simulateCoalescent(12, 1.0, rng);
@@ -94,6 +104,50 @@ void BM_LikelihoodRecompute(benchmark::State& state) {
     state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_LikelihoodRecompute)->Arg(200)->Arg(1000)->Arg(2000);
+
+/// The seed's scalar one-pattern-at-a-time pruning, kept as the reference
+/// path: the speedup of BM_LikelihoodRecompute over this is the
+/// pattern-major win.
+void BM_LikelihoodScalarReference(benchmark::State& state) {
+    Mt19937 rng(5);
+    const Genealogy g = simulateCoalescent(12, 1.0, rng);
+    const Alignment data = benchData(12, static_cast<std::size_t>(state.range(0)), 5);
+    const F81Model model(data.baseFrequencies());
+    const DataLikelihood lik(data, model, /*compress=*/false);
+    for (auto _ : state) benchmark::DoNotOptimize(lik.logLikelihoodReference(g));
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LikelihoodScalarReference)->Arg(200)->Arg(1000)->Arg(2000);
+
+/// Thread scaling of the blocked stateless evaluation (arg = pool width)
+/// on the Fig 15 workload shape (48 sequences x 1000 sites, uncompressed).
+void BM_LikelihoodThreadScaling(benchmark::State& state) {
+    Mt19937 rng(15);
+    const Genealogy g = simulateCoalescent(48, 1.0, rng);
+    const Alignment data = benchData(48, 1000, 15);
+    const F81Model model(data.baseFrequencies());
+    const DataLikelihood lik(data, model, /*compress=*/false);
+    ThreadPool pool(static_cast<unsigned>(state.range(0)));
+    for (auto _ : state) benchmark::DoNotOptimize(lik.logLikelihood(g, &pool));
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_LikelihoodThreadScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+/// Thread scaling of cached full evaluation (arg = pool width), Fig 15
+/// workload: every worker prunes the full postorder over its own pattern
+/// slice of the persistent arena.
+void BM_CachedEvaluateThreadScaling(benchmark::State& state) {
+    Mt19937 rng(16);
+    const Genealogy g = simulateCoalescent(48, 1.0, rng);
+    const Alignment data = benchData(48, 1000, 16);
+    const F81Model model(data.baseFrequencies());
+    const DataLikelihood lik(data, model, /*compress=*/false);
+    LikelihoodCache cache(lik);
+    ThreadPool pool(static_cast<unsigned>(state.range(0)));
+    for (auto _ : state) benchmark::DoNotOptimize(cache.evaluate(g, &pool));
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_CachedEvaluateThreadScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 /// Ablation: incremental dirty-path update after a single-node change —
 /// the caching strategy the paper rejected for the GPU.
@@ -170,4 +224,24 @@ BENCHMARK(BM_DeathProcessSample);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN(), plus a default JSON artifact: when the caller didn't
+// pick an output file, emit BENCH_likelihood.json in the working directory
+// so the perf trajectory is tracked across PRs.
+int main(int argc, char** argv) {
+    std::vector<char*> args(argv, argv + argc);
+    std::string outFlag = "--benchmark_out=BENCH_likelihood.json";
+    std::string fmtFlag = "--benchmark_out_format=json";
+    bool hasOut = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) hasOut = true;
+    if (!hasOut) {
+        args.push_back(outFlag.data());
+        args.push_back(fmtFlag.data());
+    }
+    int n = static_cast<int>(args.size());
+    benchmark::Initialize(&n, args.data());
+    if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

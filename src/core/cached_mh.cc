@@ -5,12 +5,13 @@
 namespace mpcgs {
 
 CachedMhSampler::CachedMhSampler(const DataLikelihood& lik, double theta, Genealogy init,
-                                 std::uint64_t seed)
+                                 std::uint64_t seed, ThreadPool* pool)
     : lik_(lik),
       theta_(theta),
+      pool_(pool),
       cache_(lik),
       current_(std::move(init)),
-      logLik_(cache_.evaluate(current_)),
+      logLik_(cache_.evaluate(current_, pool)),
       rng_(static_cast<std::uint32_t>(seed ^ (seed >> 32))) {}
 
 bool CachedMhSampler::step() {
@@ -26,7 +27,7 @@ bool CachedMhSampler::step() {
     // two trees is covered by these seeds plus their ancestors.
     const std::vector<NodeId> seeds{v, p, oldSib, newSib};
 
-    const double newLik = cache_.evaluateDirty(prop.state, seeds);
+    const double newLik = cache_.evaluateDirty(prop.state, seeds, pool_);
     const double logR = (newLik + logCoalescentPrior(prop.state, theta_)) -
                         (logLik_ + logCoalescentPrior(current_, theta_)) +
                         prop.logReverse - prop.logForward;
@@ -40,7 +41,7 @@ bool CachedMhSampler::step() {
     // Rejected: re-prune the same dirty path on the unchanged genealogy to
     // restore the cache (the overwritten nodes are exactly the seeds'
     // ancestor closure, which the old tree's closure covers).
-    cache_.evaluateDirty(current_, seeds);
+    cache_.evaluateDirty(current_, seeds, pool_);
     return false;
 }
 

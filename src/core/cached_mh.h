@@ -21,8 +21,12 @@ namespace mpcgs {
 
 class CachedMhSampler {
   public:
+    /// `pool` (optional) parallelizes the cached likelihood evaluations
+    /// over site-pattern blocks — the paper's one-thread-per-site mapping
+    /// applied to the incremental CPU path. Results are identical to the
+    /// serial ones for any pool width.
     CachedMhSampler(const DataLikelihood& lik, double theta, Genealogy init,
-                    std::uint64_t seed);
+                    std::uint64_t seed, ThreadPool* pool = nullptr);
 
     /// One MH transition with dirty-path likelihood evaluation.
     bool step();
@@ -50,6 +54,7 @@ class CachedMhSampler {
   private:
     const DataLikelihood& lik_;
     double theta_;
+    ThreadPool* pool_;
     LikelihoodCache cache_;
     Genealogy current_;
     double logLik_;

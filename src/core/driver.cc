@@ -51,9 +51,10 @@ Genealogy sampleGmh(const DataLikelihood& lik, double theta, Genealogy init,
 }
 
 /// One E-step with the serial MH baseline (full recomputation by default;
-/// dirty-path likelihood caching with opts.cachedBaseline).
+/// dirty-path likelihood caching with opts.cachedBaseline, whose pattern
+/// blocks run on `pool` when supplied).
 Genealogy sampleSerialMh(const DataLikelihood& lik, double theta, Genealogy init,
-                         const MpcgsOptions& opts, std::uint64_t seed,
+                         const MpcgsOptions& opts, std::uint64_t seed, ThreadPool* pool,
                          std::vector<IntervalSummary>& summaries, double& moveRate) {
     const std::size_t samples = opts.samplesPerIteration;
     const std::size_t burnIn = (samples * opts.burnInFraction1000 + 999) / 1000;
@@ -64,7 +65,7 @@ Genealogy sampleSerialMh(const DataLikelihood& lik, double theta, Genealogy init
     };
 
     if (opts.cachedBaseline) {
-        CachedMhSampler chain(lik, theta, std::move(init), seed);
+        CachedMhSampler chain(lik, theta, std::move(init), seed, pool);
         chain.run(burnIn, samples, sink);
         moveRate = chain.acceptanceRate();
         return chain.current();
@@ -163,8 +164,8 @@ MpcgsResult estimateTheta(const Alignment& aln, const MpcgsOptions& opts, Thread
                                     rec.moveRate);
                 break;
             case Strategy::SerialMh:
-                current = sampleSerialMh(lik, theta, std::move(current), opts, seed, summaries,
-                                         rec.moveRate);
+                current = sampleSerialMh(lik, theta, std::move(current), opts, seed, pool,
+                                         summaries, rec.moveRate);
                 break;
             case Strategy::MultiChain:
                 current = sampleMultiChain(lik, theta, std::move(current), opts, seed, pool,

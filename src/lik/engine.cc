@@ -1,0 +1,320 @@
+#include "lik/engine.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "par/kernel.h"
+#include "util/error.h"
+#include "util/logspace.h"
+
+namespace mpcgs {
+namespace {
+
+/// Per-thread scratch for blocked evaluation. Worker threads live as long
+/// as their pool, so these arenas are allocated once per thread and then
+/// reused by every subsequent block, call, and engine.
+struct BlockScratch {
+    AlignedDoubles partials;  ///< internals x blockSize x 4 (stateless path)
+    AlignedDoubles scale;     ///< internals x blockSize (stateless path)
+    AlignedDoubles site;      ///< blockSize per-pattern site logs
+    AlignedDoubles acc;       ///< blockSize cross-category accumulator
+};
+
+thread_local BlockScratch tlScratch;
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+/// Resolves the pattern strip of an internal node within one (category,
+/// block) pass. `off4`/`off1` locate the block inside a full-length arena
+/// strip (cached path) or are zero for block-local scratch strips
+/// (stateless path); tip strips always live in the engine's full-length
+/// rows, addressed through `tipOff4`.
+struct LikelihoodEngine::StripView {
+    double* part = nullptr;
+    double* scl = nullptr;
+    std::size_t stride4 = 0;
+    std::size_t stride1 = 0;
+    std::size_t off4 = 0;
+    std::size_t off1 = 0;
+    std::size_t tipOff4 = 0;
+
+    double* partials(std::size_t internalIdx) const {
+        return part + internalIdx * stride4 + off4;
+    }
+    double* scale(std::size_t internalIdx) const {
+        return scl + internalIdx * stride1 + off1;
+    }
+};
+
+LikelihoodEngine::LikelihoodEngine(const SitePatterns& patterns, const SubstModel& model,
+                                   RateCategories rates)
+    : patterns_(patterns),
+      model_(model),
+      pi_(model.stationary()),
+      rates_(std::move(rates)) {
+    rates_.validate();
+    logCatWeights_.reserve(rates_.count());
+    for (const double w : rates_.weights) logCatWeights_.push_back(std::log(w));
+
+    const std::size_t P = patterns_.patternCount();
+    const std::size_t nSeq = patterns_.sequenceCount();
+    stride_ = roundUpTo(std::max<std::size_t>(P, 1), 8);
+    tipPartials_.ensure(nSeq * stride_ * 4);
+    for (std::size_t s = 0; s < nSeq; ++s) {
+        double* row = tipPartials_.data() + s * stride_ * 4;
+        fillTipStrip(patterns_.codesData(), nSeq, s, 0, row, P);
+        // Padding patterns: benign ones so vector lanes never see garbage.
+        for (std::size_t p = P; p < stride_; ++p)
+            row[4 * p] = row[4 * p + 1] = row[4 * p + 2] = row[4 * p + 3] = 1.0;
+    }
+}
+
+std::size_t LikelihoodEngine::blockSize() const {
+    // Size pattern blocks so one block's partials + scale working set
+    // (internals x (4+1) doubles per pattern) stays around 128 KiB —
+    // comfortably cache-resident while leaving enough blocks to spread
+    // across workers. Multiples of 8 keep every strip 64-byte aligned, and
+    // the partition depends only on the problem shape, never on the pool.
+    const std::size_t internals =
+        std::max<std::size_t>(1, patterns_.sequenceCount() - 1);
+    const std::size_t bytesPerPattern = internals * 5 * sizeof(double);
+    std::size_t b = (128 * 1024) / bytesPerPattern;
+    b = std::clamp<std::size_t>(b, 16, 2048);
+    return b - b % 8;
+}
+
+LikelihoodEngine::Meta LikelihoodEngine::traversalMeta(const Genealogy& g,
+                                                       const std::vector<NodeId>& order) const {
+    const std::size_t nodes = static_cast<std::size_t>(g.nodeCount());
+    Meta meta;
+    meta.rescale.assign(nodes, 0);
+    meta.hasScale.assign(nodes, 0);
+    std::vector<std::uint16_t> level(nodes, 0);
+    for (const NodeId id : order) {
+        if (g.isTip(id)) continue;
+        const TreeNode& nd = g.node(id);
+        const std::size_t i = static_cast<std::size_t>(id);
+        const std::size_t c0 = static_cast<std::size_t>(nd.child[0]);
+        const std::size_t c1 = static_cast<std::size_t>(nd.child[1]);
+        level[i] = static_cast<std::uint16_t>(1 + std::max(level[c0], level[c1]));
+        meta.rescale[i] = level[i] % kRescaleInterval == 0;
+        meta.hasScale[i] = meta.rescale[i] || meta.hasScale[c0] || meta.hasScale[c1];
+    }
+    return meta;
+}
+
+void LikelihoodEngine::packMatrices(const Genealogy& g, TransMat* dst,
+                                    const std::vector<NodeId>* only) const {
+    const std::size_t nodes = static_cast<std::size_t>(g.nodeCount());
+    const std::size_t C = rates_.count();
+    auto packOne = [&](NodeId id) {
+        if (id == g.root()) return;
+        const double t = g.branchLength(id);
+        for (std::size_t c = 0; c < C; ++c)
+            dst[c * nodes + static_cast<std::size_t>(id)].pack(
+                model_.transition(rates_.rates[c] * t));
+    };
+    if (only != nullptr) {
+        for (const NodeId id : *only) packOne(id);
+    } else {
+        for (NodeId id = 0; id < g.nodeCount(); ++id) packOne(id);
+    }
+}
+
+void LikelihoodEngine::pruneBlock(const Genealogy& g, const std::vector<NodeId>& order,
+                                  const Meta& meta, const TransMat* tmat, std::size_t c,
+                                  const StripView& view, std::size_t n) const {
+    const std::size_t nodes = static_cast<std::size_t>(g.nodeCount());
+    const std::size_t tips = static_cast<std::size_t>(g.tipCount());
+    const TransMat* cat = tmat + c * nodes;
+
+    auto partialsOf = [&](NodeId id) -> const double* {
+        const std::size_t i = static_cast<std::size_t>(id);
+        if (i < tips) return tipPartials_.data() + i * stride_ * 4 + view.tipOff4;
+        return view.partials(i - tips);
+    };
+    auto scaleOf = [&](NodeId id) -> const double* {
+        const std::size_t i = static_cast<std::size_t>(id);
+        if (i < tips || !meta.hasScale[i]) return nullptr;
+        return view.scale(i - tips);
+    };
+
+    for (const NodeId id : order) {
+        if (g.isTip(id)) continue;
+        const TreeNode& nd = g.node(id);
+        const std::size_t i = static_cast<std::size_t>(id);
+        double* out = view.partials(i - tips);
+        pruneStrip(cat[static_cast<std::size_t>(nd.child[0])],
+                   cat[static_cast<std::size_t>(nd.child[1])], partialsOf(nd.child[0]),
+                   partialsOf(nd.child[1]), out, n);
+        if (meta.hasScale[i]) {
+            double* so = view.scale(i - tips);
+            addScaleStrips(scaleOf(nd.child[0]), scaleOf(nd.child[1]), so, n);
+            if (meta.rescale[i]) rescaleStrip(out, so, n);
+        }
+    }
+}
+
+double LikelihoodEngine::foldCategory(const Genealogy& g, const Meta& meta, std::size_t c,
+                                      const StripView& view, std::size_t p0, std::size_t n,
+                                      double* site, double* acc) const {
+    const std::size_t tips = static_cast<std::size_t>(g.tipCount());
+    const std::size_t r = static_cast<std::size_t>(g.root());
+    const double* rp = r < tips ? tipPartials_.data() + r * stride_ * 4 + view.tipOff4
+                                : view.partials(r - tips);
+    const double* rs = (r < tips || !meta.hasScale[r]) ? nullptr : view.scale(r - tips);
+    rootLogStrip(rp, rs, pi_, site, n);
+    if (rates_.count() == 1) return weightedSumStrip(site, patterns_.weightsData() + p0, n);
+    for (std::size_t p = 0; p < n; ++p)
+        acc[p] = logAdd(acc[p], logCatWeights_[c] + site[p]);
+    return 0.0;
+}
+
+double LikelihoodEngine::logLikelihood(const Genealogy& g, ThreadPool* pool) const {
+    require(static_cast<std::size_t>(g.tipCount()) == patterns_.sequenceCount(),
+            "likelihood: tip count != sequence count");
+    const auto order = g.postorder();
+    const Meta meta = traversalMeta(g, order);
+    const std::size_t nodes = static_cast<std::size_t>(g.nodeCount());
+    const std::size_t internals = nodes - static_cast<std::size_t>(g.tipCount());
+    const std::size_t C = rates_.count();
+    const std::size_t P = patterns_.patternCount();
+    const std::size_t B = blockSize();
+
+    std::vector<TransMat> tmat(C * nodes);
+    packMatrices(g, tmat.data());
+
+    std::vector<double> blockSums((P + B - 1) / B, 0.0);
+    launchBlocked(pool, P, B, [&](std::size_t bi, std::size_t lo, std::size_t hi) {
+        const std::size_t n = hi - lo;
+        BlockScratch& s = tlScratch;
+        s.partials.ensure(std::max<std::size_t>(1, internals) * B * 4);
+        s.scale.ensure(std::max<std::size_t>(1, internals) * B);
+        s.site.ensure(B);
+        s.acc.ensure(B);
+        if (C > 1) std::fill_n(s.acc.data(), n, kNegInf);
+
+        // One category at a time through the same block-local scratch: the
+        // fused pass keeps the pattern slice cache-hot across categories.
+        double sum = 0.0;
+        const StripView view{s.partials.data(), s.scale.data(), B * 4, B, 0, 0, lo * 4};
+        for (std::size_t c = 0; c < C; ++c) {
+            pruneBlock(g, order, meta, tmat.data(), c, view, n);
+            sum = foldCategory(g, meta, c, view, lo, n, s.site.data(), s.acc.data());
+        }
+        if (C > 1) sum = weightedSumStrip(s.acc.data(), patterns_.weightsData() + lo, n);
+        blockSums[bi] = sum;
+    });
+
+    double total = 0.0;
+    for (const double s : blockSums) total += s;
+    return total;
+}
+
+double LikelihoodEngine::evaluate(const Genealogy& g, PartialsBuffer& buf,
+                                  ThreadPool* pool) const {
+    require(static_cast<std::size_t>(g.tipCount()) == patterns_.sequenceCount(),
+            "likelihood: tip count != sequence count");
+    const auto order = g.postorder();
+    const Meta meta = traversalMeta(g, order);
+    const std::size_t tips = static_cast<std::size_t>(g.tipCount());
+    const std::size_t internals = static_cast<std::size_t>(g.nodeCount()) - tips;
+    const std::size_t C = rates_.count();
+
+    buf.ensure(C, tips, internals, stride_);
+    buf.rescale = meta.rescale;
+    buf.hasScale = meta.hasScale;
+    packMatrices(g, buf.tmat.data());
+
+    const double total = runBlocked(g, order, meta, buf, pool);
+    buf.primed = true;
+    return total;
+}
+
+double LikelihoodEngine::evaluateDirty(const Genealogy& g, const std::vector<NodeId>& dirty,
+                                       PartialsBuffer& buf, ThreadPool* pool) const {
+    require(buf.primed && buf.nodeCount() == static_cast<std::size_t>(g.nodeCount()),
+            "LikelihoodCache: genealogy shape changed; call evaluate()");
+    const std::size_t nodes = static_cast<std::size_t>(g.nodeCount());
+
+    // Dirty closure: every listed node and all of its ancestors.
+    std::vector<std::uint8_t> mark(nodes, 0);
+    for (NodeId d : dirty) {
+        NodeId cur = d;
+        while (cur != kNoNode && !mark[static_cast<std::size_t>(cur)]) {
+            mark[static_cast<std::size_t>(cur)] = 1;
+            cur = g.node(cur).parent;
+        }
+    }
+
+    // Recompute order = marked internal nodes, children before parents; the
+    // only transition matrices that can have changed are those of the
+    // closure's children (a branch length is t(parent) - t(child), and only
+    // closure members moved), so just those are re-packed — the seed
+    // re-derived all 2n matrices every step.
+    std::vector<NodeId> todo;
+    std::vector<NodeId> touchedChildren;
+    for (const NodeId id : g.postorder()) {
+        if (!mark[static_cast<std::size_t>(id)] || g.isTip(id)) continue;
+        todo.push_back(id);
+        const TreeNode& nd = g.node(id);
+        touchedChildren.push_back(nd.child[0]);
+        touchedChildren.push_back(nd.child[1]);
+        // Scale reachability can change with the topology; rescale flags
+        // keep their last full-evaluation schedule (any schedule is valid —
+        // partials and scale strips always move together).
+        buf.hasScale[static_cast<std::size_t>(id)] =
+            buf.rescale[static_cast<std::size_t>(id)] ||
+            (!g.isTip(nd.child[0]) && buf.hasScale[static_cast<std::size_t>(nd.child[0])]) ||
+            (!g.isTip(nd.child[1]) && buf.hasScale[static_cast<std::size_t>(nd.child[1])]);
+    }
+    packMatrices(g, buf.tmat.data(), &touchedChildren);
+
+    Meta meta;
+    meta.rescale = buf.rescale;
+    meta.hasScale = buf.hasScale;
+    return runBlocked(g, todo, meta, buf, pool);
+}
+
+double LikelihoodEngine::runBlocked(const Genealogy& g, const std::vector<NodeId>& order,
+                                    const Meta& meta, PartialsBuffer& buf,
+                                    ThreadPool* pool) const {
+    const std::size_t tips = static_cast<std::size_t>(g.tipCount());
+    const std::size_t C = rates_.count();
+    const std::size_t P = patterns_.patternCount();
+    const std::size_t B = blockSize();
+
+    std::vector<double> blockSums((P + B - 1) / B, 0.0);
+    std::vector<StripView> baseViews(C);
+    for (std::size_t c = 0; c < C; ++c)
+        baseViews[c] = StripView{buf.partials(c, tips), buf.scale(c, tips), buf.patternStride * 4,
+                                 buf.patternStride, 0, 0, 0};
+
+    launchBlocked(pool, P, B, [&](std::size_t bi, std::size_t lo, std::size_t hi) {
+        const std::size_t n = hi - lo;
+        BlockScratch& s = tlScratch;
+        s.site.ensure(B);
+        s.acc.ensure(B);
+        if (C > 1) std::fill_n(s.acc.data(), n, kNegInf);
+
+        double sum = 0.0;
+        for (std::size_t c = 0; c < C; ++c) {
+            StripView v = baseViews[c];
+            v.off4 = lo * 4;
+            v.off1 = lo;
+            v.tipOff4 = lo * 4;
+            pruneBlock(g, order, meta, buf.tmat.data(), c, v, n);
+            sum = foldCategory(g, meta, c, v, lo, n, s.site.data(), s.acc.data());
+        }
+        if (C > 1) sum = weightedSumStrip(s.acc.data(), patterns_.weightsData() + lo, n);
+        blockSums[bi] = sum;
+    });
+
+    double total = 0.0;
+    for (const double s : blockSums) total += s;
+    return total;
+}
+
+}  // namespace mpcgs

@@ -1,0 +1,121 @@
+// Pattern-major likelihood engine: the shared evaluation core behind both
+// DataLikelihood::logLikelihood (stateless, full recomputation — the
+// paper's GPU strategy, §5.2.2) and LikelihoodCache (persistent arena with
+// dirty-path updates — the production-LAMARC strategy).
+//
+// Design, versus the seed's scalar per-pattern pruning:
+//
+//  * Partials are pattern-major ([pattern][state], contiguous per node), so
+//    one node is processed as a single sweep over all its patterns by the
+//    strip kernels (pruning_kernels.h) with the transition matrices held in
+//    registers — the CPU image of one-GPU-thread-per-site.
+//  * Tip partials depend only on the alignment, never on the genealogy;
+//    they are packed once at construction and shared by every evaluation.
+//  * Rescaling (§5.3) runs every kRescaleInterval tree levels as a separate
+//    strip pass instead of a per-node per-pattern branch, and subtrees that
+//    have never rescaled skip scale bookkeeping entirely.
+//  * Pattern strips are partitioned into cache-sized blocks launched across
+//    the thread pool (par/kernel.h launchBlocked): every worker prunes the
+//    full post-order over its own pattern slice, so there is zero
+//    synchronization between nodes. Block boundaries depend only on the
+//    problem shape, so results are bitwise identical for any thread count.
+//  * Rate categories are fused into the same blocked pass (each block
+//    prunes all categories while its slice is cache-hot) for both the
+//    stateless and the cached path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lik/partials_buffer.h"
+#include "lik/rate_model.h"
+#include "lik/site_pattern.h"
+#include "par/thread_pool.h"
+#include "phylo/tree.h"
+#include "seq/subst_model.h"
+
+namespace mpcgs {
+
+class LikelihoodEngine {
+  public:
+    /// Rescale every this many tree levels. With per-level partial shrink
+    /// bounded below by the smallest transition probability, four levels
+    /// stay far above the double underflow threshold between passes.
+    static constexpr std::size_t kRescaleInterval = 4;
+
+    /// Holds references: `patterns` and `model` must outlive the engine
+    /// (DataLikelihood owns both and constructs the engine last).
+    LikelihoodEngine(const SitePatterns& patterns, const SubstModel& model,
+                     RateCategories rates);
+
+    LikelihoodEngine(const LikelihoodEngine&) = delete;
+    LikelihoodEngine& operator=(const LikelihoodEngine&) = delete;
+
+    /// log P(D|G) by full recomputation. Thread-safe (per-thread scratch);
+    /// pattern blocks run on `pool` when supplied.
+    double logLikelihood(const Genealogy& g, ThreadPool* pool = nullptr) const;
+
+    /// Full evaluation populating `buf` (the cached path's arena).
+    double evaluate(const Genealogy& g, PartialsBuffer& buf, ThreadPool* pool = nullptr) const;
+
+    /// Re-evaluate after `dirty` nodes (and their ancestors) changed,
+    /// recomputing only the dirty closure — including its transition
+    /// matrices, which the seed rebuilt for every node on every step.
+    double evaluateDirty(const Genealogy& g, const std::vector<NodeId>& dirty,
+                         PartialsBuffer& buf, ThreadPool* pool = nullptr) const;
+
+    std::size_t patternCount() const { return patterns_.patternCount(); }
+    std::size_t patternStride() const { return stride_; }
+
+    /// Pattern-major conditional likelihoods of tip `s` (strip layout).
+    const double* tipPartials(std::size_t s) const {
+        return tipPartials_.data() + s * stride_ * 4;
+    }
+
+  private:
+    /// Traversal metadata for one genealogy: per-node pruning level and the
+    /// derived rescale schedule.
+    struct Meta {
+        std::vector<std::uint8_t> rescale;
+        std::vector<std::uint8_t> hasScale;
+    };
+
+    Meta traversalMeta(const Genealogy& g, const std::vector<NodeId>& order) const;
+
+    /// Pack transition matrices for all categories; `dst` is indexed
+    /// [c * nodeCount + child]. `only` restricts to the given child ids
+    /// (nullptr = every non-root node).
+    void packMatrices(const Genealogy& g, TransMat* dst,
+                      const std::vector<NodeId>* only = nullptr) const;
+
+    /// Prune the nodes of `order` for category c over patterns [p0, p0+n),
+    /// reading/writing through the pointer resolvers. Shared by the
+    /// stateless and cached paths.
+    struct StripView;
+    void pruneBlock(const Genealogy& g, const std::vector<NodeId>& order, const Meta& meta,
+                    const TransMat* tmat, std::size_t c, const StripView& view,
+                    std::size_t n) const;
+
+    /// Root reduction for one category over a block: fills `site` with the
+    /// per-pattern site log-likelihoods and either returns the weighted
+    /// fold (single category) or log-adds into `acc` and returns 0.
+    double foldCategory(const Genealogy& g, const Meta& meta, std::size_t c,
+                        const StripView& view, std::size_t p0, std::size_t n, double* site,
+                        double* acc) const;
+
+    /// Blocked pruning + reduction over the persistent arena (cached path).
+    double runBlocked(const Genealogy& g, const std::vector<NodeId>& order, const Meta& meta,
+                      PartialsBuffer& buf, ThreadPool* pool) const;
+
+    std::size_t blockSize() const;
+
+    const SitePatterns& patterns_;
+    const SubstModel& model_;
+    BaseFreqs pi_;
+    RateCategories rates_;
+    std::vector<double> logCatWeights_;
+    std::size_t stride_ = 0;        ///< patternCount rounded up to 8
+    AlignedDoubles tipPartials_;    ///< nSeq x stride*4, packed once
+};
+
+}  // namespace mpcgs

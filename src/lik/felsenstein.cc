@@ -27,6 +27,7 @@ DataLikelihood::DataLikelihood(const Alignment& aln, const SubstModel& model,
       pi_(model.stationary()),
       rates_(std::move(rates)) {
     rates_.validate();
+    engine_ = std::make_unique<LikelihoodEngine>(patterns_, *model_, rates_);
 }
 
 std::vector<Matrix4> DataLikelihood::branchMatrices(const Genealogy& g, double rate) const {
@@ -82,6 +83,10 @@ double DataLikelihood::computePattern(const Genealogy& g, const std::vector<Node
 }
 
 double DataLikelihood::logLikelihood(const Genealogy& g, ThreadPool* pool) const {
+    return engine_->logLikelihood(g, pool);
+}
+
+double DataLikelihood::logLikelihoodReference(const Genealogy& g) const {
     require(static_cast<std::size_t>(g.tipCount()) == patterns_.sequenceCount(),
             "likelihood: tip count != sequence count");
     const auto order = g.postorder();
@@ -89,35 +94,21 @@ double DataLikelihood::logLikelihood(const Genealogy& g, ThreadPool* pool) const
     std::vector<std::vector<Matrix4>> pmats(C);
     for (std::size_t c = 0; c < C; ++c) pmats[c] = branchMatrices(g, rates_.rates[c]);
     const std::size_t P = patterns_.patternCount();
-    const std::size_t scratchSize = static_cast<std::size_t>(g.nodeCount()) * 4;
+    std::vector<double> partials(static_cast<std::size_t>(g.nodeCount()) * 4);
 
-    // Pattern log-likelihood averaged over rate categories.
-    auto patternLogLik = [&](std::size_t p, std::vector<double>& partials) {
-        if (C == 1) return computePattern(g, order, pmats[0], p, partials);
-        double acc = -std::numeric_limits<double>::infinity();
-        for (std::size_t c = 0; c < C; ++c)
-            acc = logAdd(acc, std::log(rates_.weights[c]) +
-                                  computePattern(g, order, pmats[c], p, partials));
-        return acc;
-    };
-
-    if (pool == nullptr || pool->size() == 1) {
-        std::vector<double> partials(scratchSize);
-        double total = 0.0;
-        for (std::size_t p = 0; p < P; ++p)
-            total += patterns_.weight(p) * patternLogLik(p, partials);
-        return total;
-    }
-
-    std::vector<double> slotSums(pool->size(), 0.0);
-    std::vector<std::vector<double>> scratch(pool->size());
-    pool->parallelForSlot(P, [&](std::size_t p, unsigned slot) {
-        auto& partials = scratch[slot];
-        if (partials.size() != scratchSize) partials.resize(scratchSize);
-        slotSums[slot] += patterns_.weight(p) * patternLogLik(p, partials);
-    });
     double total = 0.0;
-    for (const double s : slotSums) total += s;
+    for (std::size_t p = 0; p < P; ++p) {
+        double site;
+        if (C == 1) {
+            site = computePattern(g, order, pmats[0], p, partials);
+        } else {
+            site = -std::numeric_limits<double>::infinity();
+            for (std::size_t c = 0; c < C; ++c)
+                site = logAdd(site, std::log(rates_.weights[c]) +
+                                        computePattern(g, order, pmats[c], p, partials));
+        }
+        total += patterns_.weight(p) * site;
+    }
     return total;
 }
 
@@ -144,93 +135,15 @@ std::vector<double> DataLikelihood::patternLogLikelihoods(const Genealogy& g) co
 
 // --- LikelihoodCache ---------------------------------------------------------
 
-LikelihoodCache::LikelihoodCache(const DataLikelihood& lik) : lik_(lik) {
-    require(lik.rateCategories().count() == 1,
-            "LikelihoodCache: rate heterogeneity is not supported in cached mode");
+LikelihoodCache::LikelihoodCache(const DataLikelihood& lik) : lik_(lik) {}
+
+double LikelihoodCache::evaluate(const Genealogy& g, ThreadPool* pool) {
+    return lik_.engine().evaluate(g, buf_, pool);
 }
 
-void LikelihoodCache::computeNode(const Genealogy& g, const std::vector<Matrix4>& pmat,
-                                  NodeId id) {
-    const std::size_t P = lik_.patterns_.patternCount();
-    const std::size_t base = static_cast<std::size_t>(id) * P;
-    if (g.isTip(id)) {
-        for (std::size_t p = 0; p < P; ++p) {
-            const NucCode c = lik_.patterns_.code(p, static_cast<std::size_t>(id));
-            double* out = &partials_[(base + p) * 4];
-            for (int x = 0; x < 4; ++x)
-                out[x] = (c == kNucUnknown || c == static_cast<NucCode>(x)) ? 1.0 : 0.0;
-            logScale_[base + p] = 0.0;
-        }
-        return;
-    }
-    const TreeNode& nd = g.node(id);
-    const std::size_t cj = static_cast<std::size_t>(nd.child[0]) * P;
-    const std::size_t ck = static_cast<std::size_t>(nd.child[1]) * P;
-    const Matrix4& pj = pmat[static_cast<std::size_t>(nd.child[0])];
-    const Matrix4& pk = pmat[static_cast<std::size_t>(nd.child[1])];
-    for (std::size_t p = 0; p < P; ++p) {
-        const double* lj = &partials_[(cj + p) * 4];
-        const double* lk = &partials_[(ck + p) * 4];
-        double* out = &partials_[(base + p) * 4];
-        double maxv = 0.0;
-        for (std::size_t x = 0; x < 4; ++x) {
-            double sj = 0.0, sk = 0.0;
-            for (std::size_t y = 0; y < 4; ++y) {
-                sj += pj(x, y) * lj[y];
-                sk += pk(x, y) * lk[y];
-            }
-            out[x] = sj * sk;
-            maxv = std::max(maxv, out[x]);
-        }
-        double scale = logScale_[cj + p] + logScale_[ck + p];
-        if (maxv > 0.0 && maxv < kScaleFloor) {
-            for (std::size_t x = 0; x < 4; ++x) out[x] /= maxv;
-            scale += std::log(maxv);
-        }
-        logScale_[base + p] = scale;
-    }
-}
-
-double LikelihoodCache::rootSum(const Genealogy& g) const {
-    const std::size_t P = lik_.patterns_.patternCount();
-    const std::size_t base = static_cast<std::size_t>(g.root()) * P;
-    double total = 0.0;
-    for (std::size_t p = 0; p < P; ++p) {
-        const double* rp = &partials_[(base + p) * 4];
-        double lik = 0.0;
-        for (std::size_t x = 0; x < 4; ++x) lik += lik_.pi_[x] * rp[x];
-        if (lik <= 0.0) return -std::numeric_limits<double>::infinity();
-        total += lik_.patterns_.weight(p) * (std::log(lik) + logScale_[base + p]);
-    }
-    return total;
-}
-
-double LikelihoodCache::evaluate(const Genealogy& g) {
-    const std::size_t P = lik_.patterns_.patternCount();
-    nodeCount_ = static_cast<std::size_t>(g.nodeCount());
-    partials_.assign(nodeCount_ * P * 4, 0.0);
-    logScale_.assign(nodeCount_ * P, 0.0);
-    const auto pmat = lik_.branchMatrices(g);
-    for (const NodeId id : g.postorder()) computeNode(g, pmat, id);
-    return rootSum(g);
-}
-
-double LikelihoodCache::evaluateDirty(const Genealogy& g, const std::vector<NodeId>& dirty) {
-    require(nodeCount_ == static_cast<std::size_t>(g.nodeCount()),
-            "LikelihoodCache: genealogy shape changed; call evaluate()");
-    // Mark every dirty node and all of its ancestors.
-    std::vector<char> mark(nodeCount_, 0);
-    for (NodeId d : dirty) {
-        NodeId cur = d;
-        while (cur != kNoNode && !mark[static_cast<std::size_t>(cur)]) {
-            mark[static_cast<std::size_t>(cur)] = 1;
-            cur = g.node(cur).parent;
-        }
-    }
-    const auto pmat = lik_.branchMatrices(g);
-    for (const NodeId id : g.postorder())
-        if (mark[static_cast<std::size_t>(id)]) computeNode(g, pmat, id);
-    return rootSum(g);
+double LikelihoodCache::evaluateDirty(const Genealogy& g, const std::vector<NodeId>& dirty,
+                                      ThreadPool* pool) {
+    return lik_.engine().evaluateDirty(g, dirty, buf_, pool);
 }
 
 }  // namespace mpcgs

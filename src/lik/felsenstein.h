@@ -18,6 +18,8 @@
 #include <memory>
 #include <vector>
 
+#include "lik/engine.h"
+#include "lik/partials_buffer.h"
 #include "lik/rate_model.h"
 #include "lik/site_pattern.h"
 #include "par/thread_pool.h"
@@ -37,11 +39,20 @@ class DataLikelihood {
     DataLikelihood(const Alignment& aln, const SubstModel& model, RateCategories rates,
                    bool compressPatterns = true);
 
-    /// log P(D|G). Parallel over site patterns when a pool is supplied —
-    /// the data-likelihood kernel of §5.2.2 (one logical thread per site).
+    /// log P(D|G) via the pattern-major engine. Parallel over site-pattern
+    /// blocks when a pool is supplied — the data-likelihood kernel of
+    /// §5.2.2 (one logical thread per site). Thread-safe, and bitwise
+    /// deterministic across thread counts (the block partition depends only
+    /// on the problem shape).
     double logLikelihood(const Genealogy& g, ThreadPool* pool = nullptr) const;
 
-    /// Per-pattern log-likelihoods (diagnostics/tests).
+    /// log P(D|G) via the original scalar one-pattern-at-a-time pruning.
+    /// Kept as the numerical reference for the engine agreement tests and
+    /// the kernel benchmarks; not a hot path.
+    double logLikelihoodReference(const Genealogy& g) const;
+
+    /// Per-pattern log-likelihoods (diagnostics/tests; scalar reference
+    /// path).
     std::vector<double> patternLogLikelihoods(const Genealogy& g) const;
 
     std::size_t patternCount() const { return patterns_.patternCount(); }
@@ -49,6 +60,12 @@ class DataLikelihood {
     const SubstModel& model() const { return *model_; }
     const BaseFreqs& rootFreqs() const { return pi_; }
     const RateCategories& rateCategories() const { return rates_; }
+    const LikelihoodEngine& engine() const { return *engine_; }
+
+    // The engine holds references into this object; pinning the address
+    // keeps them valid for the object's whole lifetime.
+    DataLikelihood(const DataLikelihood&) = delete;
+    DataLikelihood& operator=(const DataLikelihood&) = delete;
 
   private:
     friend class LikelihoodCache;
@@ -69,32 +86,33 @@ class DataLikelihood {
     std::unique_ptr<SubstModel> model_;
     BaseFreqs pi_;
     RateCategories rates_;
+    // Last member: its construction reads patterns_/model_/rates_.
+    std::unique_ptr<LikelihoodEngine> engine_;
 };
 
-/// Incremental (dirty-path) evaluation: keeps per-node per-pattern partial
-/// vectors for one genealogy and recomputes only ancestors of changed
-/// nodes. This is the caching strategy the paper rejected for the GPU;
-/// bench/micro_likelihood quantifies the CPU tradeoff.
+/// Incremental (dirty-path) evaluation: keeps a persistent pattern-major
+/// partials arena (PartialsBuffer) for one genealogy chain and recomputes
+/// only ancestors of changed nodes, through the same strip kernels as the
+/// full-recomputation path. This is the caching strategy the paper rejected
+/// for the GPU; bench/micro_kernels quantifies the CPU tradeoff.
 class LikelihoodCache {
   public:
     explicit LikelihoodCache(const DataLikelihood& lik);
 
-    /// Full evaluation, populating the cache for `g`.
-    double evaluate(const Genealogy& g);
+    /// Full evaluation, populating the arena for `g`. Pattern blocks run on
+    /// `pool` when supplied; the arena is sized on first use and reused
+    /// (never reallocated) by every later call of the same shape.
+    double evaluate(const Genealogy& g, ThreadPool* pool = nullptr);
 
     /// Re-evaluate after `dirty` nodes (and consequently their ancestors)
     /// changed. The genealogy must have the same shape (node count) as the
     /// last full evaluation.
-    double evaluateDirty(const Genealogy& g, const std::vector<NodeId>& dirty);
+    double evaluateDirty(const Genealogy& g, const std::vector<NodeId>& dirty,
+                         ThreadPool* pool = nullptr);
 
   private:
     const DataLikelihood& lik_;
-    std::vector<double> partials_;   // [node][pattern][4]
-    std::vector<double> logScale_;   // [pattern]
-    std::size_t nodeCount_ = 0;
-
-    double rootSum(const Genealogy& g) const;
-    void computeNode(const Genealogy& g, const std::vector<Matrix4>& pmat, NodeId id);
+    PartialsBuffer buf_;
 };
 
 }  // namespace mpcgs

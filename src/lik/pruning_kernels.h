@@ -1,0 +1,136 @@
+// Pattern-major Felsenstein strip kernels.
+//
+// Every routine here sweeps a contiguous strip of site patterns for ONE
+// tree node: partials are laid out [pattern][state] with the four state
+// entries of a pattern adjacent, so the per-pattern 4x4 mat-vec
+//
+//   out[x] = (sum_y P_j(x,y) L_j[y]) * (sum_y P_k(x,y) L_k[y])    (Eq. 19)
+//
+// becomes, with the transition matrices pre-transposed (TransMat row y =
+// P(., y)), four fused multiply-adds over unit-stride 4-lane vectors. The
+// loops are written so the compiler's auto-vectorizer maps one pattern to
+// one 256-bit vector (or two patterns per 512-bit vector after unrolling);
+// all pointers are __restrict and strips never alias.
+//
+// This is the CPU transcription of the paper's one-thread-per-site GPU
+// kernel (§5.2.2): the strip index plays the role of threadIdx.x.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+#include "seq/nucleotide.h"
+#include "util/aligned.h"
+#include "util/matrix4.h"
+
+namespace mpcgs {
+
+/// A transition matrix packed for the strip kernels: row y holds the
+/// probabilities INTO the four parent states from child state y,
+/// t[4*y + x] = P(x, y). 64-byte aligned so each row is one aligned load.
+struct alignas(kCacheLineBytes) TransMat {
+    double t[16];
+
+    void pack(const Matrix4& p) { p.packTransposed(t); }
+};
+
+/// Conditional-likelihood propagation for one internal node over `n`
+/// patterns: out[p] = (Pj lj[p]) .* (Pk lk[p]) element-wise over states.
+inline void pruneStrip(const TransMat& pj, const TransMat& pk,
+                       const double* __restrict lj, const double* __restrict lk,
+                       double* __restrict out, std::size_t n) {
+    const double* __restrict tj = pj.t;
+    const double* __restrict tk = pk.t;
+    for (std::size_t p = 0; p < n; ++p) {
+        const double* a = lj + 4 * p;
+        const double* b = lk + 4 * p;
+        double* o = out + 4 * p;
+        const double a0 = a[0], a1 = a[1], a2 = a[2], a3 = a[3];
+        const double b0 = b[0], b1 = b[1], b2 = b[2], b3 = b[3];
+        for (std::size_t x = 0; x < 4; ++x) {
+            const double sj = tj[x] * a0 + tj[4 + x] * a1 + tj[8 + x] * a2 + tj[12 + x] * a3;
+            const double sk = tk[x] * b0 + tk[4 + x] * b1 + tk[8 + x] * b2 + tk[12 + x] * b3;
+            o[x] = sj * sk;
+        }
+    }
+}
+
+/// Scale-exponent propagation: so[p] = sa[p] + sb[p]. Either input may be
+/// null, meaning an all-zero exponent strip (tips, un-rescaled subtrees).
+inline void addScaleStrips(const double* __restrict sa, const double* __restrict sb,
+                           double* __restrict so, std::size_t n) {
+    if (sa != nullptr && sb != nullptr) {
+        for (std::size_t p = 0; p < n; ++p) so[p] = sa[p] + sb[p];
+    } else if (sa != nullptr) {
+        for (std::size_t p = 0; p < n; ++p) so[p] = sa[p];
+    } else if (sb != nullptr) {
+        for (std::size_t p = 0; p < n; ++p) so[p] = sb[p];
+    } else {
+        for (std::size_t p = 0; p < n; ++p) so[p] = 0.0;
+    }
+}
+
+/// Periodic rescaling (§5.3, hoisted out of the per-node inner loop): factor
+/// the per-pattern max out of the partials and accumulate its log in the
+/// scale strip. Called only every kRescaleInterval tree levels, instead of
+/// the scalar path's per-node per-pattern underflow branch.
+inline void rescaleStrip(double* __restrict part, double* __restrict scale, std::size_t n) {
+    for (std::size_t p = 0; p < n; ++p) {
+        double* o = part + 4 * p;
+        double m = o[0];
+        if (o[1] > m) m = o[1];
+        if (o[2] > m) m = o[2];
+        if (o[3] > m) m = o[3];
+        if (m > 0.0) {
+            const double inv = 1.0 / m;
+            o[0] *= inv;
+            o[1] *= inv;
+            o[2] *= inv;
+            o[3] *= inv;
+            scale[p] += std::log(m);
+        }
+    }
+}
+
+/// Per-pattern site log-likelihood at the root (Eq. 21 + carried scale):
+/// out[p] = log(sum_x pi[x] root[p][x]) + scale[p]. A zero root dot product
+/// yields -inf, matching the scalar path. `scale` may be null (no rescaling
+/// happened anywhere below the root).
+inline void rootLogStrip(const double* __restrict root, const double* __restrict scale,
+                         const BaseFreqs& pi, double* __restrict out, std::size_t n) {
+    const double p0 = pi[0], p1 = pi[1], p2 = pi[2], p3 = pi[3];
+    for (std::size_t p = 0; p < n; ++p) {
+        const double* r = root + 4 * p;
+        const double dot = p0 * r[0] + p1 * r[1] + p2 * r[2] + p3 * r[3];
+        out[p] = std::log(dot) + (scale != nullptr ? scale[p] : 0.0);
+    }
+}
+
+/// Weighted fold of per-pattern site log-likelihoods (Eq. 22):
+/// sum_p w[p] * site[p].
+inline double weightedSumStrip(const double* __restrict site, const double* __restrict w,
+                               std::size_t n) {
+    double acc = 0.0;
+    for (std::size_t p = 0; p < n; ++p) acc += w[p] * site[p];
+    return acc;
+}
+
+/// Tip conditional likelihoods for one sequence over `n` patterns starting
+/// at `p0`: the standard 0/1 indicator rows, with kNucUnknown marginalized
+/// as all-ones. `codes` is the pattern-major code matrix of SitePatterns
+/// (stride nSeq), `seq` the tip's column in it.
+inline void fillTipStrip(const NucCode* codes, std::size_t nSeq, std::size_t seq,
+                         std::size_t p0, double* __restrict out, std::size_t n) {
+    for (std::size_t p = 0; p < n; ++p) {
+        const NucCode c = codes[(p0 + p) * nSeq + seq];
+        double* o = out + 4 * p;
+        if (c == kNucUnknown) {
+            o[0] = o[1] = o[2] = o[3] = 1.0;
+        } else {
+            o[0] = o[1] = o[2] = o[3] = 0.0;
+            o[c] = 1.0;
+        }
+    }
+}
+
+}  // namespace mpcgs

@@ -33,6 +33,13 @@ class SitePatterns {
     /// Pattern index of each original column.
     const std::vector<std::size_t>& siteToPattern() const { return siteToPattern_; }
 
+    /// Raw pattern-major code matrix (patternCount x nSeq), for the strip
+    /// kernels' tip fills.
+    const NucCode* codesData() const { return codes_.data(); }
+
+    /// Raw multiplicity array (patternCount), for the weighted root fold.
+    const double* weightsData() const { return weights_.data(); }
+
   private:
     std::size_t nSeq_ = 0;
     std::size_t nSites_ = 0;

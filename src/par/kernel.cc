@@ -65,6 +65,20 @@ double blockReduceLogSumExp(ThreadPool* pool, std::span<const double> logValues,
     return logSumExp(partial);
 }
 
+void launchBlocked(ThreadPool* pool, std::size_t n, std::size_t blockSize,
+                   const std::function<void(std::size_t, std::size_t, std::size_t)>& f) {
+    if (n == 0) return;
+    blockSize = std::max<std::size_t>(1, blockSize);
+    const std::size_t blocks = numBlocks(n, blockSize);
+    forEachIndex(
+        pool, blocks,
+        [&](std::size_t b) {
+            const std::size_t lo = b * blockSize;
+            f(b, lo, std::min(lo + blockSize, n));
+        },
+        /*grain=*/1);
+}
+
 double blockReduceMax(ThreadPool* pool, std::span<const double> values, std::size_t blockDim) {
     if (values.empty()) return -std::numeric_limits<double>::infinity();
     blockDim = std::max<std::size_t>(1, blockDim);

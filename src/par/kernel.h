@@ -59,4 +59,15 @@ double blockReduceLogSumExp(ThreadPool* pool, std::span<const double> logValues,
 double blockReduceMax(ThreadPool* pool, std::span<const double> values,
                       std::size_t blockDim);
 
+/// Launch `f(blockIndex, begin, end)` over [0, n) partitioned into
+/// contiguous blocks of `blockSize` indices (the last block may be short).
+/// Blocks are distributed dynamically across the pool; a null pool runs
+/// them in order on the calling thread. This is the grid geometry of the
+/// data-likelihood kernel (§5.2.2) with site-pattern blocks as CUDA blocks:
+/// each launch owns a contiguous, cache-resident slice of patterns, and the
+/// partition depends only on (n, blockSize), so results that reduce
+/// per-block are bitwise independent of thread count.
+void launchBlocked(ThreadPool* pool, std::size_t n, std::size_t blockSize,
+                   const std::function<void(std::size_t, std::size_t, std::size_t)>& f);
+
 }  // namespace mpcgs

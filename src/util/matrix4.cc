@@ -49,6 +49,11 @@ Matrix4 Matrix4::transposed() const {
     return r;
 }
 
+void Matrix4::packTransposed(double out[16]) const {
+    for (std::size_t r = 0; r < 4; ++r)
+        for (std::size_t c = 0; c < 4; ++c) out[4 * c + r] = m[r][c];
+}
+
 std::array<double, 4> Matrix4::apply(const std::array<double, 4>& v) const {
     std::array<double, 4> r{};
     for (std::size_t i = 0; i < 4; ++i)

@@ -24,6 +24,11 @@ struct Matrix4 {
     Matrix4 scaled(double s) const;
     Matrix4 transposed() const;
 
+    /// Pack the transpose into a flat column-major block: out[4*c + r] =
+    /// m[r][c], i.e. out row y holds P(., y). The likelihood kernels read
+    /// this layout so the 4-wide state loop has unit-stride loads.
+    void packTransposed(double out[16]) const;
+
     /// Multiply a column vector.
     std::array<double, 4> apply(const std::array<double, 4>& v) const;
 
