@@ -1,0 +1,98 @@
+// Sampler-runtime throughput: samples/second for every strategy across a
+// thread sweep, all running through the unified SamplerRun path. Emits
+// BENCH_mcmc.json (snapshot committed under bench/) so successive PRs can
+// track the sampling-throughput trajectory next to BENCH_likelihood.json.
+//
+//   $ ./sampler_throughput [--samples N] [--seqs n] [--length L] [--paper-scale]
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/workload.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace {
+
+struct Row {
+    std::string strategy;
+    unsigned threads;
+    std::size_t samples;
+    double seconds;
+    double samplesPerSec;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace mpcgs;
+    using namespace mpcgs::bench;
+    const BenchConfig cfg = BenchConfig::fromArgs(argc, argv);
+    const Options cli = Options::parse(argc, argv);
+    const int nSeq = static_cast<int>(cli.getInt("seqs", 10));
+    const std::size_t length = static_cast<std::size_t>(cli.getInt("length", 300));
+    const std::size_t samples =
+        static_cast<std::size_t>(cli.getInt("samples", cfg.paperScale ? 24000 : 4000));
+
+    printHeader("sampler runtime throughput (samples/sec per strategy x threads)");
+    const Alignment data = makeDataset(nSeq, length, 1.0, 17);
+    std::printf("%d sequences x %zu bp, %zu samples per run, one EM iteration\n\n", nSeq,
+                length, samples);
+
+    const std::vector<std::pair<std::string, Strategy>> strategies{
+        {"gmh", Strategy::Gmh},
+        {"mh", Strategy::SerialMh},
+        {"multichain", Strategy::MultiChain},
+        {"heated", Strategy::HeatedMh},
+    };
+
+    std::vector<Row> rows;
+    Table table({"strategy", "threads", "time (s)", "samples/sec"});
+    for (const auto& [name, strategy] : strategies) {
+        // Pool widths beyond the hardware are oversubscribed but still
+        // measured; note that the multichain rows couple the ensemble size
+        // to the thread count (chains = P = threads, the §3 configuration),
+        // so those rows are different workloads, not replicas.
+        for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+            // The serial baseline gains nothing from extra workers; its
+            // sweep is collapsed to the single-thread row.
+            if ((strategy == Strategy::SerialMh) && threads > 1) continue;
+
+            MpcgsOptions opts;
+            opts.theta0 = 1.0;
+            opts.emIterations = 1;
+            opts.samplesPerIteration = samples;
+            opts.seed = 23;
+            opts.strategy = strategy;
+            opts.gmhProposals = 32;
+            opts.gmhSamplesPerSet = 32;
+            opts.chains = threads;
+
+            ThreadPool pool(threads);
+            const MpcgsResult res = estimateTheta(data, opts, &pool);
+            const std::size_t produced = res.history.front().samples;
+            const double rate = static_cast<double>(produced) / res.samplingSeconds;
+            rows.push_back({name, threads, produced, res.samplingSeconds, rate});
+            table.addRow({name, Table::integer(threads), Table::num(res.samplingSeconds, 3),
+                          Table::num(rate, 0)});
+        }
+    }
+    table.print(std::cout);
+
+    std::ofstream json("BENCH_mcmc.json");
+    json << "{\n  \"benchmark\": \"sampler_throughput\",\n";
+    json << "  \"config\": {\"sequences\": " << nSeq << ", \"length\": " << length
+         << ", \"samples\": " << samples << "},\n  \"results\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row& r = rows[i];
+        json << "    {\"strategy\": \"" << r.strategy << "\", \"threads\": " << r.threads
+             << ", \"samples\": " << r.samples << ", \"seconds\": " << r.seconds
+             << ", \"samples_per_sec\": " << r.samplesPerSec << "}"
+             << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    json << "  ]\n}\n";
+    std::printf("\nwrote BENCH_mcmc.json (%zu rows)\n", rows.size());
+    return 0;
+}

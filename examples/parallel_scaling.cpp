@@ -1,11 +1,15 @@
-// Demonstrate the paper's central claim: the GMH sampler scales with
-// parallel width because burn-in work parallelizes too, while the
-// multi-chain workaround pays B per chain (Eq. 27).
+// Demonstrate the paper's central claim through the unified sampler
+// runtime: the GMH sampler scales with parallel width because burn-in work
+// parallelizes too, while the multi-chain workaround pays B per chain
+// (Eq. 27). Heated (MC^3) sweeps now also run across the pool — every
+// strategy goes through the same SamplerRun path, so the sweep below is a
+// single loop over strategies.
 //
 //   $ ./examples/parallel_scaling [--samples N] [--seqs n] [--length L]
 //
-// Prints a thread sweep: wall time and speedup for the GMH E-step, next to
-// the serial MH baseline.
+// Prints a thread sweep (wall time + speedup vs 1 thread) for GMH,
+// multi-chain and heated MC^3, next to the serial MH reference, then shows
+// convergence-driven stopping ending an E-step before the sample cap.
 #include <cstdio>
 
 #include "coalescent/simulator.h"
@@ -46,19 +50,49 @@ int main(int argc, char** argv) {
     std::printf("serial MH baseline: %.3fs for %zu samples (%d seqs x %zu bp)\n\n", mhTime,
                 samples, nSeq, length);
 
-    Table table({"threads", "gmh time (s)", "speedup vs serial MH", "scaling vs 1 thread"});
-    double oneThread = 0.0;
-    for (const unsigned threads : {1u, 2u, 4u, 8u, 16u, hardwareThreads()}) {
-        if (threads > hardwareThreads()) continue;
-        ThreadPool pool(threads);
-        MpcgsOptions gmh = base;
-        gmh.strategy = Strategy::Gmh;
-        const double t = estimateTheta(data, gmh, &pool).samplingSeconds;
-        if (threads == 1) oneThread = t;
-        table.addRow({Table::integer(threads), Table::num(t, 3), Table::num(mhTime / t, 2),
-                      Table::num(oneThread / t, 2)});
+    // One sweep per strategy — identical driver code, only the enum
+    // changes. Burn-in parallelizes inside GMH; multi-chain pays B per
+    // chain; MC^3 steps its whole ladder concurrently each sweep.
+    const std::pair<const char*, Strategy> strategies[] = {
+        {"gmh", Strategy::Gmh},
+        {"multichain", Strategy::MultiChain},
+        {"heated", Strategy::HeatedMh},
+    };
+    for (const auto& [name, strategy] : strategies) {
+        Table table({"threads", "time (s)", "speedup vs serial MH", "scaling vs 1 thread"});
+        double oneThread = 0.0;
+        for (const unsigned threads : {1u, 2u, 4u, 8u, 16u, hardwareThreads()}) {
+            if (threads > hardwareThreads()) continue;
+            ThreadPool pool(threads);
+            MpcgsOptions opts = base;
+            opts.strategy = strategy;
+            if (strategy == Strategy::MultiChain) opts.chains = threads;
+            const double t = estimateTheta(data, opts, &pool).samplingSeconds;
+            if (threads == 1) oneThread = t;
+            table.addRow({Table::integer(threads), Table::num(t, 3),
+                          Table::num(mhTime / t, 2), Table::num(oneThread / t, 2)});
+        }
+        std::printf("strategy: %s\n", name);
+        table.print(std::cout);
+        std::printf("\n");
     }
-    table.print(std::cout);
+
+    // Convergence-driven stopping: instead of a fixed sample budget, end
+    // the E-step once cross-chain R-hat and pooled ESS clear their bars.
+    MpcgsOptions adaptive = base;
+    adaptive.strategy = Strategy::MultiChain;
+    adaptive.chains = 4;
+    adaptive.samplesPerIteration = samples * 4;  // generous cap
+    adaptive.stopRhat = 1.05;
+    adaptive.stopEss = 200.0;
+    ThreadPool pool(hardwareThreads());
+    const MpcgsResult res = estimateTheta(data, adaptive, &pool);
+    const auto& h = res.history.front();
+    std::printf("convergence-driven stop: %zu of %zu samples used (%s), "
+                "R-hat %.4f, pooled ESS %.0f, theta %.4g\n",
+                h.samples, adaptive.samplesPerIteration,
+                h.stoppedEarly ? "stopped early" : "ran to cap", h.rhat, h.ess, res.theta);
+
     std::printf("\nGMH makes N=%zu proposals per iteration; each is an independent\n"
                 "likelihood evaluation, so the E-step parallelizes without a serial\n"
                 "burn-in bottleneck.\n",

@@ -6,13 +6,27 @@ namespace mpcgs {
 
 CachedMhSampler::CachedMhSampler(const DataLikelihood& lik, double theta, Genealogy init,
                                  std::uint64_t seed, ThreadPool* pool)
+    : CachedMhSampler(lik, theta, std::move(init),
+                      Mt19937(static_cast<std::uint32_t>(seed ^ (seed >> 32))), pool) {}
+
+CachedMhSampler::CachedMhSampler(const DataLikelihood& lik, double theta, Genealogy init,
+                                 Mt19937 rng, ThreadPool* pool)
     : lik_(lik),
       theta_(theta),
       pool_(pool),
       cache_(lik),
       current_(std::move(init)),
       logLik_(cache_.evaluate(current_, pool)),
-      rng_(static_cast<std::uint32_t>(seed ^ (seed >> 32))) {}
+      rng_(std::move(rng)) {}
+
+void CachedMhSampler::restore(Genealogy g, double logLik, std::size_t steps,
+                              std::size_t accepted) {
+    current_ = std::move(g);
+    cache_.evaluate(current_, pool_);
+    logLik_ = logLik;
+    steps_ = steps;
+    accepted_ = accepted;
+}
 
 bool CachedMhSampler::step() {
     // The old sibling's branch changes when its parent dissolves; record it

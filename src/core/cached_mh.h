@@ -28,6 +28,11 @@ class CachedMhSampler {
     CachedMhSampler(const DataLikelihood& lik, double theta, Genealogy init,
                     std::uint64_t seed, ThreadPool* pool = nullptr);
 
+    /// As above with an explicitly derived RNG stream (sampler runtime:
+    /// per-chain SplitMix64 streams).
+    CachedMhSampler(const DataLikelihood& lik, double theta, Genealogy init,
+                    Mt19937 rng, ThreadPool* pool = nullptr);
+
     /// One MH transition with dirty-path likelihood evaluation.
     bool step();
 
@@ -50,6 +55,18 @@ class CachedMhSampler {
         return steps_ == 0 ? 0.0 : static_cast<double>(accepted_) / static_cast<double>(steps_);
     }
     std::size_t steps() const { return steps_; }
+    std::size_t acceptedCount() const { return accepted_; }
+
+    /// RNG stream access for checkpointing.
+    Mt19937& rng() { return rng_; }
+    const Mt19937& rng() const { return rng_; }
+
+    /// Restore a snapshotted chain: the partials arena is re-primed with a
+    /// full evaluation of `g` (clean-node partials are a pure function of
+    /// the subtree, so subsequent dirty-path evaluations continue bitwise),
+    /// while `logLik` restores the incrementally maintained total exactly
+    /// as the interrupted run carried it.
+    void restore(Genealogy g, double logLik, std::size_t steps, std::size_t accepted);
 
   private:
     const DataLikelihood& lik_;

@@ -1,12 +1,10 @@
 #include "core/driver.h"
 
 #include <cmath>
+#include <memory>
+#include <utility>
 
-#include "core/cached_mh.h"
-#include "mcmc/gmh.h"
-#include "mcmc/heated.h"
-#include "mcmc/mh.h"
-#include "mcmc/multichain.h"
+#include "mcmc/checkpoint.h"
 #include "phylo/upgma.h"
 #include "seq/distance.h"
 #include "seq/subst_model.h"
@@ -25,105 +23,130 @@ std::unique_ptr<SubstModel> makeModel(const std::string& name, const Alignment& 
     throw ConfigError("unknown substitution model '" + name + "'");
 }
 
-/// One E-step with the GMH sampler; fills `summaries` and returns the final
-/// genealogy (warm start for the next EM iteration).
-Genealogy sampleGmh(const DataLikelihood& lik, double theta, Genealogy init,
-                    const MpcgsOptions& opts, std::uint64_t seed, ThreadPool* pool,
-                    std::vector<IntervalSummary>& summaries, double& moveRate) {
-    const GmhGenealogyProblem problem(lik, theta);
-    GmhOptions gopt;
-    gopt.numProposals = opts.gmhProposals;
-    gopt.samplesPerIteration = opts.gmhSamplesPerSet;
-    gopt.seed = seed;
-    GmhSampler<GmhGenealogyProblem> sampler(problem, gopt, pool);
-
-    const std::size_t sampleIters =
-        (opts.samplesPerIteration + gopt.samplesPerIteration - 1) / gopt.samplesPerIteration;
-    const std::size_t burnIters =
-        (sampleIters * opts.burnInFraction1000 + 999) / 1000;
-
-    summaries.clear();
-    summaries.reserve(sampleIters * gopt.samplesPerIteration);
-    auto sink = [&](const Genealogy& g) { summaries.push_back(IntervalSummary::fromGenealogy(g)); };
-    Genealogy last = sampler.run(std::move(init), burnIters, sampleIters, sink);
-    moveRate = sampler.stats().moveRate();
-    return last;
+SamplerSpec specFor(const MpcgsOptions& opts, std::uint64_t seed) {
+    SamplerSpec s;
+    s.strategy = opts.strategy;
+    s.seed = seed;
+    s.cachedBaseline = opts.cachedBaseline;
+    s.gmhProposals = opts.gmhProposals;
+    s.gmhSamplesPerSet = opts.gmhSamplesPerSet;
+    s.chains = opts.chains;
+    s.temperatures = opts.temperatures;
+    return s;
 }
 
-/// One E-step with the serial MH baseline (full recomputation by default;
-/// dirty-path likelihood caching with opts.cachedBaseline, whose pattern
-/// blocks run on `pool` when supplied).
-Genealogy sampleSerialMh(const DataLikelihood& lik, double theta, Genealogy init,
-                         const MpcgsOptions& opts, std::uint64_t seed, ThreadPool* pool,
-                         std::vector<IntervalSummary>& summaries, double& moveRate) {
-    const std::size_t samples = opts.samplesPerIteration;
-    const std::size_t burnIn = (samples * opts.burnInFraction1000 + 999) / 1000;
-    summaries.clear();
-    summaries.reserve(samples);
-    auto sink = [&](const Genealogy& g) {
-        summaries.push_back(IntervalSummary::fromGenealogy(g));
-    };
+struct RunGeometry {
+    std::size_t burnTicks = 0;
+    std::size_t capTicks = 0;
+};
 
-    if (opts.cachedBaseline) {
-        CachedMhSampler chain(lik, theta, std::move(init), seed, pool);
-        chain.run(burnIn, samples, sink);
-        moveRate = chain.acceptanceRate();
-        return chain.current();
+/// Tick budgets per strategy. A tick is the strategy's natural unit (MH
+/// step, GMH proposal set, multi-chain round, MC^3 sweep); the budgets
+/// reproduce the sample counts of the per-strategy glue this runtime
+/// replaced: ceil(M / samplesPerTick) sampling ticks, burn-in as the
+/// configured permille of the strategy's serial step count.
+RunGeometry geometryFor(const MpcgsOptions& opts) {
+    RunGeometry g;
+    switch (opts.strategy) {
+        case Strategy::Gmh: {
+            const std::size_t sampleIters =
+                (opts.samplesPerIteration + opts.gmhSamplesPerSet - 1) / opts.gmhSamplesPerSet;
+            g.capTicks = sampleIters;
+            g.burnTicks = (sampleIters * opts.burnInFraction1000 + 999) / 1000;
+            break;
+        }
+        case Strategy::SerialMh:
+        case Strategy::HeatedMh:
+            g.capTicks = opts.samplesPerIteration;
+            g.burnTicks = (opts.samplesPerIteration * opts.burnInFraction1000 + 999) / 1000;
+            break;
+        case Strategy::MultiChain:
+            g.capTicks = (opts.samplesPerIteration + opts.chains - 1) / opts.chains;
+            g.burnTicks = (opts.samplesPerIteration * opts.burnInFraction1000 + 999) / 1000;
+            break;
     }
-    const MhGenealogyProblem problem(lik, theta);
-    MhChain<MhGenealogyProblem> chain(problem, std::move(init), seed);
-    chain.run(burnIn, samples, sink);
-    moveRate = chain.acceptanceRate();
-    return chain.current();
+    return g;
 }
 
-/// One E-step with Metropolis-coupled chains: the cold chain is sampled,
-/// the heated chains improve mixing through swap moves.
-Genealogy sampleHeatedMh(const DataLikelihood& lik, double theta, Genealogy init,
-                         const MpcgsOptions& opts, std::uint64_t seed,
-                         std::vector<IntervalSummary>& summaries, double& moveRate) {
-    const MhGenealogyProblem problem(lik, theta);
-    HeatedOptions hopt;
-    hopt.temperatures = opts.temperatures;
-    hopt.seed = seed;
-    HeatedChains<MhGenealogyProblem> chains(problem, std::move(init), hopt);
-    const std::size_t samples = opts.samplesPerIteration;
-    const std::size_t burnIn = (samples * opts.burnInFraction1000 + 999) / 1000;
-
-    summaries.clear();
-    summaries.reserve(samples);
-    chains.run(burnIn, samples,
-               [&](const Genealogy& g) { summaries.push_back(IntervalSummary::fromGenealogy(g)); });
-    moveRate = chains.stats().swapRate();
-    return chains.cold();
+std::uint64_t emSeed(const MpcgsOptions& opts, std::size_t em) {
+    return opts.seed + em * 0x632BE59BD9B4E019ull;
 }
 
-/// One E-step with the aggregated multi-chain baseline (each chain pays the
-/// full burn-in, §3).
-Genealogy sampleMultiChain(const DataLikelihood& lik, double theta, Genealogy init,
-                           const MpcgsOptions& opts, std::uint64_t seed, ThreadPool* pool,
-                           std::vector<IntervalSummary>& summaries, double& moveRate) {
-    const MhGenealogyProblem problem(lik, theta);
-    MultiChainOptions mopt;
-    mopt.chains = opts.chains;
-    mopt.totalSamples = opts.samplesPerIteration;
-    mopt.burnInPerChain = (opts.samplesPerIteration * opts.burnInFraction1000 + 999) / 1000;
-    mopt.seed = seed;
+// --- checkpoint layout -------------------------------------------------
+// fingerprint | emIndex theta | history | warm genealogy | phase
+// (0 = iteration start, 1 = mid-iteration: progress + sampler + sinks).
+// emIterations is deliberately NOT part of the fingerprint: a resumed run
+// may extend the EM horizon of the interrupted one.
 
-    summaries.clear();
-    summaries.reserve(opts.samplesPerIteration + opts.chains);
-    std::mutex mu;
-    const auto acceptance = runMultiChain(
-        problem, init, mopt,
-        [&](const Genealogy& g) {
-            std::lock_guard<std::mutex> lk(mu);
-            summaries.push_back(IntervalSummary::fromGenealogy(g));
-        },
-        pool);
-    double acc = 0.0;
-    for (const double a : acceptance) acc += a;
-    moveRate = acceptance.empty() ? 0.0 : acc / static_cast<double>(acceptance.size());
-    return init;  // multi-chain has no single continuing state
+void writeFingerprint(CheckpointWriter& w, const MpcgsOptions& opts, const Alignment& aln) {
+    w.u32(static_cast<std::uint32_t>(opts.strategy));
+    w.u64(opts.seed);
+    w.u64(opts.samplesPerIteration);
+    w.u64(opts.burnInFraction1000);
+    w.u64(opts.gmhProposals);
+    w.u64(opts.gmhSamplesPerSet);
+    w.u64(opts.chains);
+    w.doubles(opts.temperatures);
+    w.str(opts.substModel);
+    w.u32(opts.cachedBaseline ? 1 : 0);
+    w.f64(opts.theta0);
+    w.f64(opts.stopRhat);
+    w.f64(opts.stopEss);
+    w.u64(aln.sequenceCount());
+    w.u64(aln.length());
+}
+
+void checkFingerprint(CheckpointReader& r, const MpcgsOptions& opts, const Alignment& aln) {
+    bool ok = true;
+    ok &= r.u32() == static_cast<std::uint32_t>(opts.strategy);
+    ok &= r.u64() == opts.seed;
+    ok &= r.u64() == opts.samplesPerIteration;
+    ok &= r.u64() == opts.burnInFraction1000;
+    ok &= r.u64() == opts.gmhProposals;
+    ok &= r.u64() == opts.gmhSamplesPerSet;
+    ok &= r.u64() == opts.chains;
+    ok &= r.doubles() == opts.temperatures;
+    ok &= r.str() == opts.substModel;
+    ok &= r.u32() == (opts.cachedBaseline ? 1u : 0u);
+    ok &= r.f64() == opts.theta0;
+    ok &= r.f64() == opts.stopRhat;
+    ok &= r.f64() == opts.stopEss;
+    ok &= r.u64() == aln.sequenceCount();
+    ok &= r.u64() == aln.length();
+    if (!ok)
+        throw ConfigError(
+            "resume: checkpoint was written by an incompatible run configuration");
+}
+
+void writeHistory(CheckpointWriter& w, const std::vector<EmIterationRecord>& history) {
+    w.u64(history.size());
+    for (const EmIterationRecord& h : history) {
+        w.f64(h.thetaBefore);
+        w.f64(h.thetaAfter);
+        w.f64(h.logLAtMax);
+        w.f64(h.seconds);
+        w.f64(h.moveRate);
+        w.u64(h.samples);
+        w.f64(h.rhat);
+        w.f64(h.ess);
+        w.u32(h.stoppedEarly ? 1 : 0);
+    }
+}
+
+std::vector<EmIterationRecord> readHistory(CheckpointReader& r) {
+    std::vector<EmIterationRecord> history(r.u64());
+    for (EmIterationRecord& h : history) {
+        h.thetaBefore = r.f64();
+        h.thetaAfter = r.f64();
+        h.logLAtMax = r.f64();
+        h.seconds = r.f64();
+        h.moveRate = r.f64();
+        h.samples = r.u64();
+        h.rhat = r.f64();
+        h.ess = r.f64();
+        h.stoppedEarly = r.u32() != 0;
+    }
+    return history;
 }
 
 }  // namespace
@@ -142,6 +165,12 @@ MpcgsResult estimateTheta(const Alignment& aln, const MpcgsOptions& opts, Thread
     if (opts.samplesPerIteration == 0) throw ConfigError("estimateTheta: need samples");
     if (opts.strategy == Strategy::Gmh && aln.sequenceCount() < 3)
         throw ConfigError("estimateTheta: GMH needs at least 3 sequences");
+    if (opts.strategy == Strategy::Gmh && opts.gmhSamplesPerSet == 0)
+        throw ConfigError("estimateTheta: GMH needs gmhSamplesPerSet >= 1");
+    if (opts.strategy == Strategy::MultiChain && opts.chains == 0)
+        throw ConfigError("estimateTheta: MultiChain needs chains >= 1");
+    if (opts.resume && opts.checkpointPath.empty())
+        throw ConfigError("estimateTheta: resume requires a checkpointPath");
 
     Timer total;
     const auto model = makeModel(opts.substModel, aln);
@@ -150,35 +179,98 @@ MpcgsResult estimateTheta(const Alignment& aln, const MpcgsOptions& opts, Thread
     MpcgsResult result;
     double theta = opts.theta0;
     Genealogy current = initialGenealogy(aln, theta);
+    std::size_t emStart = 0;
 
+    // Mid-iteration resume payload stays open until the iteration's
+    // sampler and sinks exist to load into.
+    std::unique_ptr<CheckpointReader> resumeReader;
+    bool resumeMidIteration = false;
+    std::size_t resumeBurnDone = 0;
+    std::size_t resumeSampleDone = 0;
+    bool resumeStopped = false;
+
+    if (opts.resume) {
+        resumeReader = std::make_unique<CheckpointReader>(opts.checkpointPath);
+        checkFingerprint(*resumeReader, opts, aln);
+        emStart = resumeReader->u64();
+        theta = resumeReader->f64();
+        result.history = readHistory(*resumeReader);
+        for (const EmIterationRecord& h : result.history) result.samplingSeconds += h.seconds;
+        current = readGenealogy(*resumeReader);
+        if (resumeReader->u32() == 1) {
+            resumeMidIteration = true;
+            resumeBurnDone = resumeReader->u64();
+            resumeSampleDone = resumeReader->u64();
+            resumeStopped = resumeReader->u32() != 0;
+        } else {
+            resumeReader.reset();
+        }
+        if (emStart >= opts.emIterations)
+            throw ConfigError("resume: checkpoint already covers all requested EM iterations");
+    }
+
+    const RunGeometry geom = geometryFor(opts);
     std::vector<IntervalSummary> summaries;
-    for (std::size_t em = 0; em < opts.emIterations; ++em) {
+
+    for (std::size_t em = emStart; em < opts.emIterations; ++em) {
         EmIterationRecord rec;
         rec.thetaBefore = theta;
-        const std::uint64_t seed = opts.seed + em * 0x632BE59BD9B4E019ull;
 
         Timer estep;
-        switch (opts.strategy) {
-            case Strategy::Gmh:
-                current = sampleGmh(lik, theta, std::move(current), opts, seed, pool, summaries,
-                                    rec.moveRate);
-                break;
-            case Strategy::SerialMh:
-                current = sampleSerialMh(lik, theta, std::move(current), opts, seed, pool,
-                                         summaries, rec.moveRate);
-                break;
-            case Strategy::MultiChain:
-                current = sampleMultiChain(lik, theta, std::move(current), opts, seed, pool,
-                                           summaries, rec.moveRate);
-                break;
-            case Strategy::HeatedMh:
-                current = sampleHeatedMh(lik, theta, std::move(current), opts, seed, summaries,
-                                         rec.moveRate);
-                break;
+        const Genealogy emInit = current;  // warm start, recorded in snapshots
+        auto sampler =
+            makeSampler(specFor(opts, emSeed(opts, em)), lik, theta, std::move(current), pool);
+        SummarySink sink;
+        ConvergenceMonitor monitor;
+
+        SamplerRun::Config cfg;
+        cfg.burnInTicks = geom.burnTicks;
+        cfg.sampleTicks = geom.capTicks;
+        cfg.stopping.rhatBelow = opts.stopRhat;
+        cfg.stopping.essAtLeast = opts.stopEss;
+        cfg.checkpointInterval = opts.checkpointIntervalTicks;
+        if (!opts.checkpointPath.empty()) {
+            cfg.checkpoint = [&, em](std::size_t burnDone, std::size_t sampleDone,
+                                     bool stopped) {
+                CheckpointWriter w(opts.checkpointPath);
+                writeFingerprint(w, opts, aln);
+                w.u64(em);
+                w.f64(rec.thetaBefore);
+                writeHistory(w, result.history);
+                writeGenealogy(w, emInit);
+                w.u32(1);  // mid-iteration
+                w.u64(burnDone);
+                w.u64(sampleDone);
+                w.u32(stopped ? 1 : 0);
+                sampler->save(w);
+                sink.save(w);
+                monitor.save(w);
+                w.commit();
+            };
         }
+
+        SamplerRun run(*sampler, cfg);
+        if (resumeMidIteration && em == emStart) {
+            sampler->load(*resumeReader);
+            sink.load(*resumeReader);
+            monitor.load(*resumeReader);
+            run.restoreProgress(resumeBurnDone, resumeSampleDone, resumeStopped);
+            resumeReader.reset();
+        }
+
+        const SamplerRunReport report = run.execute(sink, monitor);
         rec.seconds = estep.seconds();
         result.samplingSeconds += rec.seconds;
-        rec.samples = summaries.size();
+        rec.samples = report.samples;
+        rec.rhat = report.rhat;
+        rec.ess = report.ess;
+        rec.stoppedEarly = report.stoppedEarly;
+        const SamplerStats stats = sampler->stats();
+        rec.moveRate =
+            opts.strategy == Strategy::HeatedMh ? stats.swapRate() : stats.moveRate();
+
+        current = sampler->continuation();
+        summaries = sink.chainMajor();
 
         const RelativeLikelihood rl(summaries, theta);
         const MleResult mle = maximizeTheta(rl, theta, pool);
@@ -186,6 +278,19 @@ MpcgsResult estimateTheta(const Alignment& aln, const MpcgsOptions& opts, Thread
         rec.thetaAfter = theta;
         rec.logLAtMax = mle.logL;
         result.history.push_back(rec);
+
+        // EM-boundary snapshot: the next iteration restarts cleanly from
+        // here even if the process dies during the M-step bookkeeping.
+        if (!opts.checkpointPath.empty() && em + 1 < opts.emIterations) {
+            CheckpointWriter w(opts.checkpointPath);
+            writeFingerprint(w, opts, aln);
+            w.u64(em + 1);
+            w.f64(theta);
+            writeHistory(w, result.history);
+            writeGenealogy(w, current);
+            w.u32(0);  // iteration boundary
+            w.commit();
+        }
     }
 
     result.theta = theta;

@@ -4,11 +4,11 @@
 //   theta0 -> repeat { burn-in in parallel; sampling in parallel; MLE of
 //   theta; replace driving value } -> final estimate.
 //
-// Two sampling strategies implement the E-step: the paper's Generalized
-// Metropolis-Hastings sampler (Strategy::Gmh — the contribution) and the
-// serial single-chain Metropolis-Hastings baseline (Strategy::SerialMh —
-// the LAMARC stand-in). MultiChain aggregates P independent MH chains, the
-// §3 workaround whose Amdahl-limited scaling motivates the thesis.
+// Every E-step runs through the unified sampler runtime: estimateTheta
+// builds the strategy's Sampler (core/samplers.h) and drives it with one
+// SamplerRun — streaming chain-tagged samples into the summary sink and
+// the convergence monitor, optionally stopping early on R-hat/ESS, and
+// optionally snapshotting state for bitwise-identical resume.
 #pragma once
 
 #include <cstdint>
@@ -18,22 +18,16 @@
 #include "core/genealogy_problem.h"
 #include "core/mle.h"
 #include "core/posterior.h"
+#include "core/samplers.h"
 #include "par/thread_pool.h"
 #include "seq/alignment.h"
 
 namespace mpcgs {
 
-enum class Strategy {
-    Gmh,        ///< multiple-proposal sampler (the paper's method)
-    SerialMh,   ///< single serial MH chain (LAMARC baseline)
-    MultiChain, ///< P independent MH chains, aggregated (§3 baseline)
-    HeatedMh,   ///< Metropolis-coupled chains (LAMARC's heating feature)
-};
-
 struct MpcgsOptions {
     double theta0 = 1.0;            ///< driving value (2nd CLI argument)
     std::size_t emIterations = 4;   ///< outer EM loop count (Fig 11's N)
-    std::size_t samplesPerIteration = 4000;  ///< genealogies per E-step (M)
+    std::size_t samplesPerIteration = 4000;  ///< genealogy samples per E-step (M)
     std::size_t burnInFraction1000 = 100;    ///< burn-in as permille of samples
 
     Strategy strategy = Strategy::Gmh;
@@ -58,6 +52,21 @@ struct MpcgsOptions {
     /// SerialMh only: evaluate likelihoods incrementally via dirty-path
     /// caching, as production LAMARC does, instead of full recomputation.
     bool cachedBaseline = false;
+
+    // Convergence-driven stopping (0 disables each criterion): end an
+    // E-step before the sample cap once cross-chain R-hat of the
+    // log-posterior falls below stopRhat AND pooled ESS reaches stopEss.
+    double stopRhat = 0.0;          ///< e.g. 1.01
+    double stopEss = 0.0;           ///< e.g. 400
+
+    // Checkpoint/resume: with a non-empty path, snapshots are written
+    // periodically during sampling and at every EM boundary; with resume,
+    // estimateTheta continues from the snapshot at `checkpointPath` and
+    // produces the bitwise-identical final estimate of an uninterrupted
+    // run.
+    std::string checkpointPath;
+    std::size_t checkpointIntervalTicks = 0;  ///< ticks between snapshots (0 = auto)
+    bool resume = false;
 };
 
 struct EmIterationRecord {
@@ -65,8 +74,11 @@ struct EmIterationRecord {
     double thetaAfter = 0.0;
     double logLAtMax = 0.0;     ///< log relative likelihood at the estimate
     double seconds = 0.0;       ///< wall time of the E-step (sampling)
-    double moveRate = 0.0;      ///< GMH move rate / MH acceptance rate
+    double moveRate = 0.0;      ///< GMH move rate / MH acceptance / MC^3 swap rate
     std::size_t samples = 0;
+    double rhat = 0.0;          ///< last R-hat evaluated (0 = never checked)
+    double ess = 0.0;           ///< last pooled ESS evaluated
+    bool stoppedEarly = false;  ///< stopping rule fired before the cap
 };
 
 struct MpcgsResult {
@@ -82,9 +94,11 @@ struct MpcgsResult {
     double finalDrivingTheta = 0.0;
 };
 
-/// Full estimation pipeline. `pool` parallelizes the GMH proposal fan-out
-/// and the multi-chain ensemble; nullptr (or a 1-thread pool) runs
-/// serially — the baseline configuration of §6.2.
+/// Full estimation pipeline. `pool` parallelizes whatever the selected
+/// strategy can use it for (GMH proposal fan-out, multi-chain rounds, MC^3
+/// sweeps, pattern blocks); nullptr (or a 1-thread pool) runs serially —
+/// the baseline configuration of §6.2. Results are bitwise identical for
+/// any pool width.
 MpcgsResult estimateTheta(const Alignment& aln, const MpcgsOptions& opts,
                           ThreadPool* pool = nullptr);
 

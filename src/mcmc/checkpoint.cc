@@ -1,0 +1,230 @@
+#include "mcmc/checkpoint.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "phylo/tree.h"
+#include "rng/mt19937.h"
+
+namespace mpcgs {
+
+CheckpointWriter::CheckpointWriter(std::string path)
+    : path_(std::move(path)), out_(path_ + ".tmp", std::ios::binary | std::ios::trunc) {
+    if (!out_) throw CheckpointError("cannot open '" + path_ + ".tmp' for writing");
+    u32(kCheckpointMagic);
+    u32(kCheckpointVersion);
+}
+
+CheckpointWriter::~CheckpointWriter() {
+    if (!committed_) {
+        out_.close();
+        std::remove((path_ + ".tmp").c_str());
+    }
+}
+
+void CheckpointWriter::raw(const void* data, std::size_t bytes) {
+    out_.write(static_cast<const char*>(data), static_cast<std::streamsize>(bytes));
+    if (!out_) throw CheckpointError("write failed for '" + path_ + "'");
+}
+
+void CheckpointWriter::u32(std::uint32_t v) { raw(&v, sizeof v); }
+void CheckpointWriter::u64(std::uint64_t v) { raw(&v, sizeof v); }
+void CheckpointWriter::f64(double v) { raw(&v, sizeof v); }
+
+void CheckpointWriter::str(const std::string& s) {
+    u64(s.size());
+    raw(s.data(), s.size());
+}
+
+void CheckpointWriter::doubles(std::span<const double> xs) {
+    u64(xs.size());
+    raw(xs.data(), xs.size() * sizeof(double));
+}
+
+namespace {
+
+/// Force `path`'s data (or, for a directory, its entries) to stable
+/// storage. Without this, journaling filesystems with delayed allocation
+/// can persist the rename before the staged file's blocks, leaving an
+/// empty snapshot after a power loss.
+bool syncPath(const std::string& path) {
+#if defined(__unix__) || defined(__APPLE__)
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return false;
+    const bool ok = ::fsync(fd) == 0;
+    ::close(fd);
+    return ok;
+#else
+    (void)path;
+    return true;
+#endif
+}
+
+}  // namespace
+
+void CheckpointWriter::commit() {
+    out_.flush();
+    out_.close();
+    if (!out_) throw CheckpointError("flush failed for '" + path_ + "'");
+    if (!syncPath(path_ + ".tmp"))
+        throw CheckpointError("fsync failed for '" + path_ + ".tmp'");
+    std::error_code ec;
+    std::filesystem::rename(path_ + ".tmp", path_, ec);
+    if (ec) throw CheckpointError("rename to '" + path_ + "' failed: " + ec.message());
+    // Best effort: make the rename itself durable (not every filesystem
+    // supports fsync on a directory handle).
+    syncPath(std::filesystem::path(path_).has_parent_path()
+                 ? std::filesystem::path(path_).parent_path().string()
+                 : std::string("."));
+    committed_ = true;
+}
+
+CheckpointReader::CheckpointReader(const std::string& path)
+    : in_(path, std::ios::binary | std::ios::ate) {
+    if (!in_) throw CheckpointError("cannot open '" + path + "'");
+    fileSize_ = static_cast<std::uint64_t>(in_.tellg());
+    in_.seekg(0);
+    if (u32() != kCheckpointMagic) throw CheckpointError("'" + path + "' is not a snapshot");
+    const std::uint32_t version = u32();
+    if (version != kCheckpointVersion)
+        throw CheckpointError("'" + path + "' has format version " + std::to_string(version) +
+                              ", expected " + std::to_string(kCheckpointVersion));
+}
+
+void CheckpointReader::raw(void* data, std::size_t bytes) {
+    in_.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
+    if (in_.gcount() != static_cast<std::streamsize>(bytes))
+        throw CheckpointError("truncated snapshot");
+}
+
+std::uint32_t CheckpointReader::u32() {
+    std::uint32_t v;
+    raw(&v, sizeof v);
+    return v;
+}
+
+std::uint64_t CheckpointReader::u64() {
+    std::uint64_t v;
+    raw(&v, sizeof v);
+    return v;
+}
+
+double CheckpointReader::f64() {
+    double v;
+    raw(&v, sizeof v);
+    return v;
+}
+
+std::uint64_t CheckpointReader::remaining() {
+    const auto pos = static_cast<std::uint64_t>(in_.tellg());
+    return pos > fileSize_ ? 0 : fileSize_ - pos;
+}
+
+void CheckpointReader::requireRemaining(std::uint64_t bytes) {
+    if (bytes > remaining()) throw CheckpointError("corrupt snapshot: length exceeds file");
+}
+
+std::string CheckpointReader::str() {
+    const std::uint64_t n = u64();
+    requireRemaining(n);
+    std::string s(n, '\0');
+    raw(s.data(), s.size());
+    return s;
+}
+
+std::vector<double> CheckpointReader::doubles() {
+    const std::uint64_t n = u64();
+    // Divide rather than multiply: n * sizeof(double) could wrap.
+    if (n > remaining() / sizeof(double))
+        throw CheckpointError("corrupt snapshot: length exceeds file");
+    std::vector<double> xs(n);
+    raw(xs.data(), xs.size() * sizeof(double));
+    return xs;
+}
+
+bool checkpointExists(const std::string& path) {
+    std::error_code ec;
+    return std::filesystem::exists(path, ec) && !ec;
+}
+
+void writeGenealogy(CheckpointWriter& w, const Genealogy& g) {
+    w.u64(static_cast<std::uint64_t>(g.tipCount()));
+    w.u64(static_cast<std::uint64_t>(g.nodeCount()));
+    w.u64(static_cast<std::uint64_t>(g.root()));
+    for (NodeId id = 0; id < g.nodeCount(); ++id) {
+        const TreeNode& n = g.node(id);
+        w.u64(static_cast<std::uint64_t>(n.parent));
+        w.u64(static_cast<std::uint64_t>(n.child[0]));
+        w.u64(static_cast<std::uint64_t>(n.child[1]));
+        w.f64(n.time);
+    }
+    w.u64(g.tipNames().size());
+    for (const auto& name : g.tipNames()) w.str(name);
+}
+
+Genealogy readGenealogy(CheckpointReader& r) {
+    const std::uint64_t tips64 = r.u64();
+    const std::uint64_t nodes64 = r.u64();
+    // Validate against the bytes actually present (4 u64-sized fields per
+    // node) before allocating anything from untrusted lengths.
+    if (tips64 < 2 || nodes64 != 2 * tips64 - 1 ||
+        nodes64 > r.remaining() / (4 * sizeof(std::uint64_t)))
+        throw CheckpointError("corrupt snapshot: implausible genealogy shape");
+    const auto tips = static_cast<int>(tips64);
+    const auto nodes = static_cast<int>(nodes64);
+    Genealogy g(tips);
+    if (g.nodeCount() != nodes) throw CheckpointError("genealogy node count mismatch");
+    // Every node reference must land inside the arena (or be kNoNode)
+    // before anything traverses the restored tree.
+    const auto nodeRef = [nodes](std::uint64_t raw) {
+        const auto id = static_cast<NodeId>(static_cast<std::int64_t>(raw));
+        if (id != kNoNode && (id < 0 || id >= nodes))
+            throw CheckpointError("corrupt snapshot: genealogy node index out of range");
+        return id;
+    };
+    g.setRoot(nodeRef(r.u64()));
+    for (NodeId id = 0; id < nodes; ++id) {
+        TreeNode& n = g.node(id);
+        n.parent = nodeRef(r.u64());
+        n.child[0] = nodeRef(r.u64());
+        n.child[1] = nodeRef(r.u64());
+        n.time = r.f64();
+    }
+    try {
+        g.validate();
+    } catch (const Error& e) {
+        throw CheckpointError(std::string("corrupt snapshot: ") + e.what());
+    }
+    const std::uint64_t names = r.u64();
+    if (names > r.remaining() / sizeof(std::uint64_t))  // every name carries a length word
+        throw CheckpointError("corrupt snapshot: implausible tip name count");
+    if (names > 0) {
+        std::vector<std::string> tipNames(names);
+        for (auto& name : tipNames) name = r.str();
+        g.setTipNames(std::move(tipNames));
+    }
+    return g;
+}
+
+void writeRng(CheckpointWriter& w, const Mt19937& rng) {
+    std::uint32_t words[Mt19937::kStateWords];
+    rng.saveState(words);
+    for (const std::uint32_t word : words) w.u32(word);
+}
+
+void readRng(CheckpointReader& r, Mt19937& rng) {
+    std::uint32_t words[Mt19937::kStateWords];
+    for (std::uint32_t& word : words) word = r.u32();
+    // The cursor indexes the 624-word state; N itself means "twist before
+    // the next draw". Anything larger is corruption.
+    if (words[Mt19937::kStateWords - 1] >= Mt19937::kStateWords)
+        throw CheckpointError("corrupt snapshot: RNG cursor out of range");
+    rng.loadState(words);
+}
+
+}  // namespace mpcgs

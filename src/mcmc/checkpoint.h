@@ -1,0 +1,105 @@
+// Versioned binary snapshots of sampler runtime state (checkpoint/resume).
+//
+// A checkpoint captures everything a run needs for bitwise-identical
+// continuation: chain genealogies, log-posteriors, full RNG states, sweep
+// and sample counters, the streamed summaries collected so far and the
+// convergence-monitor traces. The writer stages into `<path>.tmp` and
+// renames on commit, so a crash mid-write never clobbers the previous
+// snapshot.
+//
+// Format: little-endian host-native binary. Header = magic 'MPCK' (u32) +
+// format version (u32); the rest is a flat sequence of primitives written
+// and read in lockstep by the owning components (driver context, sampler
+// state, sink contents). Snapshots are not portable across architectures
+// with different endianness or double format — they are restart files, not
+// an interchange format.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace mpcgs {
+
+class Genealogy;
+class Mt19937;
+
+/// Corrupt, truncated, or incompatible snapshot file.
+class CheckpointError : public Error {
+  public:
+    explicit CheckpointError(const std::string& what)
+        : Error("checkpoint error: " + what) {}
+};
+
+inline constexpr std::uint32_t kCheckpointMagic = 0x4B43504Du;  // "MPCK"
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+class CheckpointWriter {
+  public:
+    /// Opens `<path>.tmp` and writes the header. Nothing becomes visible at
+    /// `path` until commit().
+    explicit CheckpointWriter(std::string path);
+    ~CheckpointWriter();
+
+    CheckpointWriter(const CheckpointWriter&) = delete;
+    CheckpointWriter& operator=(const CheckpointWriter&) = delete;
+
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+    void f64(double v);
+    void str(const std::string& s);
+    void doubles(std::span<const double> xs);
+
+    /// Flush and atomically rename the staging file onto `path`.
+    void commit();
+
+  private:
+    void raw(const void* data, std::size_t bytes);
+
+    std::string path_;
+    std::ofstream out_;
+    bool committed_ = false;
+};
+
+class CheckpointReader {
+  public:
+    /// Opens `path` and validates the header. Throws CheckpointError when
+    /// the file is missing, truncated, or has the wrong magic/version.
+    explicit CheckpointReader(const std::string& path);
+
+    std::uint32_t u32();
+    std::uint64_t u64();
+    double f64();
+    std::string str();
+    std::vector<double> doubles();
+
+    /// Bytes left in the file. Length fields read from the snapshot are
+    /// validated against this before any allocation, so a corrupt length
+    /// word raises CheckpointError instead of a huge allocation.
+    std::uint64_t remaining();
+    void requireRemaining(std::uint64_t bytes);
+
+  private:
+    void raw(void* data, std::size_t bytes);
+
+    std::ifstream in_;
+    std::uint64_t fileSize_ = 0;
+};
+
+/// True when a snapshot file exists at `path`.
+bool checkpointExists(const std::string& path);
+
+// Serialization helpers for the two composite types every sampler state
+// contains. Node times and tip names round-trip exactly, so a restored
+// genealogy compares equal (operator==) to the saved one.
+void writeGenealogy(CheckpointWriter& w, const Genealogy& g);
+Genealogy readGenealogy(CheckpointReader& r);
+
+void writeRng(CheckpointWriter& w, const Mt19937& rng);
+void readRng(CheckpointReader& r, Mt19937& rng);
+
+}  // namespace mpcgs

@@ -27,6 +27,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -36,6 +37,20 @@
 #include "util/logspace.h"
 
 namespace mpcgs {
+
+namespace detail {
+/// Invoke a sampler sink with (state, logPosterior) when it accepts the
+/// pair, falling back to the classic single-argument form. Lets the
+/// runtime stream log-posteriors without breaking existing sinks.
+template <class Sink, class State>
+void emitSample(Sink* sink, const State& s, double logPost) {
+    if (!sink) return;
+    if constexpr (std::is_invocable_v<Sink&, const State&, double>)
+        (*sink)(s, logPost);
+    else
+        (*sink)(s);
+}
+}  // namespace detail
 
 struct GmhOptions {
     std::size_t numProposals = 16;         ///< N proposals per iteration
@@ -70,20 +85,46 @@ class GmhSampler {
 
     /// Run `burnInIters` discarded iterations then `sampleIters` recorded
     /// iterations; every recorded iteration emits samplesPerIteration
-    /// states to sink(const State&). Returns the final state.
+    /// states to sink(const State&) (or sink(const State&, double logPost)
+    /// when the sink accepts it). Returns the final state.
     template <class Sink>
     State run(State init, std::size_t burnInIters, std::size_t sampleIters, Sink&& sink) {
-        State current = std::move(init);
-        // The generator's posterior is carried between iterations (it was
-        // computed when the state was proposed), so no serial likelihood
-        // evaluation remains inside an iteration.
-        double currentLogPost = problem_.logPosterior(current);
+        start(std::move(init));
         using SinkT = std::remove_reference_t<Sink>;
-        for (std::size_t it = 0; it < burnInIters; ++it)
-            current = iterate(std::move(current), currentLogPost, static_cast<SinkT*>(nullptr));
-        for (std::size_t it = 0; it < sampleIters; ++it)
-            current = iterate(std::move(current), currentLogPost, &sink);
-        return current;
+        for (std::size_t it = 0; it < burnInIters; ++it) tick(static_cast<SinkT*>(nullptr));
+        for (std::size_t it = 0; it < sampleIters; ++it) tick(&sink);
+        return std::move(current_);
+    }
+
+    /// Tick-level interface for the sampler runtime: start() installs the
+    /// initial state (evaluating its posterior once — the generator's
+    /// posterior is carried between iterations afterwards, so no serial
+    /// likelihood evaluation remains inside an iteration), then each tick()
+    /// performs one Algorithm-1 iteration.
+    void start(State init) {
+        current_ = std::move(init);
+        currentLogPost_ = problem_.logPosterior(current_);
+    }
+
+    template <class Sink>
+    void tick(Sink* sink) {
+        current_ = iterate(std::move(current_), currentLogPost_, sink);
+    }
+
+    const State& current() const { return current_; }
+    double currentLogPosterior() const { return currentLogPost_; }
+    std::uint64_t iteration() const { return iteration_; }
+    Mt19937& hostRng() { return hostRng_; }
+    const Mt19937& hostRng() const { return hostRng_; }
+
+    /// Restore a snapshotted sampler mid-run (the host RNG is restored
+    /// separately through hostRng(); proposal streams are counter-based
+    /// Philox keyed by the iteration counter, so they need no state).
+    void restore(State s, double logPost, std::uint64_t iteration, GmhStats stats) {
+        current_ = std::move(s);
+        currentLogPost_ = logPost;
+        iteration_ = iteration;
+        stats_ = stats;
     }
 
     const GmhStats& stats() const { return stats_; }
@@ -128,7 +169,7 @@ class GmhSampler {
             last = hostRng_.categorical(probs);
             ++stats_.samplesDrawn;
             if (last == n) ++stats_.generatorResampled;
-            if (sink) (*sink)(members[last]);
+            detail::emitSample(sink, members[last], logPost[last]);
         }
         ++stats_.iterations;
         ++iteration_;
@@ -142,6 +183,8 @@ class GmhSampler {
     Mt19937 hostRng_;
     GmhStats stats_;
     std::uint64_t iteration_ = 0;
+    State current_{};
+    double currentLogPost_ = 0.0;
 };
 
 }  // namespace mpcgs

@@ -27,10 +27,17 @@ class MhChain {
     using State = typename Problem::State;
 
     MhChain(const Problem& problem, State init, std::uint64_t seed)
+        : MhChain(problem, std::move(init),
+                  Mt19937(static_cast<std::uint32_t>(seed ^ (seed >> 32)))) {}
+
+    /// Chain with an explicitly derived RNG stream — the sampler runtime
+    /// passes Mt19937::fromSplitMix(splitMix64At(seed, chain)) here so
+    /// every chain of an ensemble owns a decorrelated stream.
+    MhChain(const Problem& problem, State init, Mt19937 rng)
         : problem_(problem),
           current_(std::move(init)),
           logPost_(problem_.logPosterior(current_)),
-          rng_(static_cast<std::uint32_t>(seed ^ (seed >> 32))) {}
+          rng_(std::move(rng)) {}
 
     /// One MH transition; returns true when the proposal was accepted.
     bool step() {
@@ -63,8 +70,22 @@ class MhChain {
     const State& current() const { return current_; }
     double currentLogPosterior() const { return logPost_; }
     std::size_t steps() const { return steps_; }
+    std::size_t acceptedCount() const { return accepted_; }
     double acceptanceRate() const {
         return steps_ == 0 ? 0.0 : static_cast<double>(accepted_) / static_cast<double>(steps_);
+    }
+
+    /// RNG stream access for checkpointing.
+    Mt19937& rng() { return rng_; }
+    const Mt19937& rng() const { return rng_; }
+
+    /// Restore a snapshotted chain: state, its log-posterior and the
+    /// counters (the RNG is restored separately through rng()).
+    void restore(State s, double logPost, std::size_t steps, std::size_t accepted) {
+        current_ = std::move(s);
+        logPost_ = logPost;
+        steps_ = steps;
+        accepted_ = accepted;
     }
 
   private:

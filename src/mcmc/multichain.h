@@ -3,15 +3,26 @@
 // aggregated into one sample set. Per-processor cost is B + N/P, so
 // efficiency decays toward the Amdahl bound (Eq. 27) as P grows — the
 // motivating inefficiency the GMH sampler removes.
+//
+// Samples STREAM through the sink as each chain produces them: live memory
+// is O(P) chain states, not O(N) buffered samples (the old implementation
+// collected every chain's full sample vector before replaying it). The
+// sink is invoked as sink(state, chain, indexInChain); calls for one chain
+// arrive in index order from that chain's worker, calls for different
+// chains may be concurrent, and the (chain, index) tag lets consumers
+// place records chain-major deterministically without any cross-chain
+// synchronization. Each chain draws from its own SplitMix64-derived
+// Mt19937 stream, so the aggregate is bitwise invariant to the thread
+// count.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "mcmc/mh.h"
 #include "par/thread_pool.h"
+#include "rng/splitmix.h"
 
 namespace mpcgs {
 
@@ -22,31 +33,34 @@ struct MultiChainOptions {
     std::uint64_t seed = 1;
 };
 
-/// Run the ensemble; `sink(state)` is invoked once per aggregated sample
-/// (order is deterministic: chain-major). Returns per-chain acceptance
-/// rates. The chains execute concurrently on `pool` when provided.
+/// Number of samples each chain contributes: ceil(N / P).
+inline std::size_t multiChainSamplesPerChain(const MultiChainOptions& opts) {
+    return (opts.totalSamples + opts.chains - 1) / opts.chains;
+}
+
+/// Run the ensemble; `sink(state, chain, index)` is invoked once per
+/// sample, streamed as produced (see the header comment for the ordering
+/// and concurrency contract). Returns per-chain acceptance rates. The
+/// chains execute concurrently on `pool` when provided.
 template <class Problem, class Sink>
 std::vector<double> runMultiChain(const Problem& problem, typename Problem::State init,
                                   const MultiChainOptions& opts, Sink&& sink,
                                   ThreadPool* pool = nullptr) {
     using State = typename Problem::State;
-    const std::size_t perChain =
-        (opts.totalSamples + opts.chains - 1) / opts.chains;
+    const std::size_t perChain = multiChainSamplesPerChain(opts);
 
-    std::vector<std::vector<State>> collected(opts.chains);
     std::vector<double> acceptance(opts.chains, 0.0);
-
-    forEachIndex(pool, opts.chains, [&](std::size_t c) {
-        MhChain<Problem> chain(problem, init, opts.seed + 0x9E3779B9ull * (c + 1));
-        auto& out = collected[c];
-        out.reserve(perChain);
-        chain.run(opts.burnInPerChain, perChain,
-                  [&](const State& s) { out.push_back(s); });
-        acceptance[c] = chain.acceptanceRate();
-    });
-
-    for (const auto& chainSamples : collected)
-        for (const auto& s : chainSamples) sink(s);
+    forEachIndex(
+        pool, opts.chains,
+        [&](std::size_t c) {
+            MhChain<Problem> chain(problem, init,
+                                   Mt19937::fromSplitMix(splitMix64At(opts.seed, c + 1)));
+            std::size_t index = 0;
+            chain.run(opts.burnInPerChain, perChain,
+                      [&](const State& s) { sink(s, c, index++); });
+            acceptance[c] = chain.acceptanceRate();
+        },
+        /*grain=*/1);
     return acceptance;
 }
 

@@ -1,0 +1,181 @@
+#include "mcmc/sampler.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "mcmc/checkpoint.h"
+
+namespace mpcgs {
+
+void ConvergenceMonitor::beginRun(std::uint32_t chains) {
+    if (chains > traces_.size()) {
+        traces_.resize(chains);
+        stats_.resize(chains);
+    }
+}
+
+void ConvergenceMonitor::consume(const Genealogy&, const SampleTag& tag) {
+    traces_[tag.chain].push_back(tag.logPosterior);
+    stats_[tag.chain].add(tag.logPosterior);
+}
+
+std::size_t ConvergenceMonitor::minChainLength() const {
+    std::size_t n = std::numeric_limits<std::size_t>::max();
+    for (const auto& t : traces_) n = std::min(n, t.size());
+    return traces_.empty() ? 0 : n;
+}
+
+std::size_t ConvergenceMonitor::totalSamples() const {
+    std::size_t n = 0;
+    for (const auto& t : traces_) n += t.size();
+    return n;
+}
+
+double ConvergenceMonitor::rhat() const {
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    if (traces_.empty()) return kInf;
+    if (traces_.size() == 1) {
+        // Split-R-hat: compare the two halves of the (windowed) chain.
+        const auto& t = traces_.front();
+        const std::size_t n = std::min(t.size(), kDiagnosticWindow);
+        const std::size_t half = n / 2;
+        if (half < 2) return kInf;
+        const auto tail = t.end() - static_cast<std::ptrdiff_t>(n);
+        return gelmanRubin({std::vector<double>(tail, tail + static_cast<std::ptrdiff_t>(half)),
+                            std::vector<double>(t.end() - static_cast<std::ptrdiff_t>(half),
+                                                t.end())});
+    }
+    const std::size_t n = std::min(minChainLength(), kDiagnosticWindow);
+    if (n < 2) return kInf;
+    std::vector<std::vector<double>> windows;
+    windows.reserve(traces_.size());
+    for (const auto& t : traces_)
+        windows.emplace_back(t.end() - static_cast<std::ptrdiff_t>(n), t.end());
+    return gelmanRubin(windows);
+}
+
+double ConvergenceMonitor::pooledEss() const {
+    double ess = 0.0;
+    for (const auto& t : traces_) {
+        if (t.size() < 2) continue;
+        const std::size_t n = std::min(t.size(), kDiagnosticWindow);
+        const std::span<const double> window(t.data() + (t.size() - n), n);
+        const double windowEss = effectiveSampleSize(window);
+        // tau estimated on the window, ESS = n_total / tau.
+        ess += windowEss * (static_cast<double>(t.size()) / static_cast<double>(n));
+    }
+    return ess;
+}
+
+void ConvergenceMonitor::save(CheckpointWriter& w) const {
+    w.u64(traces_.size());
+    for (const auto& t : traces_) w.doubles(t);
+}
+
+void ConvergenceMonitor::load(CheckpointReader& r) {
+    const std::uint64_t chains = r.u64();
+    if (chains > r.remaining() / sizeof(std::uint64_t))  // every trace carries a length word
+        throw CheckpointError("corrupt snapshot: implausible chain count");
+    traces_.assign(chains, {});
+    stats_.assign(chains, RunningStats{});
+    for (std::uint64_t c = 0; c < chains; ++c) {
+        traces_[c] = r.doubles();
+        // Replaying the trace rebuilds the Welford accumulator with the
+        // exact sequence of adds, so the stats match the saved run bitwise.
+        for (const double x : traces_[c]) stats_[c].add(x);
+    }
+}
+
+bool StoppingRule::satisfied(const ConvergenceMonitor& m, double* rhatOut,
+                             double* essOut) const {
+    if (!enabled()) return false;
+    if (m.minChainLength() < minSamplesPerChain) return false;
+    // Evaluate both diagnostics up front (when needed for a criterion or a
+    // report slot), so callers always see the full picture even when the
+    // first criterion already fails.
+    double r = 0.0;
+    double e = 0.0;
+    if (rhatBelow > 0.0 || rhatOut) {
+        r = m.rhat();
+        if (rhatOut) *rhatOut = r;
+    }
+    if (essAtLeast > 0.0 || essOut) {
+        e = m.pooledEss();
+        if (essOut) *essOut = e;
+    }
+    if (rhatBelow > 0.0 && !(r < rhatBelow)) return false;
+    if (essAtLeast > 0.0 && !(e >= essAtLeast)) return false;
+    return true;
+}
+
+SamplerRun::SamplerRun(Sampler& sampler, Config cfg)
+    : sampler_(sampler), cfg_(std::move(cfg)) {}
+
+void SamplerRun::restoreProgress(std::size_t burnTicksDone, std::size_t sampleTicksDone,
+                                 bool stopped) {
+    burnDone_ = std::min(burnTicksDone, cfg_.burnInTicks);
+    sampleDone_ = std::min(sampleTicksDone, cfg_.sampleTicks);
+    stopped_ = stopped;
+}
+
+SamplerRunReport SamplerRun::execute(SampleSink& sink, ConvergenceMonitor& monitor) {
+    FanoutSink fanout;
+    fanout.add(&sink);
+    fanout.add(&monitor);
+    fanout.beginRun(sampler_.chainCount());
+
+    const std::size_t ckptEvery =
+        cfg_.checkpointInterval > 0
+            ? cfg_.checkpointInterval
+            : std::max<std::size_t>(1, (cfg_.burnInTicks + cfg_.sampleTicks) / 16);
+    const std::size_t checkEvery =
+        cfg_.stopping.checkInterval > 0
+            ? cfg_.stopping.checkInterval
+            : std::max<std::size_t>(1, cfg_.sampleTicks / 64);
+
+    std::size_t sinceCkpt = 0;
+    const auto maybeCheckpoint = [&](bool force) {
+        if (!cfg_.checkpoint) return;
+        if (!force && ++sinceCkpt < ckptEvery) return;
+        sinceCkpt = 0;
+        cfg_.checkpoint(burnDone_, sampleDone_, stopped_);
+    };
+
+    while (burnDone_ < cfg_.burnInTicks) {
+        sampler_.tick(nullptr);
+        ++burnDone_;
+        maybeCheckpoint(burnDone_ == cfg_.burnInTicks);
+    }
+
+    SamplerRunReport report;
+    if (stopped_) {
+        // Resumed from a snapshot taken after the stopping rule fired:
+        // re-derive the diagnostics from the restored monitor, sample no
+        // further.
+        report.stoppedEarly = true;
+        cfg_.stopping.satisfied(monitor, &report.rhat, &report.ess);
+    }
+    while (!stopped_ && sampleDone_ < cfg_.sampleTicks) {
+        sampler_.tick(&fanout);
+        ++sampleDone_;
+        if (cfg_.stopping.enabled() && sampleDone_ % checkEvery == 0 &&
+            cfg_.stopping.satisfied(monitor, &report.rhat, &report.ess)) {
+            report.stoppedEarly = true;
+            stopped_ = true;
+            break;
+        }
+        maybeCheckpoint(false);
+    }
+    // A capped run reports the diagnostics at the cap (not at the last
+    // periodic check), which also keeps a run resumed from an at-cap
+    // snapshot consistent with its uninterrupted counterpart.
+    if (!report.stoppedEarly && cfg_.stopping.enabled())
+        cfg_.stopping.satisfied(monitor, &report.rhat, &report.ess);
+    maybeCheckpoint(true);
+
+    report.samples = monitor.totalSamples();
+    report.ticks = sampleDone_;
+    return report;
+}
+
+}  // namespace mpcgs

@@ -1,0 +1,230 @@
+// Unified sampler runtime: the common interface every sampling strategy
+// (GMH, serial MH, cached MH, multi-chain, heated MC^3) runs behind, plus
+// the streaming sample pipeline and the orchestrator that drives burn-in,
+// sampling, convergence-driven stopping and checkpointing.
+//
+// Layering:
+//
+//   Sampler (abstract)        one tick() = one transition unit of the whole
+//     |                       strategy (MH step / GMH proposal set / MC^3
+//     |                       sweep / lockstep multi-chain round); emits
+//     |                       zero or more chain-tagged samples to a sink
+//   SampleSink (abstract)     streaming consumer; bounded memory, no
+//     |                       buffer-then-replay
+//   SamplerRun                burn-in -> sampling loop -> StoppingRule
+//                             checks -> periodic checkpoint callbacks
+//
+// Sink concurrency contract: for a fixed chain id, consume() calls arrive
+// in index order and never concurrently; calls for *different* chains may
+// overlap (each chain runs on one pool worker). Implementations keep
+// per-chain state disjoint and need no locking. The (chain, index) tag
+// makes aggregate order deterministic without cross-chain synchronization.
+//
+// Determinism: every chain owns a SplitMix64-derived RNG stream
+// (splitMix64At(seed, chain)), so results are bitwise invariant to the
+// thread count, and serialized RNG states make checkpointed runs continue
+// bitwise-identically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mcmc/diagnostics.h"
+#include "phylo/tree.h"
+#include "util/stats.h"
+
+namespace mpcgs {
+
+class CheckpointWriter;
+class CheckpointReader;
+
+/// Provenance of one streamed sample.
+struct SampleTag {
+    std::uint32_t chain = 0;    ///< logical chain that produced the sample
+    std::uint64_t index = 0;    ///< 0-based position within that chain
+    double logPosterior = 0.0;  ///< unnormalized log pi of the sample
+};
+
+/// Streaming consumer of chain-tagged samples (see the concurrency
+/// contract above).
+class SampleSink {
+  public:
+    virtual ~SampleSink() = default;
+
+    /// Called once before sampling starts (and again on resume) with the
+    /// producer's chain count; implementations pre-size per-chain slots
+    /// here (growing only — existing data is kept across resume).
+    virtual void beginRun(std::uint32_t chains) { (void)chains; }
+
+    virtual void consume(const Genealogy& g, const SampleTag& tag) = 0;
+};
+
+/// Fans every sample out to several sinks (not owned).
+class FanoutSink final : public SampleSink {
+  public:
+    void add(SampleSink* sink) {
+        if (sink) sinks_.push_back(sink);
+    }
+    void beginRun(std::uint32_t chains) override {
+        for (SampleSink* s : sinks_) s->beginRun(chains);
+    }
+    void consume(const Genealogy& g, const SampleTag& tag) override {
+        for (SampleSink* s : sinks_) s->consume(g, tag);
+    }
+
+  private:
+    std::vector<SampleSink*> sinks_;
+};
+
+/// Online per-chain statistics and scalar traces: running mean/variance of
+/// the log-posterior per chain plus the full per-chain trace the
+/// convergence diagnostics need. Memory is one double per sample — bounded
+/// by design compared to retaining genealogy states.
+class ConvergenceMonitor final : public SampleSink {
+  public:
+    void beginRun(std::uint32_t chains) override;
+    void consume(const Genealogy& g, const SampleTag& tag) override;
+
+    std::uint32_t chainCount() const { return static_cast<std::uint32_t>(traces_.size()); }
+    std::size_t minChainLength() const;
+    std::size_t totalSamples() const;
+    const std::vector<double>& trace(std::uint32_t chain) const { return traces_[chain]; }
+    const RunningStats& chainStats(std::uint32_t chain) const { return stats_[chain]; }
+
+    /// Diagnostics evaluate at most this many recent samples per chain, so
+    /// the per-check cost stays bounded no matter how long the run grows
+    /// (the stopping rule re-evaluates every few ticks; unwindowed ESS is
+    /// O(n^2) for slowly mixing chains).
+    static constexpr std::size_t kDiagnosticWindow = 4096;
+
+    /// Potential scale reduction of the log-posterior: cross-chain
+    /// Gelman-Rubin over the common (windowed) length for >= 2 chains,
+    /// split-R-hat (first half vs second half) for a single chain.
+    /// Returns +inf when there is too little data to estimate.
+    double rhat() const;
+
+    /// Pooled effective sample size: sum of per-chain ESS estimates. The
+    /// autocorrelation time is estimated on the recent window and scaled
+    /// to the full chain length (ESS = n / tau), so long well-mixed runs
+    /// keep accumulating ESS while the estimate stays O(window) to compute.
+    double pooledEss() const;
+
+    void save(CheckpointWriter& w) const;
+    void load(CheckpointReader& r);
+
+  private:
+    std::vector<std::vector<double>> traces_;
+    std::vector<RunningStats> stats_;
+};
+
+/// Convergence-driven stopping: keep sampling until the cross-chain R-hat
+/// drops below `rhatBelow` AND the pooled ESS reaches `essAtLeast`
+/// (whichever of the two is enabled), or until the sample cap. Disabled
+/// thresholds (<= 0) are ignored; with both disabled the rule never fires
+/// and the run always uses the full cap.
+struct StoppingRule {
+    double rhatBelow = 0.0;               ///< require rhat() < this (0 = off)
+    double essAtLeast = 0.0;              ///< require pooledEss() >= this (0 = off)
+    std::size_t minSamplesPerChain = 64;  ///< no checks before this much data
+    std::size_t checkInterval = 0;        ///< ticks between checks (0 = auto)
+
+    bool enabled() const { return rhatBelow > 0.0 || essAtLeast > 0.0; }
+    bool satisfied(const ConvergenceMonitor& m, double* rhatOut = nullptr,
+                   double* essOut = nullptr) const;
+};
+
+/// Counters common to all strategies. `steps`/`accepted` generalize: MH
+/// transitions vs accepted ones; GMH index draws vs draws that moved off
+/// the generator. Swap counters apply to MC^3 only.
+struct SamplerStats {
+    std::size_t steps = 0;
+    std::size_t accepted = 0;
+    std::size_t swapsProposed = 0;
+    std::size_t swapsAccepted = 0;
+
+    double moveRate() const {
+        return steps == 0 ? 0.0 : static_cast<double>(accepted) / static_cast<double>(steps);
+    }
+    double swapRate() const {
+        return swapsProposed == 0
+                   ? 0.0
+                   : static_cast<double>(swapsAccepted) / static_cast<double>(swapsProposed);
+    }
+};
+
+/// The unified sampler interface. One tick() advances the whole strategy by
+/// its natural unit and, when a sink is supplied, emits that tick's
+/// samples; a null sink is a burn-in tick (same chain dynamics, samples
+/// discarded). save()/load() round-trip the complete state — chain
+/// genealogies, log-posteriors, RNG streams, counters — for
+/// bitwise-identical continuation.
+class Sampler {
+  public:
+    virtual ~Sampler() = default;
+
+    virtual std::uint32_t chainCount() const = 0;   ///< sample-producing chains
+    virtual std::size_t samplesPerTick() const = 0; ///< samples emitted per sampling tick
+    virtual void tick(SampleSink* sink) = 0;
+    virtual const Genealogy& continuation() const = 0; ///< warm-start state
+    virtual SamplerStats stats() const = 0;
+
+    virtual void save(CheckpointWriter& w) const = 0;
+    virtual void load(CheckpointReader& r) = 0;
+};
+
+/// What one sampling phase did.
+struct SamplerRunReport {
+    std::size_t samples = 0;     ///< samples emitted (including pre-resume)
+    std::size_t ticks = 0;       ///< sampling ticks executed
+    bool stoppedEarly = false;   ///< stopping rule fired before the cap
+    double rhat = 0.0;           ///< last diagnostic values (0 = never evaluated)
+    double ess = 0.0;
+};
+
+/// Orchestrates one sampling phase of any Sampler: burn-in ticks, streamed
+/// sampling through the sink pipeline, stopping-rule checks at a fixed
+/// tick cadence, and a periodic checkpoint callback (the owner serializes
+/// its context plus the sampler at every invocation). Progress counters
+/// are restorable so an interrupted phase resumes exactly where the last
+/// snapshot left it.
+class SamplerRun {
+  public:
+    struct Config {
+        std::size_t burnInTicks = 0;
+        std::size_t sampleTicks = 0;  ///< cap on sampling ticks
+        StoppingRule stopping;
+        /// Invoked every `checkpointInterval` ticks (and at the end of
+        /// burn-in) with the progress counters; `stopped` records that the
+        /// stopping rule already ended the phase. Empty = no checkpointing.
+        std::function<void(std::size_t burnDone, std::size_t sampleDone, bool stopped)>
+            checkpoint;
+        std::size_t checkpointInterval = 0;  ///< ticks between snapshots (0 = auto)
+    };
+
+    SamplerRun(Sampler& sampler, Config cfg);
+
+    /// Resume progress bookkeeping from a snapshot (the sampler itself is
+    /// restored separately via Sampler::load). A snapshot taken after the
+    /// stopping rule fired resumes as already-complete — no extra ticks.
+    void restoreProgress(std::size_t burnTicksDone, std::size_t sampleTicksDone,
+                         bool stopped = false);
+
+    /// Run to completion (cap or stopping rule). `monitor` is part of the
+    /// sink pipeline and feeds the stopping rule; `sink` receives every
+    /// sample as well.
+    SamplerRunReport execute(SampleSink& sink, ConvergenceMonitor& monitor);
+
+    std::size_t burnTicksDone() const { return burnDone_; }
+    std::size_t sampleTicksDone() const { return sampleDone_; }
+
+  private:
+    Sampler& sampler_;
+    Config cfg_;
+    std::size_t burnDone_ = 0;
+    std::size_t sampleDone_ = 0;
+    bool stopped_ = false;
+};
+
+}  // namespace mpcgs

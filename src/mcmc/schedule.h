@@ -1,0 +1,55 @@
+// Chain-level scheduling across the ThreadPool.
+//
+// The runtime's ensemble strategies (multi-chain rounds, MC^3 sweeps) all
+// reduce to the same shape: P per-chain step functions that may run
+// concurrently, separated by serialized barrier sections (swap points,
+// sample emission, stopping checks). ChainScheduler packages that shape
+// with the determinism contract the runtime depends on: each chain touches
+// only its own state and RNG stream during the parallel section, so the
+// result is bitwise invariant to the worker count — the parallel section
+// only changes *when* chains step, never *what* they compute.
+//
+// This turns the previously serial HeatedChains sweep into a pool-parallel
+// one (every chain's proposal + likelihood evaluation runs concurrently,
+// the swap decision stays serialized), and gives MultiChain its lockstep
+// rounds for convergence-checked sampling.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "par/kernel.h"
+#include "par/thread_pool.h"
+
+namespace mpcgs {
+
+class ChainScheduler {
+  public:
+    /// A scheduler for `chains` logical chains on `pool` (nullptr = serial).
+    ChainScheduler(ThreadPool* pool, std::size_t chains)
+        : pool_(pool), chains_(chains) {}
+
+    std::size_t chains() const { return chains_; }
+    ThreadPool* pool() const { return pool_; }
+
+    /// Parallel section: run step(c) once for every chain c. Each chain is
+    /// one unit of work (no chunking), so a chain never migrates mid-step.
+    void stepChains(const std::function<void(std::size_t)>& step) const {
+        launchChains(pool_, chains_, step);
+    }
+
+    /// One synchronized round: the parallel section followed by a
+    /// serialized barrier section on the calling thread (run even for a
+    /// single chain; pass an empty function to skip).
+    void round(const std::function<void(std::size_t)>& step,
+               const std::function<void()>& barrier) const {
+        stepChains(step);
+        if (barrier) barrier();
+    }
+
+  private:
+    ThreadPool* pool_;
+    std::size_t chains_;
+};
+
+}  // namespace mpcgs

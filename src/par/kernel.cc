@@ -99,4 +99,9 @@ double blockReduceMax(ThreadPool* pool, std::span<const double> values, std::siz
     return m;
 }
 
+void launchChains(ThreadPool* pool, std::size_t chains,
+                  const std::function<void(std::size_t)>& f) {
+    forEachIndex(pool, chains, f, /*grain=*/1);
+}
+
 }  // namespace mpcgs

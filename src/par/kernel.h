@@ -70,4 +70,12 @@ double blockReduceMax(ThreadPool* pool, std::span<const double> values,
 void launchBlocked(ThreadPool* pool, std::size_t n, std::size_t blockSize,
                    const std::function<void(std::size_t, std::size_t, std::size_t)>& f);
 
+/// Chain-affinity launch for the sampler runtime: run f(chain) once per
+/// chain in [0, chains) with a grain of one, so each chain's step is a
+/// single indivisible unit of pool work (a chain never splits across
+/// workers mid-step, and per-chain RNG/state stays thread-private for the
+/// duration). A null pool runs the chains in order on the calling thread.
+void launchChains(ThreadPool* pool, std::size_t chains,
+                  const std::function<void(std::size_t)>& f);
+
 }  // namespace mpcgs

@@ -1,6 +1,12 @@
 #include "rng/mt19937.h"
 
+#include <algorithm>
+
+#include "rng/splitmix.h"
+
 namespace mpcgs {
+
+static_assert(Mt19937::kStateWords == 624 + 1);
 
 void Mt19937::reseed(std::uint32_t seed) {
     state_[0] = seed;
@@ -10,6 +16,33 @@ void Mt19937::reseed(std::uint32_t seed) {
                     static_cast<std::uint32_t>(i);
     }
     index_ = N;
+}
+
+Mt19937 Mt19937::fromSplitMix(std::uint64_t seed) {
+    Mt19937 g;
+    std::uint64_t s = seed;
+    for (std::size_t i = 0; i < N; i += 2) {
+        const std::uint64_t z = splitMix64(s);
+        g.state_[i] = static_cast<std::uint32_t>(z);
+        if (i + 1 < N) g.state_[i + 1] = static_cast<std::uint32_t>(z >> 32);
+    }
+    // An all-zero state is a fixed point of the recurrence; SplitMix64
+    // cannot realistically produce one, but the guard costs nothing.
+    if (std::all_of(g.state_.begin(), g.state_.end(),
+                    [](std::uint32_t w) { return w == 0; }))
+        g.state_[0] = 1u;
+    g.index_ = N;
+    return g;
+}
+
+void Mt19937::saveState(std::uint32_t out[kStateWords]) const {
+    std::copy(state_.begin(), state_.end(), out);
+    out[N] = static_cast<std::uint32_t>(index_);
+}
+
+void Mt19937::loadState(const std::uint32_t in[kStateWords]) {
+    std::copy(in, in + N, state_.begin());
+    index_ = in[N];
 }
 
 void Mt19937::twist() {

@@ -19,7 +19,22 @@ class Mt19937 final : public Rng {
 
     void reseed(std::uint32_t seed);
 
+    /// A generator whose full 624-word state is filled from the SplitMix64
+    /// sequence of a 64-bit seed — the per-chain stream derivation of the
+    /// sampler runtime (no entropy is lost to a 32-bit fold, and distinct
+    /// 64-bit seeds give decorrelated states).
+    static Mt19937 fromSplitMix(std::uint64_t seed);
+
     std::uint32_t nextU32() override;
+
+    /// Serialized size: the 624 state words plus the cursor.
+    static constexpr std::size_t kStateWords = 625;
+
+    /// Copy the exact generator state out / back in (checkpointing). The
+    /// layout is the 624 words followed by the cursor; restoring it resumes
+    /// the output sequence bitwise.
+    void saveState(std::uint32_t out[kStateWords]) const;
+    void loadState(const std::uint32_t in[kStateWords]);
 
   private:
     static constexpr std::size_t N = 624;

@@ -1,0 +1,34 @@
+// SplitMix64 (Steele, Lea & Vigna 2014) — the stream-derivation function of
+// the sampler runtime. Every logical chain of every strategy draws its RNG
+// stream as splitMix64At(runSeed, chainIndex): a bijective 64-bit mix of a
+// golden-ratio-strided counter, so adjacent chain indices land in unrelated
+// parts of the output space and a 64-bit run seed is never folded down to
+// 32 bits before decorrelation (the defect the old HeatedChains seeding
+// had).
+#pragma once
+
+#include <cstdint>
+
+namespace mpcgs {
+
+inline constexpr std::uint64_t kSplitMix64Gamma = 0x9E3779B97F4A7C15ull;
+
+/// The output (finalization) function of SplitMix64: a bijective mixer.
+inline std::uint64_t splitMix64Mix(std::uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+/// Advance the SplitMix64 state and return the next output.
+inline std::uint64_t splitMix64(std::uint64_t& state) {
+    return splitMix64Mix(state += kSplitMix64Gamma);
+}
+
+/// The i-th output of the SplitMix64 sequence seeded with `seed`, without
+/// materializing the sequence (counter-based random access).
+inline std::uint64_t splitMix64At(std::uint64_t seed, std::uint64_t i) {
+    return splitMix64Mix(seed + (i + 1) * kSplitMix64Gamma);
+}
+
+}  // namespace mpcgs

@@ -29,7 +29,13 @@ void usage(const char* prog) {
                  "  --chains P         chains for multichain strategy (default 4)\n"
                  "  --model NAME       inference model: F81 (default), JC69, HKY85, F84\n"
                  "  --seed S           RNG seed\n"
-                 "  --curve FILE       write the final likelihood curve as CSV\n",
+                 "  --curve FILE       write the final likelihood curve as CSV\n"
+                 "  --stop-rhat R      stop an E-step early once cross-chain R-hat < R\n"
+                 "                     (e.g. 1.01; 0 disables)\n"
+                 "  --stop-ess N       ... and pooled effective sample size >= N\n"
+                 "  --checkpoint FILE  write restart snapshots to FILE during sampling\n"
+                 "  --checkpoint-interval T  ticks between snapshots (default: auto)\n"
+                 "  --resume           continue from the snapshot at --checkpoint FILE\n",
                  prog);
 }
 
@@ -73,6 +79,13 @@ int main(int argc, char** argv) {
         }
         mo.cachedBaseline = opts.getBool("cached-baseline", false);
 
+        mo.stopRhat = opts.getDouble("stop-rhat", 0.0);
+        mo.stopEss = opts.getDouble("stop-ess", 0.0);
+        mo.checkpointPath = opts.get("checkpoint", "");
+        mo.checkpointIntervalTicks =
+            static_cast<std::size_t>(opts.getInt("checkpoint-interval", 0));
+        mo.resume = opts.getBool("resume", false);
+
         const unsigned threads =
             static_cast<unsigned>(opts.getInt("threads", hardwareThreads()));
         ThreadPool pool(threads);
@@ -85,9 +98,13 @@ int main(int argc, char** argv) {
         for (std::size_t i = 0; i < res.history.size(); ++i) {
             const auto& h = res.history[i];
             std::printf("  EM %zu: theta %.5g -> %.5g  (logL %.4g, %zu samples, "
-                        "move rate %.2f, %s)\n",
+                        "move rate %.2f, %s)%s\n",
                         i + 1, h.thetaBefore, h.thetaAfter, h.logLAtMax, h.samples,
-                        h.moveRate, formatDuration(h.seconds).c_str());
+                        h.moveRate, formatDuration(h.seconds).c_str(),
+                        h.stoppedEarly ? "  [converged early]" : "");
+            if (h.rhat > 0.0)
+                std::printf("        convergence: R-hat %.4f, pooled ESS %.0f\n", h.rhat,
+                            h.ess);
         }
         std::printf("final theta estimate: %.6g  (total %s, sampling %s)\n", res.theta,
                     formatDuration(res.totalSeconds).c_str(),
