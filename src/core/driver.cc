@@ -1,5 +1,6 @@
 #include "core/driver.h"
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 #include <utility>
@@ -7,21 +8,11 @@
 #include "mcmc/checkpoint.h"
 #include "phylo/upgma.h"
 #include "seq/distance.h"
-#include "seq/subst_model.h"
 #include "util/error.h"
 #include "util/timer.h"
 
 namespace mpcgs {
 namespace {
-
-std::unique_ptr<SubstModel> makeModel(const std::string& name, const Alignment& aln) {
-    const BaseFreqs pi = aln.baseFrequencies();
-    if (name == "F81") return std::make_unique<F81Model>(pi);
-    if (name == "JC69") return makeJc69();
-    if (name == "HKY85") return makeHky85(2.0, pi);
-    if (name == "F84") return makeF84(2.0, pi);
-    throw ConfigError("unknown substitution model '" + name + "'");
-}
 
 SamplerSpec specFor(const MpcgsOptions& opts, std::uint64_t seed) {
     SamplerSpec s;
@@ -44,7 +35,9 @@ struct RunGeometry {
 /// step, GMH proposal set, multi-chain round, MC^3 sweep); the budgets
 /// reproduce the sample counts of the per-strategy glue this runtime
 /// replaced: ceil(M / samplesPerTick) sampling ticks, burn-in as the
-/// configured permille of the strategy's serial step count.
+/// configured permille of the strategy's serial step count. In a
+/// multi-locus run every locus gets the same budget (samplesPerIteration
+/// is per locus).
 RunGeometry geometryFor(const MpcgsOptions& opts) {
     RunGeometry g;
     switch (opts.strategy) {
@@ -73,12 +66,19 @@ std::uint64_t emSeed(const MpcgsOptions& opts, std::size_t em) {
 }
 
 // --- checkpoint layout -------------------------------------------------
-// fingerprint | emIndex theta | history | warm genealogy | phase
-// (0 = iteration start, 1 = mid-iteration: progress + sampler + sinks).
-// emIterations is deliberately NOT part of the fingerprint: a resumed run
-// may extend the EM horizon of the interrupted one.
+// fingerprint | emIndex theta | history | per-locus warm genealogies |
+// phase (0 = iteration start, 1 = mid-iteration: burn progress, per-locus
+// sampling progress/stopped latches, then per-locus sampler + sink +
+// monitor payloads).
+//
+// v2 stamps the locus roster (names, shapes, mutation scales) into the
+// fingerprint and repeats every per-locus section L times; v1 files are
+// the single-locus layout (no roster, one genealogy, one payload) and are
+// read back as L = 1. emIterations is deliberately NOT part of the
+// fingerprint: a resumed run may extend the EM horizon of the interrupted
+// one.
 
-void writeFingerprint(CheckpointWriter& w, const MpcgsOptions& opts, const Alignment& aln) {
+void writeFingerprint(CheckpointWriter& w, const MpcgsOptions& opts, const Dataset& ds) {
     w.u32(static_cast<std::uint32_t>(opts.strategy));
     w.u64(opts.seed);
     w.u64(opts.samplesPerIteration);
@@ -92,11 +92,16 @@ void writeFingerprint(CheckpointWriter& w, const MpcgsOptions& opts, const Align
     w.f64(opts.theta0);
     w.f64(opts.stopRhat);
     w.f64(opts.stopEss);
-    w.u64(aln.sequenceCount());
-    w.u64(aln.length());
+    w.u64(ds.locusCount());
+    for (const Locus& locus : ds.loci()) {
+        w.str(locus.name);
+        w.u64(locus.alignment.sequenceCount());
+        w.u64(locus.alignment.length());
+        w.f64(locus.mutationScale);
+    }
 }
 
-void checkFingerprint(CheckpointReader& r, const MpcgsOptions& opts, const Alignment& aln) {
+void checkFingerprint(CheckpointReader& r, const MpcgsOptions& opts, const Dataset& ds) {
     bool ok = true;
     ok &= r.u32() == static_cast<std::uint32_t>(opts.strategy);
     ok &= r.u64() == opts.seed;
@@ -111,8 +116,23 @@ void checkFingerprint(CheckpointReader& r, const MpcgsOptions& opts, const Align
     ok &= r.f64() == opts.theta0;
     ok &= r.f64() == opts.stopRhat;
     ok &= r.f64() == opts.stopEss;
-    ok &= r.u64() == aln.sequenceCount();
-    ok &= r.u64() == aln.length();
+    if (r.version() >= 2) {
+        ok &= r.u64() == ds.locusCount();
+        if (ok) {
+            for (const Locus& locus : ds.loci()) {
+                ok &= r.str() == locus.name;
+                ok &= r.u64() == locus.alignment.sequenceCount();
+                ok &= r.u64() == locus.alignment.length();
+                ok &= r.f64() == locus.mutationScale;
+            }
+        }
+    } else {
+        // v1: single-locus fingerprint tail (sequence count + length).
+        ok &= ds.locusCount() == 1;
+        ok &= r.u64() == ds.locus(0).alignment.sequenceCount();
+        ok &= r.u64() == ds.locus(0).alignment.length();
+        ok &= ds.locus(0).mutationScale == 1.0;
+    }
     if (!ok)
         throw ConfigError(
             "resume: checkpoint was written by an incompatible run configuration");
@@ -151,6 +171,25 @@ std::vector<EmIterationRecord> readHistory(CheckpointReader& r) {
 
 }  // namespace
 
+void validateOptions(const MpcgsOptions& opts) {
+    if (opts.theta0 <= 0.0) throw ConfigError("options: theta0 must be positive");
+    if (opts.emIterations == 0) throw ConfigError("options: need >= 1 EM iteration");
+    if (opts.samplesPerIteration == 0)
+        throw ConfigError("options: need >= 1 sample per EM iteration");
+    if (opts.burnInFraction1000 > 1000)
+        throw ConfigError("options: burn-in permille must be <= 1000");
+    if (opts.gmhProposals == 0) throw ConfigError("options: GMH needs proposals >= 1");
+    if (opts.gmhSamplesPerSet == 0)
+        throw ConfigError("options: GMH needs gmhSamplesPerSet >= 1");
+    if (opts.chains == 0) throw ConfigError("options: MultiChain needs chains >= 1");
+    if (opts.temperatures.empty())
+        throw ConfigError("options: temperature ladder must not be empty");
+    if (opts.temperatures.front() != 1.0)
+        throw ConfigError("options: temperature ladder must start at 1.0 (the cold chain)");
+    if (opts.resume && opts.checkpointPath.empty())
+        throw ConfigError("options: resume requires a checkpointPath");
+}
+
 Genealogy initialGenealogy(const Alignment& aln, double theta0) {
     if (theta0 <= 0.0) throw ConfigError("initialGenealogy: theta0 must be positive");
     Genealogy g = upgmaTree(hammingMatrix(aln));
@@ -159,49 +198,62 @@ Genealogy initialGenealogy(const Alignment& aln, double theta0) {
     return g;
 }
 
-MpcgsResult estimateTheta(const Alignment& aln, const MpcgsOptions& opts, ThreadPool* pool) {
-    if (opts.theta0 <= 0.0) throw ConfigError("estimateTheta: theta0 must be positive");
-    if (opts.emIterations == 0) throw ConfigError("estimateTheta: need >= 1 EM iteration");
-    if (opts.samplesPerIteration == 0) throw ConfigError("estimateTheta: need samples");
-    if (opts.strategy == Strategy::Gmh && aln.sequenceCount() < 3)
-        throw ConfigError("estimateTheta: GMH needs at least 3 sequences");
-    if (opts.strategy == Strategy::Gmh && opts.gmhSamplesPerSet == 0)
-        throw ConfigError("estimateTheta: GMH needs gmhSamplesPerSet >= 1");
-    if (opts.strategy == Strategy::MultiChain && opts.chains == 0)
-        throw ConfigError("estimateTheta: MultiChain needs chains >= 1");
-    if (opts.resume && opts.checkpointPath.empty())
-        throw ConfigError("estimateTheta: resume requires a checkpointPath");
+PooledRelativeLikelihood finalPooledLikelihood(const MpcgsResult& result) {
+    std::vector<PooledRelativeLikelihood::LocusTerm> terms;
+    terms.reserve(result.loci.size());
+    for (const LocusFinal& lf : result.loci)
+        terms.push_back({RelativeLikelihood(lf.summaries, lf.drivingTheta),
+                         lf.mutationScale, lf.name});
+    return PooledRelativeLikelihood(std::move(terms));
+}
+
+MpcgsResult estimateTheta(const Dataset& dataset, const MpcgsOptions& opts,
+                          ThreadPool* pool) {
+    validateOptions(opts);
+    dataset.validate();
+    const std::size_t L = dataset.locusCount();
+    if (opts.strategy == Strategy::Gmh)
+        for (const Locus& locus : dataset.loci())
+            if (locus.alignment.sequenceCount() < 3)
+                throw ConfigError("estimateTheta: GMH needs at least 3 sequences (locus '" +
+                                  locus.name + "')");
 
     Timer total;
-    const auto model = makeModel(opts.substModel, aln);
-    const DataLikelihood lik(aln, *model, opts.compressPatterns);
+    const LocusLikelihoods liks(dataset, opts.substModel, opts.compressPatterns);
+    const LocusProblemSet problems(dataset, liks);
 
     MpcgsResult result;
     double theta = opts.theta0;
-    Genealogy current = initialGenealogy(aln, theta);
+    std::vector<Genealogy> current;
+    current.reserve(L);
+    for (std::size_t l = 0; l < L; ++l)
+        current.push_back(initialGenealogy(dataset.locus(l).alignment,
+                                           problems.at(l).effectiveTheta(opts.theta0)));
     std::size_t emStart = 0;
 
     // Mid-iteration resume payload stays open until the iteration's
-    // sampler and sinks exist to load into.
+    // samplers and sinks exist to load into.
     std::unique_ptr<CheckpointReader> resumeReader;
     bool resumeMidIteration = false;
     std::size_t resumeBurnDone = 0;
-    std::size_t resumeSampleDone = 0;
-    bool resumeStopped = false;
+    std::vector<std::uint64_t> resumeSampleDone(L, 0);
+    std::vector<std::uint8_t> resumeStopped(L, 0);
 
     if (opts.resume) {
         resumeReader = std::make_unique<CheckpointReader>(opts.checkpointPath);
-        checkFingerprint(*resumeReader, opts, aln);
+        checkFingerprint(*resumeReader, opts, dataset);
         emStart = resumeReader->u64();
         theta = resumeReader->f64();
         result.history = readHistory(*resumeReader);
         for (const EmIterationRecord& h : result.history) result.samplingSeconds += h.seconds;
-        current = readGenealogy(*resumeReader);
+        for (std::size_t l = 0; l < L; ++l) current[l] = readGenealogy(*resumeReader);
         if (resumeReader->u32() == 1) {
             resumeMidIteration = true;
             resumeBurnDone = resumeReader->u64();
-            resumeSampleDone = resumeReader->u64();
-            resumeStopped = resumeReader->u32() != 0;
+            for (std::size_t l = 0; l < L; ++l) {
+                resumeSampleDone[l] = resumeReader->u64();
+                resumeStopped[l] = resumeReader->u32() != 0 ? 1 : 0;
+            }
         } else {
             resumeReader.reset();
         }
@@ -210,69 +262,114 @@ MpcgsResult estimateTheta(const Alignment& aln, const MpcgsOptions& opts, Thread
     }
 
     const RunGeometry geom = geometryFor(opts);
-    std::vector<IntervalSummary> summaries;
+    std::vector<LocusFinal> finals(L);
 
     for (std::size_t em = emStart; em < opts.emIterations; ++em) {
         EmIterationRecord rec;
         rec.thetaBefore = theta;
 
         Timer estep;
-        const Genealogy emInit = current;  // warm start, recorded in snapshots
-        auto sampler =
-            makeSampler(specFor(opts, emSeed(opts, em)), lik, theta, std::move(current), pool);
-        SummarySink sink;
-        ConvergenceMonitor monitor;
+        const std::vector<Genealogy> emInit = current;  // warm starts, recorded in snapshots
+        // One sampler per locus over P(D_l|G_l) * P(G_l | mu_l theta), each
+        // with its own SplitMix64-derived stream family. With several loci
+        // the loci axis carries the parallelism (samplers run pool-free
+        // inside the lockstep rounds); a single locus keeps the pool for
+        // its intra-strategy parallel sections, exactly the pre-dataset
+        // configuration.
+        const std::uint64_t seed = emSeed(opts, em);
+        std::vector<std::unique_ptr<Sampler>> samplers;
+        samplers.reserve(L);
+        for (std::size_t l = 0; l < L; ++l)
+            samplers.push_back(makeSampler(specFor(opts, locusStreamSeed(seed, l)),
+                                           liks.at(l),
+                                           problems.at(l).effectiveTheta(theta),
+                                           std::move(current[l]), L == 1 ? pool : nullptr));
+        std::vector<SummarySink> sinks(L);
+        std::vector<ConvergenceMonitor> monitors(L);
 
-        SamplerRun::Config cfg;
+        MultiLocusRun::Config cfg;
         cfg.burnInTicks = geom.burnTicks;
         cfg.sampleTicks = geom.capTicks;
         cfg.stopping.rhatBelow = opts.stopRhat;
         cfg.stopping.essAtLeast = opts.stopEss;
         cfg.checkpointInterval = opts.checkpointIntervalTicks;
+        cfg.pool = pool;
         if (!opts.checkpointPath.empty()) {
-            cfg.checkpoint = [&, em](std::size_t burnDone, std::size_t sampleDone,
-                                     bool stopped) {
+            cfg.checkpoint = [&, em](std::size_t burnDone,
+                                     std::span<const std::uint64_t> sampleDone,
+                                     std::span<const std::uint8_t> stopped) {
                 CheckpointWriter w(opts.checkpointPath);
-                writeFingerprint(w, opts, aln);
+                writeFingerprint(w, opts, dataset);
                 w.u64(em);
                 w.f64(rec.thetaBefore);
                 writeHistory(w, result.history);
-                writeGenealogy(w, emInit);
+                for (const Genealogy& g : emInit) writeGenealogy(w, g);
                 w.u32(1);  // mid-iteration
                 w.u64(burnDone);
-                w.u64(sampleDone);
-                w.u32(stopped ? 1 : 0);
-                sampler->save(w);
-                sink.save(w);
-                monitor.save(w);
+                for (std::size_t l = 0; l < L; ++l) {
+                    w.u64(sampleDone[l]);
+                    w.u32(stopped[l] ? 1 : 0);
+                }
+                for (const auto& s : samplers) s->save(w);
+                for (const SummarySink& s : sinks) s.save(w);
+                for (const ConvergenceMonitor& m : monitors) m.save(w);
                 w.commit();
             };
         }
 
-        SamplerRun run(*sampler, cfg);
+        std::vector<LocusSlot> slots(L);
+        for (std::size_t l = 0; l < L; ++l)
+            slots[l] = LocusSlot{samplers[l].get(), &sinks[l], &monitors[l]};
+        MultiLocusRun run(std::move(slots), cfg);
         if (resumeMidIteration && em == emStart) {
-            sampler->load(*resumeReader);
-            sink.load(*resumeReader);
-            monitor.load(*resumeReader);
+            if (resumeReader->version() >= 2) {
+                for (auto& s : samplers) s->load(*resumeReader);
+                for (SummarySink& s : sinks) s.load(*resumeReader);
+                for (ConvergenceMonitor& m : monitors) m.load(*resumeReader);
+            } else {
+                // v1 interleaves nothing: one sampler, one sink, one monitor.
+                samplers[0]->load(*resumeReader);
+                sinks[0].load(*resumeReader);
+                monitors[0].load(*resumeReader);
+            }
             run.restoreProgress(resumeBurnDone, resumeSampleDone, resumeStopped);
             resumeReader.reset();
         }
 
-        const SamplerRunReport report = run.execute(sink, monitor);
+        const MultiLocusReport report = run.execute();
         rec.seconds = estep.seconds();
         result.samplingSeconds += rec.seconds;
-        rec.samples = report.samples;
-        rec.rhat = report.rhat;
-        rec.ess = report.ess;
-        rec.stoppedEarly = report.stoppedEarly;
-        const SamplerStats stats = sampler->stats();
+        rec.samples = report.totalSamples();
+        rec.stoppedEarly = report.allStoppedEarly();
+        for (const LocusRunReport& lr : report.loci) {
+            rec.rhat = std::max(rec.rhat, lr.rhat);
+            rec.ess = rec.ess == 0.0 ? lr.ess : std::min(rec.ess, lr.ess);
+        }
+        SamplerStats stats;
+        for (const auto& s : samplers) {
+            const SamplerStats ls = s->stats();
+            stats.steps += ls.steps;
+            stats.accepted += ls.accepted;
+            stats.swapsProposed += ls.swapsProposed;
+            stats.swapsAccepted += ls.swapsAccepted;
+        }
         rec.moveRate =
             opts.strategy == Strategy::HeatedMh ? stats.swapRate() : stats.moveRate();
 
-        current = sampler->continuation();
-        summaries = sink.chainMajor();
-
-        const RelativeLikelihood rl(summaries, theta);
+        // M-step: pooled relative likelihood over the per-locus summaries,
+        // each locus's curve driven at its effective theta.
+        std::vector<PooledRelativeLikelihood::LocusTerm> terms;
+        terms.reserve(L);
+        for (std::size_t l = 0; l < L; ++l) {
+            current[l] = samplers[l]->continuation();
+            finals[l].name = dataset.locus(l).name;
+            finals[l].mutationScale = dataset.locus(l).mutationScale;
+            finals[l].drivingTheta = problems.at(l).effectiveTheta(rec.thetaBefore);
+            finals[l].summaries = sinks[l].chainMajor();
+            terms.push_back({RelativeLikelihood(finals[l].summaries, finals[l].drivingTheta),
+                             finals[l].mutationScale, finals[l].name});
+        }
+        const PooledRelativeLikelihood rl(std::move(terms));
         const MleResult mle = maximizeTheta(rl, theta, pool);
         theta = mle.theta;
         rec.thetaAfter = theta;
@@ -283,21 +380,26 @@ MpcgsResult estimateTheta(const Alignment& aln, const MpcgsOptions& opts, Thread
         // here even if the process dies during the M-step bookkeeping.
         if (!opts.checkpointPath.empty() && em + 1 < opts.emIterations) {
             CheckpointWriter w(opts.checkpointPath);
-            writeFingerprint(w, opts, aln);
+            writeFingerprint(w, opts, dataset);
             w.u64(em + 1);
             w.f64(theta);
             writeHistory(w, result.history);
-            writeGenealogy(w, current);
+            for (const Genealogy& g : current) writeGenealogy(w, g);
             w.u32(0);  // iteration boundary
             w.commit();
         }
     }
 
     result.theta = theta;
-    result.finalSummaries = std::move(summaries);
+    result.loci = std::move(finals);
+    result.finalSummaries = result.loci.front().summaries;
     result.finalDrivingTheta = result.history.back().thetaBefore;
     result.totalSeconds = total.seconds();
     return result;
+}
+
+MpcgsResult estimateTheta(const Alignment& aln, const MpcgsOptions& opts, ThreadPool* pool) {
+    return estimateTheta(Dataset::single(aln), opts, pool);
 }
 
 }  // namespace mpcgs

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/driver.h"
+#include "core/locus_problem.h"
 #include "core/neighborhood.h"
 #include "mcmc/gmh.h"
 #include "par/kernel.h"
@@ -30,6 +31,21 @@ double GrowthRelativeLikelihood::logL(const GrowthParams& p, ThreadPool* pool) c
     });
     return blockReduceLogSumExp(pool, terms, 256) -
            std::log(static_cast<double>(samples_.size()));
+}
+
+PooledGrowthRelativeLikelihood::PooledGrowthRelativeLikelihood(std::vector<LocusTerm> loci)
+    : loci_(std::move(loci)) {
+    require(!loci_.empty(), "PooledGrowthRelativeLikelihood: no loci");
+    for (const LocusTerm& t : loci_)
+        require(t.mutationScale > 0.0,
+                "PooledGrowthRelativeLikelihood: mutation scale must be positive");
+}
+
+double PooledGrowthRelativeLikelihood::logL(const GrowthParams& p, ThreadPool* pool) const {
+    double sum = 0.0;
+    for (const LocusTerm& t : loci_)
+        sum += t.rl.logL(GrowthParams{p.theta * t.mutationScale, p.growth}, pool);
+    return sum;
 }
 
 namespace {
@@ -63,7 +79,7 @@ double goldenMax(F&& f, double lo, double hi, double tol) {
 
 }  // namespace
 
-GrowthMleResult maximizeGrowthParams(const GrowthRelativeLikelihood& rl, GrowthParams start,
+GrowthMleResult maximizeGrowthParams(const GrowthLikelihood& rl, GrowthParams start,
                                      double growthLo, double growthHi, ThreadPool* pool) {
     GrowthMleResult out;
     GrowthParams cur = start;
@@ -125,39 +141,61 @@ class GrowthGenealogyProblem {
 
 }  // namespace
 
-GrowthEstimateResult estimateThetaAndGrowth(const Alignment& aln,
+GrowthEstimateResult estimateThetaAndGrowth(const Dataset& dataset,
                                             const GrowthEstimateOptions& opts,
                                             ThreadPool* pool) {
     if (opts.driving.theta <= 0.0)
         throw ConfigError("estimateThetaAndGrowth: driving theta must be positive");
-    if (aln.sequenceCount() < 3)
-        throw ConfigError("estimateThetaAndGrowth: need at least 3 sequences");
+    dataset.validate();
+    for (const Locus& locus : dataset.loci())
+        if (locus.alignment.sequenceCount() < 3)
+            throw ConfigError("estimateThetaAndGrowth: locus '" + locus.name +
+                              "' needs at least 3 sequences (GMH)");
 
     Timer total;
-    const F81Model model(aln.baseFrequencies());
-    const DataLikelihood lik(aln, model);
+    const std::size_t L = dataset.locusCount();
+    const LocusLikelihoods liks(dataset, "F81");
 
     GrowthEstimateResult result;
     GrowthParams driving = opts.driving;
-    Genealogy current = initialGenealogy(aln, driving.theta);
+    std::vector<Genealogy> current;
+    current.reserve(L);
+    for (const Locus& locus : dataset.loci())
+        current.push_back(
+            initialGenealogy(locus.alignment, driving.theta * locus.mutationScale));
 
     for (std::size_t em = 0; em < opts.emIterations; ++em) {
         result.history.push_back(driving);
-        const GrowthGenealogyProblem problem(lik, driving);
-        GmhOptions gopt;
-        gopt.numProposals = opts.gmhProposals;
-        gopt.samplesPerIteration = opts.gmhProposals;
-        gopt.seed = opts.seed + em * 0x9E3779B97F4A7C15ull;
-        GmhSampler<GrowthGenealogyProblem> sampler(problem, gopt, pool);
+        const std::uint64_t emSeed = opts.seed + em * 0x9E3779B97F4A7C15ull;
 
-        const std::size_t iters =
-            (opts.samplesPerIteration + gopt.samplesPerIteration - 1) / gopt.samplesPerIteration;
-        std::vector<std::vector<CoalInterval>> samples;
-        samples.reserve(iters * gopt.samplesPerIteration);
-        current = sampler.run(std::move(current), iters / 10 + 1, iters,
-                              [&](const Genealogy& g) { samples.push_back(g.intervals()); });
+        // E-step: one GMH chain set per locus, run in locus order. Each
+        // locus's sampler parallelizes its proposal fan-out on the pool, so
+        // the pool stays busy without nesting parallel sections.
+        std::vector<PooledGrowthRelativeLikelihood::LocusTerm> terms;
+        terms.reserve(L);
+        for (std::size_t l = 0; l < L; ++l) {
+            const Locus& locus = dataset.locus(l);
+            const GrowthParams locusDriving{driving.theta * locus.mutationScale,
+                                            driving.growth};
+            const GrowthGenealogyProblem problem(liks.at(l), locusDriving);
+            GmhOptions gopt;
+            gopt.numProposals = opts.gmhProposals;
+            gopt.samplesPerIteration = opts.gmhProposals;
+            gopt.seed = locusStreamSeed(emSeed, l);
+            GmhSampler<GrowthGenealogyProblem> sampler(problem, gopt, pool);
 
-        const GrowthRelativeLikelihood rl(std::move(samples), driving);
+            const std::size_t iters = (opts.samplesPerIteration + gopt.samplesPerIteration - 1) /
+                                      gopt.samplesPerIteration;
+            std::vector<std::vector<CoalInterval>> samples;
+            samples.reserve(iters * gopt.samplesPerIteration);
+            current[l] = sampler.run(std::move(current[l]), iters / 10 + 1, iters,
+                                     [&](const Genealogy& g) { samples.push_back(g.intervals()); });
+            terms.push_back({GrowthRelativeLikelihood(std::move(samples), locusDriving),
+                             locus.mutationScale, locus.name});
+        }
+
+        // Pooled M-step over sum_l log L_l(mu_l theta, g).
+        const PooledGrowthRelativeLikelihood rl(std::move(terms));
         const GrowthMleResult mle =
             maximizeGrowthParams(rl, driving, opts.growthLo, opts.growthHi, pool);
         driving = mle.params;
@@ -166,6 +204,12 @@ GrowthEstimateResult estimateThetaAndGrowth(const Alignment& aln,
     result.params = driving;
     result.seconds = total.seconds();
     return result;
+}
+
+GrowthEstimateResult estimateThetaAndGrowth(const Alignment& aln,
+                                            const GrowthEstimateOptions& opts,
+                                            ThreadPool* pool) {
+    return estimateThetaAndGrowth(Dataset::single(aln), opts, pool);
 }
 
 }  // namespace mpcgs

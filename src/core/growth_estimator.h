@@ -12,27 +12,43 @@
 //
 // over the stored interval vectors (full vectors now: growth breaks the
 // single-sufficient-statistic reduction of the constant-size model).
+//
+// Multi-locus datasets pool exactly as the constant-size pipeline does
+// (core/locus_problem.h): each locus samples its own genealogies under its
+// effective theta_l = mu_l * theta, and the pooled M-step maximizes
+// sum_l log L_l(mu_l * theta, g) — growth is shared across loci.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "coalescent/growth.h"
 #include "lik/felsenstein.h"
 #include "par/thread_pool.h"
 #include "phylo/tree.h"
-#include "seq/alignment.h"
+#include "seq/dataset.h"
 
 namespace mpcgs {
 
+/// Anything exposing a log relative likelihood over (theta, growth): one
+/// locus's Eq. 26' surface or the pooled multi-locus sum. The coordinate
+/// ascent maximizer operates on this interface.
+class GrowthLikelihood {
+  public:
+    virtual ~GrowthLikelihood() = default;
+
+    /// log L(theta, g).
+    virtual double logL(const GrowthParams& p, ThreadPool* pool = nullptr) const = 0;
+};
+
 /// Two-parameter relative likelihood surface over sampled genealogies.
-class GrowthRelativeLikelihood {
+class GrowthRelativeLikelihood final : public GrowthLikelihood {
   public:
     GrowthRelativeLikelihood(std::vector<std::vector<CoalInterval>> samples,
                              GrowthParams driving);
 
-    /// log L(theta, g).
-    double logL(const GrowthParams& p, ThreadPool* pool = nullptr) const;
+    double logL(const GrowthParams& p, ThreadPool* pool = nullptr) const override;
 
     const GrowthParams& driving() const { return driving_; }
     std::size_t sampleCount() const { return samples_.size(); }
@@ -43,6 +59,27 @@ class GrowthRelativeLikelihood {
     GrowthParams driving_;
 };
 
+/// Pooled multi-locus surface: sum_l log L_l(mu_l * theta, g). Growth is a
+/// shared parameter; each locus's theta axis is scaled by its mutation
+/// rate. With one locus and mu = 1 this is the locus surface bitwise.
+class PooledGrowthRelativeLikelihood final : public GrowthLikelihood {
+  public:
+    struct LocusTerm {
+        GrowthRelativeLikelihood rl;
+        double mutationScale = 1.0;
+        std::string name;
+    };
+
+    explicit PooledGrowthRelativeLikelihood(std::vector<LocusTerm> loci);
+
+    double logL(const GrowthParams& p, ThreadPool* pool = nullptr) const override;
+
+    std::size_t locusCount() const { return loci_.size(); }
+
+  private:
+    std::vector<LocusTerm> loci_;
+};
+
 /// Coordinate-ascent maximization (golden sections in log-theta and in g).
 struct GrowthMleResult {
     GrowthParams params;
@@ -50,7 +87,7 @@ struct GrowthMleResult {
     int sweeps = 0;
     bool converged = false;
 };
-GrowthMleResult maximizeGrowthParams(const GrowthRelativeLikelihood& rl, GrowthParams start,
+GrowthMleResult maximizeGrowthParams(const GrowthLikelihood& rl, GrowthParams start,
                                      double growthLo = 0.0, double growthHi = 20.0,
                                      ThreadPool* pool = nullptr);
 
@@ -72,6 +109,13 @@ struct GrowthEstimateResult {
     double seconds = 0.0;
 };
 
+/// Multi-locus pipeline: per-locus GMH chain sets per E-step, pooled
+/// two-parameter M-step. `samplesPerIteration` applies per locus.
+GrowthEstimateResult estimateThetaAndGrowth(const Dataset& dataset,
+                                            const GrowthEstimateOptions& opts,
+                                            ThreadPool* pool = nullptr);
+
+/// Single-alignment convenience wrapper: the L = 1 dataset case.
 GrowthEstimateResult estimateThetaAndGrowth(const Alignment& aln,
                                             const GrowthEstimateOptions& opts,
                                             ThreadPool* pool = nullptr);

@@ -7,7 +7,7 @@
 
 namespace mpcgs {
 
-MleResult maximizeThetaGradient(const RelativeLikelihood& rl, double thetaStart,
+MleResult maximizeThetaGradient(const ThetaLikelihood& rl, double thetaStart,
                                 const GradientAscentOptions& opts, ThreadPool* pool) {
     require(thetaStart > 0.0, "maximizeThetaGradient: theta must be positive");
     MleResult out;
@@ -59,7 +59,7 @@ MleResult maximizeThetaGradient(const RelativeLikelihood& rl, double thetaStart,
     return out;
 }
 
-MleResult maximizeThetaGolden(const RelativeLikelihood& rl, double lo, double hi, double tol,
+MleResult maximizeThetaGolden(const ThetaLikelihood& rl, double lo, double hi, double tol,
                               ThreadPool* pool) {
     require(lo > 0.0 && hi > lo, "maximizeThetaGolden: bad bracket");
     // Work in log-theta so the search is scale-free.
@@ -93,7 +93,7 @@ MleResult maximizeThetaGolden(const RelativeLikelihood& rl, double lo, double hi
     return out;
 }
 
-MleResult maximizeTheta(const RelativeLikelihood& rl, double thetaStart, ThreadPool* pool) {
+MleResult maximizeTheta(const ThetaLikelihood& rl, double thetaStart, ThreadPool* pool) {
     MleResult grad = maximizeThetaGradient(rl, thetaStart, {}, pool);
     if (grad.converged) return grad;
     // Fallback: bracket a few decades around the start value.

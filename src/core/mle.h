@@ -1,6 +1,8 @@
 // Maximum likelihood estimation of theta from the relative likelihood
 // curve (§5.1.5, Algorithm 2), plus a derivative-free golden-section
-// maximizer used as a cross-check and fallback.
+// maximizer used as a cross-check and fallback. The maximizers take any
+// ThetaLikelihood, so the same Algorithm 2 drives the single-locus Eq. 26
+// curve and the multi-locus pooled curve (core/locus_problem.h).
 #pragma once
 
 #include "core/posterior.h"
@@ -24,18 +26,18 @@ struct MleResult {
 
 /// Algorithm 2: iterative gradient ascent from theta0 with step halving
 /// whenever the step would decrease L or push theta non-positive.
-MleResult maximizeThetaGradient(const RelativeLikelihood& rl, double thetaStart,
+MleResult maximizeThetaGradient(const ThetaLikelihood& rl, double thetaStart,
                                 const GradientAscentOptions& opts = {},
                                 ThreadPool* pool = nullptr);
 
 /// Golden-section maximization of log L on [lo, hi] (unimodality holds for
 /// Eq. 26 curves in practice).
-MleResult maximizeThetaGolden(const RelativeLikelihood& rl, double lo, double hi,
+MleResult maximizeThetaGolden(const ThetaLikelihood& rl, double lo, double hi,
                               double tol = 1e-7, ThreadPool* pool = nullptr);
 
 /// Robust driver: gradient ascent per Algorithm 2, falling back to a
 /// bracketed golden-section search when ascent fails to converge.
-MleResult maximizeTheta(const RelativeLikelihood& rl, double thetaStart,
+MleResult maximizeTheta(const ThetaLikelihood& rl, double thetaStart,
                         ThreadPool* pool = nullptr);
 
 }  // namespace mpcgs

@@ -31,9 +31,9 @@ double RelativeLikelihood::logL(double theta, ThreadPool* pool) const {
     return logSum - std::log(static_cast<double>(samples_.size()));
 }
 
-std::vector<std::pair<double, double>> RelativeLikelihood::curve(double lo, double hi, int points,
-                                                                 ThreadPool* pool) const {
-    require(lo > 0.0 && hi > lo && points >= 2, "RelativeLikelihood: bad curve grid");
+std::vector<std::pair<double, double>> ThetaLikelihood::curve(double lo, double hi, int points,
+                                                              ThreadPool* pool) const {
+    require(lo > 0.0 && hi > lo && points >= 2, "ThetaLikelihood: bad curve grid");
     std::vector<std::pair<double, double>> out;
     out.reserve(static_cast<std::size_t>(points));
     const double step = std::log(hi / lo) / (points - 1);

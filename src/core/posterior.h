@@ -33,16 +33,30 @@ struct IntervalSummary {
     }
 };
 
-class RelativeLikelihood {
+/// Anything exposing a log relative likelihood as a function of theta: the
+/// single-locus Eq. 26 curve below, or the multi-locus pooled curve
+/// (core/locus_problem.h) that sums independent per-locus curves. The
+/// M-step maximizers (core/mle.h) and support intervals
+/// (core/support_interval.h) operate on this interface, so single- and
+/// multi-locus inference share one estimation path.
+class ThetaLikelihood {
   public:
-    RelativeLikelihood(std::vector<IntervalSummary> samples, double theta0);
+    virtual ~ThetaLikelihood() = default;
 
     /// log L(theta). Parallel over samples when a pool is given.
-    double logL(double theta, ThreadPool* pool = nullptr) const;
+    virtual double logL(double theta, ThreadPool* pool = nullptr) const = 0;
 
     /// Evaluate the curve on a log-spaced grid [lo, hi] (Fig 5 export).
     std::vector<std::pair<double, double>> curve(double lo, double hi, int points,
                                                  ThreadPool* pool = nullptr) const;
+};
+
+class RelativeLikelihood final : public ThetaLikelihood {
+  public:
+    RelativeLikelihood(std::vector<IntervalSummary> samples, double theta0);
+
+    /// log L(theta). Parallel over samples when a pool is given.
+    double logL(double theta, ThreadPool* pool = nullptr) const override;
 
     double theta0() const { return theta0_; }
     std::size_t sampleCount() const { return samples_.size(); }

@@ -9,7 +9,7 @@ namespace {
 
 /// Bisection for the theta in [inside, outside] (by log-theta) where the
 /// curve crosses `target`, assuming logL(inside) >= target >= logL(outside).
-double bisectCrossing(const RelativeLikelihood& rl, double target, double inside,
+double bisectCrossing(const ThetaLikelihood& rl, double target, double inside,
                       double outside, ThreadPool* pool) {
     double lo = std::log(inside), hi = std::log(outside);
     for (int it = 0; it < 100 && std::fabs(hi - lo) > 1e-10; ++it) {
@@ -24,7 +24,7 @@ double bisectCrossing(const RelativeLikelihood& rl, double target, double inside
 
 }  // namespace
 
-SupportInterval supportInterval(const RelativeLikelihood& rl, double mleTheta, double drop,
+SupportInterval supportInterval(const ThetaLikelihood& rl, double mleTheta, double drop,
                                 double maxFactor, ThreadPool* pool) {
     require(mleTheta > 0.0, "supportInterval: mle must be positive");
     require(drop > 0.0, "supportInterval: drop must be positive");

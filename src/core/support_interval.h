@@ -3,7 +3,8 @@
 // likelihood estimates (Kuhner 2006). By the asymptotic chi-square
 // argument, the (1-alpha) support interval is the set of theta whose
 // log-likelihood lies within chi2_{1,1-alpha}/2 of the maximum
-// (1.92 units for 95%).
+// (1.92 units for 95%). Works on any ThetaLikelihood — the single-locus
+// Eq. 26 curve or the multi-locus pooled curve.
 #pragma once
 
 #include "core/posterior.h"
@@ -24,7 +25,7 @@ struct SupportInterval {
 /// `drop` defaults to 1.92 (95% for one parameter). Crossings are located
 /// by bisection on each side; the search expands geometrically up to
 /// `maxFactor` away from the MLE before declaring the side unbounded.
-SupportInterval supportInterval(const RelativeLikelihood& rl, double mleTheta,
+SupportInterval supportInterval(const ThetaLikelihood& rl, double mleTheta,
                                 double drop = 1.92, double maxFactor = 1e4,
                                 ThreadPool* pool = nullptr);
 

@@ -1,0 +1,28 @@
+#include "lik/locus_likelihoods.h"
+
+#include "util/error.h"
+
+namespace mpcgs {
+
+std::unique_ptr<SubstModel> makeInferenceModel(const std::string& name,
+                                               const Alignment& aln) {
+    const BaseFreqs pi = aln.baseFrequencies();
+    if (name == "F81") return std::make_unique<F81Model>(pi);
+    if (name == "JC69") return makeJc69();
+    if (name == "HKY85") return makeHky85(2.0, pi);
+    if (name == "F84") return makeF84(2.0, pi);
+    throw ConfigError("unknown substitution model '" + name + "'");
+}
+
+LocusLikelihoods::LocusLikelihoods(const Dataset& dataset, const std::string& modelName,
+                                   bool compressPatterns) {
+    models_.reserve(dataset.locusCount());
+    liks_.reserve(dataset.locusCount());
+    for (const Locus& locus : dataset.loci()) {
+        models_.push_back(makeInferenceModel(modelName, locus.alignment));
+        liks_.push_back(std::make_unique<DataLikelihood>(locus.alignment, *models_.back(),
+                                                         compressPatterns));
+    }
+}
+
+}  // namespace mpcgs

@@ -13,11 +13,11 @@
 
 namespace mpcgs {
 
-CheckpointWriter::CheckpointWriter(std::string path)
+CheckpointWriter::CheckpointWriter(std::string path, std::uint32_t version)
     : path_(std::move(path)), out_(path_ + ".tmp", std::ios::binary | std::ios::trunc) {
     if (!out_) throw CheckpointError("cannot open '" + path_ + ".tmp' for writing");
     u32(kCheckpointMagic);
-    u32(kCheckpointVersion);
+    u32(version);
 }
 
 CheckpointWriter::~CheckpointWriter() {
@@ -90,10 +90,11 @@ CheckpointReader::CheckpointReader(const std::string& path)
     fileSize_ = static_cast<std::uint64_t>(in_.tellg());
     in_.seekg(0);
     if (u32() != kCheckpointMagic) throw CheckpointError("'" + path + "' is not a snapshot");
-    const std::uint32_t version = u32();
-    if (version != kCheckpointVersion)
-        throw CheckpointError("'" + path + "' has format version " + std::to_string(version) +
-                              ", expected " + std::to_string(kCheckpointVersion));
+    version_ = u32();
+    if (version_ < kCheckpointMinVersion || version_ > kCheckpointVersion)
+        throw CheckpointError("'" + path + "' has format version " + std::to_string(version_) +
+                              ", supported: " + std::to_string(kCheckpointMinVersion) + ".." +
+                              std::to_string(kCheckpointVersion));
 }
 
 void CheckpointReader::raw(void* data, std::size_t bytes) {

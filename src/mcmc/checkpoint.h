@@ -36,13 +36,20 @@ class CheckpointError : public Error {
 };
 
 inline constexpr std::uint32_t kCheckpointMagic = 0x4B43504Du;  // "MPCK"
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+/// Current format: v2 snapshots carry per-locus payloads (genealogies, RNG
+/// streams, sinks, monitors) for multi-locus runs. v1 single-locus
+/// snapshots are still readable; the reader exposes the file's version so
+/// owners can branch on layout.
+inline constexpr std::uint32_t kCheckpointVersion = 2;
+inline constexpr std::uint32_t kCheckpointMinVersion = 1;
 
 class CheckpointWriter {
   public:
     /// Opens `<path>.tmp` and writes the header. Nothing becomes visible at
-    /// `path` until commit().
-    explicit CheckpointWriter(std::string path);
+    /// `path` until commit(). `version` is the header format stamp — always
+    /// the current version outside of compatibility tests.
+    explicit CheckpointWriter(std::string path,
+                              std::uint32_t version = kCheckpointVersion);
     ~CheckpointWriter();
 
     CheckpointWriter(const CheckpointWriter&) = delete;
@@ -68,8 +75,14 @@ class CheckpointWriter {
 class CheckpointReader {
   public:
     /// Opens `path` and validates the header. Throws CheckpointError when
-    /// the file is missing, truncated, or has the wrong magic/version.
+    /// the file is missing, truncated, or has the wrong magic or an
+    /// unsupported version (outside [kCheckpointMinVersion,
+    /// kCheckpointVersion]).
     explicit CheckpointReader(const std::string& path);
+
+    /// Format version stamped in the header (1 = single-locus layouts,
+    /// 2 = per-locus payloads).
+    std::uint32_t version() const { return version_; }
 
     std::uint32_t u32();
     std::uint64_t u64();
@@ -88,6 +101,7 @@ class CheckpointReader {
 
     std::ifstream in_;
     std::uint64_t fileSize_ = 0;
+    std::uint32_t version_ = kCheckpointVersion;
 };
 
 /// True when a snapshot file exists at `path`.

@@ -4,6 +4,8 @@
 #include <limits>
 
 #include "mcmc/checkpoint.h"
+#include "par/kernel.h"
+#include "util/error.h"
 
 namespace mpcgs {
 
@@ -175,6 +177,150 @@ SamplerRunReport SamplerRun::execute(SampleSink& sink, ConvergenceMonitor& monit
 
     report.samples = monitor.totalSamples();
     report.ticks = sampleDone_;
+    return report;
+}
+
+std::size_t MultiLocusReport::totalSamples() const {
+    std::size_t n = 0;
+    for (const LocusRunReport& r : loci) n += r.samples;
+    return n;
+}
+
+bool MultiLocusReport::allStoppedEarly() const {
+    for (const LocusRunReport& r : loci)
+        if (!r.stoppedEarly) return false;
+    return !loci.empty();
+}
+
+MultiLocusRun::MultiLocusRun(std::vector<LocusSlot> slots, Config cfg)
+    : slots_(std::move(slots)), cfg_(std::move(cfg)) {
+    require(!slots_.empty(), "MultiLocusRun: no loci");
+    for (const LocusSlot& s : slots_)
+        require(s.sampler && s.sink && s.monitor,
+                "MultiLocusRun: every slot needs a sampler, sink and monitor");
+    sampleDone_.assign(slots_.size(), 0);
+    stopped_.assign(slots_.size(), 0);
+}
+
+void MultiLocusRun::restoreProgress(std::size_t burnTicksDone,
+                                    std::span<const std::uint64_t> sampleTicksDone,
+                                    std::span<const std::uint8_t> stopped) {
+    require(sampleTicksDone.size() == slots_.size() && stopped.size() == slots_.size(),
+            "MultiLocusRun: restored progress has the wrong locus count");
+    burnDone_ = std::min(burnTicksDone, cfg_.burnInTicks);
+    for (std::size_t l = 0; l < slots_.size(); ++l) {
+        sampleDone_[l] = std::min<std::uint64_t>(sampleTicksDone[l], cfg_.sampleTicks);
+        stopped_[l] = stopped[l] ? 1 : 0;
+    }
+}
+
+MultiLocusReport MultiLocusRun::execute() {
+    const std::size_t L = slots_.size();
+
+    // Per-locus sink pipelines: summary sink + convergence monitor behind a
+    // locus-stamping adapter, so every streamed tag carries its locus id.
+    std::vector<FanoutSink> fanouts(L);
+    std::vector<LocusTagSink> tagged;
+    tagged.reserve(L);
+    for (std::size_t l = 0; l < L; ++l) {
+        fanouts[l].add(slots_[l].sink);
+        fanouts[l].add(slots_[l].monitor);
+        fanouts[l].beginRun(slots_[l].sampler->chainCount());
+        tagged.emplace_back(static_cast<std::uint32_t>(l), &fanouts[l]);
+    }
+
+    // The single-locus cadence formulas of SamplerRun, applied per round: a
+    // round advances every active locus by one tick, so the L = 1 round
+    // sequence is exactly the SamplerRun tick sequence.
+    const std::size_t ckptEvery =
+        cfg_.checkpointInterval > 0
+            ? cfg_.checkpointInterval
+            : std::max<std::size_t>(1, (cfg_.burnInTicks + cfg_.sampleTicks) / 16);
+    const std::size_t checkEvery =
+        cfg_.stopping.checkInterval > 0
+            ? cfg_.stopping.checkInterval
+            : std::max<std::size_t>(1, cfg_.sampleTicks / 64);
+
+    std::size_t sinceCkpt = 0;
+    const auto maybeCheckpoint = [&](bool force) {
+        if (!cfg_.checkpoint) return;
+        if (!force && ++sinceCkpt < ckptEvery) return;
+        sinceCkpt = 0;
+        cfg_.checkpoint(burnDone_, sampleDone_, stopped_);
+    };
+
+    // The loci axis: one indivisible unit of pool work per locus and round.
+    // With a single slot the sampler may own the pool internally, so the
+    // round must run on the calling thread (pool sections don't nest).
+    const auto forEachLocus = [&](const std::function<void(std::size_t)>& f) {
+        if (L == 1)
+            f(0);
+        else
+            launchChains(cfg_.pool, L, f);
+    };
+
+    while (burnDone_ < cfg_.burnInTicks) {
+        forEachLocus([&](std::size_t l) { slots_[l].sampler->tick(nullptr); });
+        ++burnDone_;
+        maybeCheckpoint(burnDone_ == cfg_.burnInTicks);
+    }
+
+    MultiLocusReport report;
+    report.loci.resize(L);
+    for (std::size_t l = 0; l < L; ++l) {
+        if (!stopped_[l]) continue;
+        // Resumed from a snapshot taken after this locus's rule fired:
+        // re-derive its diagnostics from the restored monitor.
+        report.loci[l].stoppedEarly = true;
+        cfg_.stopping.satisfied(*slots_[l].monitor, &report.loci[l].rhat,
+                                &report.loci[l].ess);
+    }
+
+    const auto locusActive = [&](std::size_t l) {
+        return !stopped_[l] && sampleDone_[l] < cfg_.sampleTicks;
+    };
+    const auto anyActive = [&] {
+        for (std::size_t l = 0; l < L; ++l)
+            if (locusActive(l)) return true;
+        return false;
+    };
+
+    while (anyActive()) {
+        forEachLocus([&](std::size_t l) {
+            if (!locusActive(l)) return;
+            slots_[l].sampler->tick(&tagged[l]);
+            ++sampleDone_[l];
+        });
+        // Serialized barrier section: per-locus stopping checks at each
+        // locus's own cadence. A locus that satisfies its rule latches
+        // stopped and freezes; the others keep sampling.
+        if (cfg_.stopping.enabled()) {
+            for (std::size_t l = 0; l < L; ++l) {
+                if (stopped_[l] || sampleDone_[l] % checkEvery != 0) continue;
+                if (cfg_.stopping.satisfied(*slots_[l].monitor, &report.loci[l].rhat,
+                                            &report.loci[l].ess)) {
+                    report.loci[l].stoppedEarly = true;
+                    stopped_[l] = 1;
+                }
+            }
+        }
+        maybeCheckpoint(false);
+    }
+    // Phase-end snapshot (forced), covering the final round and the case
+    // where every locus was already complete on entry.
+    maybeCheckpoint(true);
+    // Capped loci report the diagnostics at the cap, exactly as SamplerRun
+    // does for its single sampler.
+    if (cfg_.stopping.enabled())
+        for (std::size_t l = 0; l < L; ++l)
+            if (!report.loci[l].stoppedEarly)
+                cfg_.stopping.satisfied(*slots_[l].monitor, &report.loci[l].rhat,
+                                        &report.loci[l].ess);
+
+    for (std::size_t l = 0; l < L; ++l) {
+        report.loci[l].samples = slots_[l].monitor->totalSamples();
+        report.loci[l].ticks = sampleDone_[l];
+    }
     return report;
 }
 

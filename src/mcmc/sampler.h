@@ -28,10 +28,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "mcmc/diagnostics.h"
+#include "par/thread_pool.h"
 #include "phylo/tree.h"
 #include "util/stats.h"
 
@@ -45,6 +47,7 @@ struct SampleTag {
     std::uint32_t chain = 0;    ///< logical chain that produced the sample
     std::uint64_t index = 0;    ///< 0-based position within that chain
     double logPosterior = 0.0;  ///< unnormalized log pi of the sample
+    std::uint32_t locus = 0;    ///< locus whose genealogy this is (multi-locus runs)
 };
 
 /// Streaming consumer of chain-tagged samples (see the concurrency
@@ -59,6 +62,28 @@ class SampleSink {
     virtual void beginRun(std::uint32_t chains) { (void)chains; }
 
     virtual void consume(const Genealogy& g, const SampleTag& tag) = 0;
+};
+
+/// Stamps a fixed locus id onto every tag before forwarding (not owning
+/// the inner sink). Samplers are locus-agnostic and always emit locus 0;
+/// the multi-locus runtime wraps each locus's sink pipeline in one of
+/// these so any shared downstream consumer sees fully-qualified
+/// (locus, chain, index) provenance.
+class LocusTagSink final : public SampleSink {
+  public:
+    LocusTagSink(std::uint32_t locus, SampleSink* inner)
+        : locus_(locus), inner_(inner) {}
+
+    void beginRun(std::uint32_t chains) override { inner_->beginRun(chains); }
+    void consume(const Genealogy& g, const SampleTag& tag) override {
+        SampleTag stamped = tag;
+        stamped.locus = locus_;
+        inner_->consume(g, stamped);
+    }
+
+  private:
+    std::uint32_t locus_;
+    SampleSink* inner_;
 };
 
 /// Fans every sample out to several sinks (not owned).
@@ -225,6 +250,86 @@ class SamplerRun {
     std::size_t burnDone_ = 0;
     std::size_t sampleDone_ = 0;
     bool stopped_ = false;
+};
+
+/// One locus's participants in a multi-locus run (none owned). Sink and
+/// monitor are per-locus: convergence is judged locus by locus, and a
+/// locus's samples never mix into another locus's summaries.
+struct LocusSlot {
+    Sampler* sampler = nullptr;
+    SampleSink* sink = nullptr;
+    ConvergenceMonitor* monitor = nullptr;
+};
+
+/// What one locus did during a multi-locus sampling phase.
+struct LocusRunReport {
+    std::size_t samples = 0;    ///< samples emitted (including pre-resume)
+    std::size_t ticks = 0;      ///< sampling ticks executed
+    bool stoppedEarly = false;  ///< this locus's stopping rule fired before the cap
+    double rhat = 0.0;          ///< last diagnostic values (0 = never evaluated)
+    double ess = 0.0;
+};
+
+struct MultiLocusReport {
+    std::vector<LocusRunReport> loci;
+
+    std::size_t totalSamples() const;
+    /// True when every locus's stopping rule fired before the cap.
+    bool allStoppedEarly() const;
+};
+
+/// Orchestrates one sampling phase across L independent loci: lockstep
+/// rounds where every still-active locus advances one tick, per-locus
+/// stopping-rule checks (a converged locus freezes while the rest keep
+/// sampling; the phase ends when ALL loci are stopped or capped), and a
+/// periodic checkpoint callback carrying every locus's progress.
+///
+/// Scheduling: with more than one slot, each round steps the loci in
+/// parallel across the pool via the chain-affinity launch — the loci axis
+/// is embarrassingly parallel, and per-locus state (sampler, sink,
+/// monitor) is disjoint by construction. The slots' samplers must then be
+/// built WITHOUT an inner pool (pool nesting is not supported); with a
+/// single slot the round runs on the calling thread and the sampler may
+/// use the pool internally, which is exactly the single-locus SamplerRun
+/// configuration. Either way results are bitwise invariant to the worker
+/// count: the parallel section only changes when loci step, never what
+/// they compute.
+///
+/// For one slot this executes the identical tick/check/checkpoint sequence
+/// as SamplerRun, so single-locus datasets reproduce the single-sampler
+/// path bitwise.
+class MultiLocusRun {
+  public:
+    struct Config {
+        std::size_t burnInTicks = 0;
+        std::size_t sampleTicks = 0;  ///< cap on sampling ticks per locus
+        StoppingRule stopping;        ///< applied to every locus independently
+        /// Invoked every `checkpointInterval` rounds (and at the end of
+        /// burn-in and of the phase) with the global burn progress and the
+        /// per-locus sampling progress/stopped latches.
+        std::function<void(std::size_t burnDone, std::span<const std::uint64_t> sampleDone,
+                           std::span<const std::uint8_t> stopped)>
+            checkpoint;
+        std::size_t checkpointInterval = 0;  ///< rounds between snapshots (0 = auto)
+        ThreadPool* pool = nullptr;          ///< loci-parallel axis (>= 2 slots)
+    };
+
+    MultiLocusRun(std::vector<LocusSlot> slots, Config cfg);
+
+    /// Resume progress bookkeeping from a snapshot (samplers, sinks and
+    /// monitors are restored separately by the owner).
+    void restoreProgress(std::size_t burnTicksDone, std::span<const std::uint64_t> sampleTicksDone,
+                         std::span<const std::uint8_t> stopped);
+
+    /// Run to completion (every locus at its cap or stopped).
+    MultiLocusReport execute();
+
+  private:
+    std::vector<LocusSlot> slots_;
+    Config cfg_;
+    std::size_t burnDone_ = 0;
+    std::vector<std::uint64_t> sampleDone_;
+    std::vector<std::uint8_t> stopped_;  ///< per-locus latch (u8: serialized + span-able)
 };
 
 }  // namespace mpcgs

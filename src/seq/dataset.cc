@@ -1,0 +1,150 @@
+#include "seq/dataset.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <unordered_set>
+
+#include "seq/fasta.h"
+#include "seq/nexus.h"
+#include "seq/phylip.h"
+#include "util/error.h"
+
+namespace mpcgs {
+namespace {
+
+std::string lowerExtension(const std::string& path) {
+    std::string ext = std::filesystem::path(path).extension().string();
+    std::transform(ext.begin(), ext.end(), ext.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+    return ext;
+}
+
+/// Unique locus name: the file stem, suffixed with ".2", ".3", ... when an
+/// earlier locus already claimed it.
+std::string uniqueName(std::string base, std::unordered_set<std::string>& used) {
+    if (base.empty()) base = "locus";
+    std::string name = base;
+    for (int n = 2; used.count(name) > 0; ++n) name = base + "." + std::to_string(n);
+    used.insert(name);
+    return name;
+}
+
+}  // namespace
+
+Alignment readAlignmentFile(const std::string& path) {
+    const std::string ext = lowerExtension(path);
+    if (ext == ".nex" || ext == ".nxs") return readNexusFile(path);
+    if (ext == ".fa" || ext == ".fasta" || ext == ".fna") return readFastaFile(path);
+    return readPhylipFile(path);
+}
+
+Dataset Dataset::single(Alignment aln, std::string name) {
+    Dataset ds;
+    ds.add(Locus{std::move(name), std::move(aln), 1.0});
+    return ds;
+}
+
+Dataset Dataset::fromFiles(const std::vector<std::string>& paths) {
+    if (paths.empty()) throw ConfigError("Dataset: no input files");
+    Dataset ds;
+    std::unordered_set<std::string> used;
+    for (const std::string& path : paths) {
+        const std::string stem = std::filesystem::path(path).stem().string();
+        ds.add(Locus{uniqueName(stem, used), readAlignmentFile(path), 1.0});
+    }
+    ds.validate();
+    return ds;
+}
+
+Dataset Dataset::fromManifest(const std::string& manifestPath) {
+    std::ifstream in(manifestPath);
+    if (!in) throw ConfigError("Dataset: cannot open manifest '" + manifestPath + "'");
+    const std::filesystem::path baseDir =
+        std::filesystem::path(manifestPath).parent_path();
+
+    Dataset ds;
+    std::unordered_set<std::string> used;
+    std::string line;
+    std::size_t lineNo = 0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        if (const auto hash = line.find('#'); hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream fields(line);
+        std::string path;
+        if (!(fields >> path)) continue;  // blank or comment-only line
+
+        std::string name;
+        double rate = 1.0;
+        std::string field;
+        while (fields >> field) {
+            const auto eq = field.find('=');
+            const std::string key = field.substr(0, eq);
+            const std::string value = eq == std::string::npos ? "" : field.substr(eq + 1);
+            const std::string where =
+                " (manifest '" + manifestPath + "' line " + std::to_string(lineNo) + ")";
+            if (eq == std::string::npos || value.empty())
+                throw ConfigError("Dataset: expected key=value, got '" + field + "'" + where);
+            if (key == "name") {
+                name = value;
+            } else if (key == "rate") {
+                std::size_t used_chars = 0;
+                try {
+                    rate = std::stod(value, &used_chars);
+                } catch (const std::exception&) {
+                    used_chars = 0;
+                }
+                if (used_chars != value.size())
+                    throw ConfigError("Dataset: bad rate '" + value + "'" + where);
+            } else {
+                throw ConfigError("Dataset: unknown manifest key '" + key + "'" + where);
+            }
+        }
+
+        std::filesystem::path file(path);
+        if (file.is_relative()) file = baseDir / file;
+        // Derived (file-stem) names dedupe by suffixing; an explicit
+        // duplicate name= is a manifest mistake and is rejected.
+        const bool explicitName = !name.empty();
+        if (!explicitName) name = file.stem().string();
+        if (explicitName && used.count(name) > 0)
+            throw ConfigError("Dataset: duplicate locus name '" + name + "' (manifest '" +
+                              manifestPath + "' line " + std::to_string(lineNo) + ")");
+        ds.add(Locus{uniqueName(name, used), readAlignmentFile(file.string()), rate});
+    }
+    if (ds.locusCount() == 0)
+        throw ConfigError("Dataset: manifest '" + manifestPath + "' lists no loci");
+    ds.validate();
+    return ds;
+}
+
+std::size_t Dataset::totalSites() const {
+    std::size_t n = 0;
+    for (const Locus& l : loci_) n += l.alignment.length();
+    return n;
+}
+
+void Dataset::validate() const {
+    if (loci_.empty()) throw ConfigError("Dataset: no loci");
+    std::unordered_set<std::string> names;
+    for (std::size_t l = 0; l < loci_.size(); ++l) {
+        const Locus& locus = loci_[l];
+        const std::string where = "locus " + std::to_string(l) +
+                                  (locus.name.empty() ? "" : " ('" + locus.name + "')");
+        if (locus.alignment.sequenceCount() < 2)
+            throw ConfigError("Dataset: " + where + " needs at least 2 sequences");
+        if (locus.alignment.length() == 0)
+            throw ConfigError("Dataset: " + where + " has zero-length sequences");
+        if (!(locus.mutationScale > 0.0) || !std::isfinite(locus.mutationScale))
+            throw ConfigError("Dataset: " + where +
+                              " needs a positive finite mutation-rate scalar");
+        if (!names.insert(locus.name).second)
+            throw ConfigError("Dataset: duplicate locus name '" + locus.name + "'");
+    }
+}
+
+}  // namespace mpcgs

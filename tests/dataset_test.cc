@@ -1,0 +1,150 @@
+// Multi-locus Dataset: file loading (format sniffing), manifest parsing,
+// and validation.
+#include "seq/dataset.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "seq/phylip.h"
+#include "util/error.h"
+
+namespace mpcgs {
+namespace {
+
+std::string tempPath(const std::string& name) {
+    return ::testing::TempDir() + "/" + name;
+}
+
+Alignment tinyAlignment(const std::string& a, const std::string& b) {
+    return Alignment({Sequence::fromString("tip_a", a), Sequence::fromString("tip_b", b)});
+}
+
+void writeText(const std::string& path, const std::string& text) {
+    std::ofstream f(path);
+    f << text;
+}
+
+TEST(DatasetTest, SingleWrapsOneAlignment) {
+    const Dataset ds = Dataset::single(tinyAlignment("ACGT", "ACGA"), "myLocus");
+    EXPECT_EQ(ds.locusCount(), 1u);
+    EXPECT_EQ(ds.locus(0).name, "myLocus");
+    EXPECT_DOUBLE_EQ(ds.locus(0).mutationScale, 1.0);
+    EXPECT_EQ(ds.totalSites(), 4u);
+    EXPECT_NO_THROW(ds.validate());
+}
+
+TEST(DatasetTest, FromFilesSniffsFormatsByExtension) {
+    const std::string phy = tempPath("locusA.phy");
+    writePhylipFile(phy, tinyAlignment("ACGTACGT", "ACGAACGA"));
+
+    const std::string fa = tempPath("locusB.fasta");
+    writeText(fa, ">s1\nACGTAC\n>s2\nACGTAA\n");
+
+    const std::string nex = tempPath("locusC.nex");
+    writeText(nex,
+              "#NEXUS\nBEGIN DATA;\nDIMENSIONS NTAX=2 NCHAR=6;\n"
+              "FORMAT DATATYPE=DNA;\nMATRIX\nn1 ACGTAC\nn2 ACGTAG\n;\nEND;\n");
+
+    const Dataset ds = Dataset::fromFiles({phy, fa, nex});
+    ASSERT_EQ(ds.locusCount(), 3u);
+    EXPECT_EQ(ds.locus(0).name, "locusA");
+    EXPECT_EQ(ds.locus(1).name, "locusB");
+    EXPECT_EQ(ds.locus(2).name, "locusC");
+    EXPECT_EQ(ds.locus(0).alignment.length(), 8u);
+    EXPECT_EQ(ds.locus(1).alignment.length(), 6u);
+    EXPECT_EQ(ds.locus(2).alignment.length(), 6u);
+}
+
+TEST(DatasetTest, FromFilesDeduplicatesCollidingStems) {
+    const std::string dirA = tempPath("dupA");
+    const std::string dirB = tempPath("dupB");
+    std::filesystem::create_directories(dirA);
+    std::filesystem::create_directories(dirB);
+    writePhylipFile(dirA + "/same.phy", tinyAlignment("ACGT", "ACGA"));
+    writePhylipFile(dirB + "/same.phy", tinyAlignment("TTTT", "TTTA"));
+
+    const Dataset ds = Dataset::fromFiles({dirA + "/same.phy", dirB + "/same.phy"});
+    ASSERT_EQ(ds.locusCount(), 2u);
+    EXPECT_EQ(ds.locus(0).name, "same");
+    EXPECT_EQ(ds.locus(1).name, "same.2");
+}
+
+TEST(DatasetTest, ManifestParsesNamesRatesAndComments) {
+    const std::string phy1 = tempPath("m1.phy");
+    const std::string phy2 = tempPath("m2.phy");
+    writePhylipFile(phy1, tinyAlignment("ACGTACGT", "ACGAACGA"));
+    writePhylipFile(phy2, tinyAlignment("ACGTAC", "ACGTAA"));
+
+    const std::string manifest = tempPath("loci.txt");
+    writeText(manifest,
+              "# two-locus dataset\n"
+              "m1.phy name=mito rate=2.5\n"
+              "\n"
+              "m2.phy   # default name, default rate\n");
+
+    const Dataset ds = Dataset::fromManifest(manifest);
+    ASSERT_EQ(ds.locusCount(), 2u);
+    EXPECT_EQ(ds.locus(0).name, "mito");
+    EXPECT_DOUBLE_EQ(ds.locus(0).mutationScale, 2.5);
+    EXPECT_EQ(ds.locus(1).name, "m2");
+    EXPECT_DOUBLE_EQ(ds.locus(1).mutationScale, 1.0);
+    // Relative manifest paths resolve against the manifest's directory.
+    EXPECT_EQ(ds.locus(0).alignment.length(), 8u);
+}
+
+TEST(DatasetTest, ManifestErrorsAreClear) {
+    const std::string missing = tempPath("nomanifest.txt");
+    EXPECT_THROW(Dataset::fromManifest(missing), ConfigError);
+
+    const std::string empty = tempPath("empty.txt");
+    writeText(empty, "# nothing but comments\n\n");
+    EXPECT_THROW(Dataset::fromManifest(empty), ConfigError);
+
+    const std::string phy = tempPath("ok.phy");
+    writePhylipFile(phy, tinyAlignment("ACGT", "ACGA"));
+
+    const std::string badRate = tempPath("badrate.txt");
+    writeText(badRate, "ok.phy rate=fast\n");
+    EXPECT_THROW(Dataset::fromManifest(badRate), ConfigError);
+
+    const std::string badKey = tempPath("badkey.txt");
+    writeText(badKey, "ok.phy color=blue\n");
+    EXPECT_THROW(Dataset::fromManifest(badKey), ConfigError);
+
+    const std::string bareToken = tempPath("baretoken.txt");
+    writeText(bareToken, "ok.phy justaname\n");
+    EXPECT_THROW(Dataset::fromManifest(bareToken), ConfigError);
+
+    // Explicit duplicate name= is a mistake, not a dedupe opportunity.
+    const std::string dupName = tempPath("dupname.txt");
+    writeText(dupName, "ok.phy name=mito\nok.phy name=mito\n");
+    EXPECT_THROW(Dataset::fromManifest(dupName), ConfigError);
+
+    // ...while colliding derived stems still dedupe by suffixing.
+    const std::string dupStem = tempPath("dupstem.txt");
+    writeText(dupStem, "ok.phy\nok.phy\n");
+    const Dataset ds = Dataset::fromManifest(dupStem);
+    EXPECT_EQ(ds.locus(1).name, "ok.2");
+}
+
+TEST(DatasetTest, ValidationRejectsBadLoci) {
+    EXPECT_THROW(Dataset().validate(), ConfigError);
+
+    Dataset oneSeq;
+    oneSeq.add(Locus{"solo", Alignment({Sequence::fromString("only", "ACGT")}), 1.0});
+    EXPECT_THROW(oneSeq.validate(), ConfigError);
+
+    Dataset badScale;
+    badScale.add(Locus{"neg", tinyAlignment("ACGT", "ACGA"), -1.0});
+    EXPECT_THROW(badScale.validate(), ConfigError);
+
+    Dataset dup;
+    dup.add(Locus{"x", tinyAlignment("ACGT", "ACGA"), 1.0});
+    dup.add(Locus{"x", tinyAlignment("TTTT", "TTTA"), 1.0});
+    EXPECT_THROW(dup.validate(), ConfigError);
+}
+
+}  // namespace
+}  // namespace mpcgs

@@ -1,7 +1,9 @@
-// mpcgs — multi-proposal coalescent genealogy sampler (§5.1.1).
+// mpcgs — multi-proposal coalescent genealogy sampler (§5.1.1), extended
+// to multi-locus datasets sharing theta.
 //
 // Usage mirrors the paper's proof of concept:
-//   mpcgs <seqdata.phy> <init_theta> [--threads N] [--strategy gmh|mh|multichain]
+//   mpcgs <seqdata.phy> [<more-loci...>] <init_theta> [--loci-manifest M]
+//         [--threads N] [--strategy gmh|mh|multichain|heated]
 //         [--samples M] [--em K] [--proposals N] [--seed S] [--curve out.csv]
 #include <cstdio>
 #include <fstream>
@@ -9,8 +11,7 @@
 
 #include "core/driver.h"
 #include "core/support_interval.h"
-#include "seq/nexus.h"
-#include "seq/phylip.h"
+#include "seq/dataset.h"
 #include "util/options.h"
 #include "util/timer.h"
 
@@ -18,20 +19,25 @@ namespace {
 
 void usage(const char* prog) {
     std::fprintf(stderr,
-                 "usage: %s <seqdata.phy> <init_theta> [options]\n"
+                 "usage: %s <seqdata...> <init_theta> [options]\n"
+                 "  every positional argument but the last is a locus file\n"
+                 "  (.phy | .nex/.nxs | .fa/.fasta); loci share one theta\n"
+                 "  --loci-manifest F  read loci from a manifest file instead/as well:\n"
+                 "                     one '<file> [name=N] [rate=R]' per line\n"
                  "  --threads N        worker threads (default: hardware)\n"
                  "  --strategy S       gmh | mh | multichain | heated (default gmh)\n"
                  "  --cached-baseline  use dirty-path likelihood caching for --strategy mh\n"
-                 "  --samples M        genealogy samples per EM iteration (default 4000)\n"
+                 "  --samples M        genealogy samples per locus per EM iteration"
+                 " (default 4000)\n"
                  "  --em K             EM iterations (default 4)\n"
                  "  --proposals N      GMH proposals per set (default 32)\n"
                  "  --set-samples M    GMH samples per proposal set (default 8)\n"
                  "  --chains P         chains for multichain strategy (default 4)\n"
                  "  --model NAME       inference model: F81 (default), JC69, HKY85, F84\n"
                  "  --seed S           RNG seed\n"
-                 "  --curve FILE       write the final likelihood curve as CSV\n"
-                 "  --stop-rhat R      stop an E-step early once cross-chain R-hat < R\n"
-                 "                     (e.g. 1.01; 0 disables)\n"
+                 "  --curve FILE       write the final pooled likelihood curve as CSV\n"
+                 "  --stop-rhat R      stop an E-step early once every locus's cross-chain\n"
+                 "                     R-hat < R (e.g. 1.01; 0 disables)\n"
                  "  --stop-ess N       ... and pooled effective sample size >= N\n"
                  "  --checkpoint FILE  write restart snapshots to FILE during sampling\n"
                  "  --checkpoint-interval T  ticks between snapshots (default: auto)\n"
@@ -44,18 +50,17 @@ void usage(const char* prog) {
 int main(int argc, char** argv) {
     using namespace mpcgs;
     const Options opts = Options::parse(argc, argv);
-    if (opts.positional().size() < 2) {
+    const bool haveManifest = opts.has("loci-manifest");
+    // Without a manifest at least one locus file plus theta0 is required;
+    // with one, theta0 alone suffices.
+    if (opts.positional().size() < (haveManifest ? 1u : 2u)) {
         usage(argv[0]);
         return 2;
     }
 
     try {
-        const std::string& path = opts.positional()[0];
-        const bool isNexus = path.size() > 4 && (path.substr(path.size() - 4) == ".nex" ||
-                                                 path.substr(path.size() - 4) == ".nxs");
-        const Alignment aln = isNexus ? readNexusFile(path) : readPhylipFile(path);
         MpcgsOptions mo;
-        mo.theta0 = std::stod(opts.positional()[1]);
+        mo.theta0 = std::stod(opts.positional().back());
         mo.samplesPerIteration = static_cast<std::size_t>(opts.getInt("samples", 4000));
         mo.emIterations = static_cast<std::size_t>(opts.getInt("em", 4));
         mo.gmhProposals = static_cast<std::size_t>(opts.getInt("proposals", 32));
@@ -86,14 +91,49 @@ int main(int argc, char** argv) {
             static_cast<std::size_t>(opts.getInt("checkpoint-interval", 0));
         mo.resume = opts.getBool("resume", false);
 
+        // Reject nonsense at parse time, before any data is read.
+        validateOptions(mo);
+
+        // Manifest loci first (their rates/names are explicit), then the
+        // positional files — whose derived names dedupe against the
+        // manifest's the same way colliding file stems do.
+        Dataset ds;
+        if (haveManifest) ds = Dataset::fromManifest(*opts.get("loci-manifest"));
+        const std::vector<std::string> files(opts.positional().begin(),
+                                             opts.positional().end() - 1);
+        if (!files.empty()) {
+            const Dataset extra = Dataset::fromFiles(files);
+            for (const Locus& locus : extra.loci()) {
+                Locus merged = locus;
+                const auto taken = [&](const std::string& n) {
+                    for (const Locus& existing : ds.loci())
+                        if (existing.name == n) return true;
+                    return false;
+                };
+                for (int n = 2; taken(merged.name); ++n)
+                    merged.name = locus.name + "." + std::to_string(n);
+                ds.add(std::move(merged));
+            }
+        }
+        ds.validate();
+
         const unsigned threads =
             static_cast<unsigned>(opts.getInt("threads", hardwareThreads()));
         ThreadPool pool(threads);
 
-        std::printf("mpcgs: %zu sequences x %zu bp, theta0=%.4g, strategy=%s, threads=%u\n",
-                    aln.sequenceCount(), aln.length(), mo.theta0, strat.c_str(), threads);
+        std::printf("mpcgs: %zu loci, %zu total sites, theta0=%.4g, strategy=%s, threads=%u\n",
+                    ds.locusCount(), ds.totalSites(), mo.theta0, strat.c_str(), threads);
+        for (const Locus& locus : ds.loci()) {
+            const std::string rate =
+                locus.mutationScale == 1.0
+                    ? ""
+                    : "  (rate " + std::to_string(locus.mutationScale) + ")";
+            std::printf("  locus %-16s %zu sequences x %zu bp%s\n", locus.name.c_str(),
+                        locus.alignment.sequenceCount(), locus.alignment.length(),
+                        rate.c_str());
+        }
 
-        const MpcgsResult res = estimateTheta(aln, mo, &pool);
+        const MpcgsResult res = estimateTheta(ds, mo, &pool);
 
         for (std::size_t i = 0; i < res.history.size(); ++i) {
             const auto& h = res.history[i];
@@ -103,28 +143,28 @@ int main(int argc, char** argv) {
                         h.moveRate, formatDuration(h.seconds).c_str(),
                         h.stoppedEarly ? "  [converged early]" : "");
             if (h.rhat > 0.0)
-                std::printf("        convergence: R-hat %.4f, pooled ESS %.0f\n", h.rhat,
-                            h.ess);
+                std::printf("        convergence: worst R-hat %.4f, min pooled ESS %.0f\n",
+                            h.rhat, h.ess);
         }
         std::printf("final theta estimate: %.6g  (total %s, sampling %s)\n", res.theta,
                     formatDuration(res.totalSeconds).c_str(),
                     formatDuration(res.samplingSeconds).c_str());
 
-        // Approximate 95% support interval from the final likelihood curve.
+        // Approximate 95% support interval from the final pooled curve.
         if (!res.finalSummaries.empty()) {
-            const RelativeLikelihood rl(res.finalSummaries, res.finalDrivingTheta);
+            const PooledRelativeLikelihood rl = finalPooledLikelihood(res);
             const SupportInterval si = supportInterval(rl, res.theta, 1.92, 1e4, &pool);
             std::printf("approx. 95%% support interval: [%.6g, %.6g]%s\n", si.lower, si.upper,
                         (si.lowerBounded && si.upperBounded) ? "" : " (open-ended)");
         }
 
         if (const auto curveFile = opts.get("curve")) {
-            const RelativeLikelihood rl(res.finalSummaries, res.finalDrivingTheta);
+            const PooledRelativeLikelihood rl = finalPooledLikelihood(res);
             std::ofstream f(*curveFile);
             f << "theta,logL\n";
             for (const auto& [theta, ll] : rl.curve(res.theta / 20, res.theta * 20, 81, &pool))
                 f << theta << ',' << ll << '\n';
-            std::printf("likelihood curve written to %s\n", curveFile->c_str());
+            std::printf("pooled likelihood curve written to %s\n", curveFile->c_str());
         }
         return 0;
     } catch (const std::exception& e) {

@@ -4,16 +4,46 @@
 //   seqgen --model F84 --kappa 2.0 --length 200 --scale 1.0 --seed S < trees
 //
 // mirrors `seq-gen -mF84 -l 200 -s 1.0 < treefile`.
+//
+// Multi-locus mode simulates L independent coalescent loci under one
+// shared theta (no input trees; each locus draws its own genealogy):
+//
+//   seqgen --loci L --tips N --theta T [--length ...] [--out PREFIX]
+//
+// Per-locus RNG streams are derived via SplitMix64 from --seed, so any
+// locus subset is reproducible independently of the others. With --out,
+// locus l is written to <PREFIX>locus<l>.phy and a dataset manifest to
+// <PREFIX>manifest.txt (ready for `mpcgs --loci-manifest`); without it,
+// the alignments are written to stdout back to back.
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <string>
 
+#include "coalescent/simulator.h"
 #include "phylo/newick.h"
 #include "rng/mt19937.h"
+#include "rng/splitmix.h"
 #include "seq/phylip.h"
 #include "seq/seqgen.h"
 #include "seq/subst_model.h"
 #include "util/options.h"
+
+namespace {
+
+std::unique_ptr<mpcgs::SubstModel> makeGeneratorModel(const std::string& name, double kappa,
+                                                      const mpcgs::BaseFreqs& pi) {
+    using namespace mpcgs;
+    if (name == "F84") return makeF84(kappa, pi);
+    if (name == "HKY85") return makeHky85(kappa, pi);
+    if (name == "K80") return makeK80(kappa);
+    if (name == "JC69") return makeJc69();
+    if (name == "F81") return std::make_unique<F81Model>(pi);
+    return nullptr;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
     using namespace mpcgs;
@@ -24,27 +54,63 @@ int main(int argc, char** argv) {
         SeqGenOptions so;
         so.length = static_cast<std::size_t>(opts.getInt("length", 200));
         so.scale = opts.getDouble("scale", 1.0);
-        Mt19937 rng(static_cast<std::uint32_t>(opts.getInt("seed", 42)));
+        const auto seed = static_cast<std::uint64_t>(opts.getInt("seed", 42));
 
         // seq-gen draws base frequencies from its defaults when not given
         // data; use uniform frequencies unless overridden.
         const BaseFreqs pi = kUniformFreqs;
-        std::unique_ptr<SubstModel> model;
-        if (modelName == "F84")
-            model = makeF84(kappa, pi);
-        else if (modelName == "HKY85")
-            model = makeHky85(kappa, pi);
-        else if (modelName == "K80")
-            model = makeK80(kappa);
-        else if (modelName == "JC69")
-            model = makeJc69();
-        else if (modelName == "F81")
-            model = std::make_unique<F81Model>(pi);
-        else {
+        const auto model = makeGeneratorModel(modelName, kappa, pi);
+        if (!model) {
             std::fprintf(stderr, "seqgen: unknown model '%s'\n", modelName.c_str());
             return 2;
         }
 
+        const auto loci = static_cast<std::size_t>(opts.getInt("loci", 0));
+        if (loci > 0) {
+            const int tips = static_cast<int>(opts.getInt("tips", 0));
+            const double theta = opts.getDouble("theta", 0.0);
+            if (tips < 2 || theta <= 0.0) {
+                std::fprintf(stderr,
+                             "seqgen: --loci needs --tips >= 2 and --theta > 0\n");
+                return 2;
+            }
+            const auto prefix = opts.get("out");
+            std::ofstream manifest;
+            if (prefix) {
+                manifest.open(*prefix + "manifest.txt");
+                if (!manifest) {
+                    std::fprintf(stderr, "seqgen: cannot write manifest at prefix '%s'\n",
+                                 prefix->c_str());
+                    return 1;
+                }
+                manifest << "# " << loci << " loci simulated under shared theta=" << theta
+                         << " (seqgen --loci)\n";
+            }
+            for (std::size_t l = 0; l < loci; ++l) {
+                // Independent, counter-addressable stream per locus: locus
+                // l's data does not depend on how many loci are simulated.
+                Mt19937 rng = Mt19937::fromSplitMix(splitMix64At(seed, l));
+                const Genealogy g = simulateCoalescent(tips, theta, rng);
+                const Alignment aln = simulateSequences(g, *model, so, rng);
+                if (prefix) {
+                    const std::string name = "locus" + std::to_string(l);
+                    const std::string file = *prefix + name + ".phy";
+                    writePhylipFile(file, aln);
+                    // Manifest entries are relative to the manifest's own
+                    // directory, which the locus files share by construction.
+                    manifest << std::filesystem::path(file).filename().string()
+                             << " name=" << name << " rate=1.0\n";
+                } else {
+                    writePhylip(std::cout, aln);
+                }
+            }
+            if (prefix)
+                std::fprintf(stderr, "seqgen: wrote %zu loci + manifest at prefix '%s'\n",
+                             loci, prefix->c_str());
+            return 0;
+        }
+
+        Mt19937 rng(static_cast<std::uint32_t>(seed));
         std::string line;
         while (std::getline(std::cin, line)) {
             if (line.find(';') == std::string::npos) continue;
