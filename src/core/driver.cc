@@ -240,22 +240,30 @@ MpcgsResult estimateTheta(const Dataset& dataset, const MpcgsOptions& opts,
     std::vector<std::uint8_t> resumeStopped(L, 0);
 
     if (opts.resume) {
-        resumeReader = std::make_unique<CheckpointReader>(opts.checkpointPath);
-        checkFingerprint(*resumeReader, opts, dataset);
-        emStart = resumeReader->u64();
-        theta = resumeReader->f64();
-        result.history = readHistory(*resumeReader);
-        for (const EmIterationRecord& h : result.history) result.samplingSeconds += h.seconds;
-        for (std::size_t l = 0; l < L; ++l) current[l] = readGenealogy(*resumeReader);
-        if (resumeReader->u32() == 1) {
-            resumeMidIteration = true;
-            resumeBurnDone = resumeReader->u64();
-            for (std::size_t l = 0; l < L; ++l) {
-                resumeSampleDone[l] = resumeReader->u64();
-                resumeStopped[l] = resumeReader->u32() != 0 ? 1 : 0;
+        // Any CheckpointError while READING the snapshot context becomes a
+        // ResumeError, so callers can fall back to a fresh run; config
+        // mismatches (checkFingerprint) stay ConfigError and stay fatal.
+        try {
+            resumeReader = std::make_unique<CheckpointReader>(opts.checkpointPath);
+            checkFingerprint(*resumeReader, opts, dataset);
+            emStart = resumeReader->u64();
+            theta = resumeReader->f64();
+            result.history = readHistory(*resumeReader);
+            for (const EmIterationRecord& h : result.history)
+                result.samplingSeconds += h.seconds;
+            for (std::size_t l = 0; l < L; ++l) current[l] = readGenealogy(*resumeReader);
+            if (resumeReader->u32() == 1) {
+                resumeMidIteration = true;
+                resumeBurnDone = resumeReader->u64();
+                for (std::size_t l = 0; l < L; ++l) {
+                    resumeSampleDone[l] = resumeReader->u64();
+                    resumeStopped[l] = resumeReader->u32() != 0 ? 1 : 0;
+                }
+            } else {
+                resumeReader.reset();
             }
-        } else {
-            resumeReader.reset();
+        } catch (const CheckpointError& e) {
+            throw ResumeError(e.what());
         }
         if (emStart >= opts.emIterations)
             throw ConfigError("resume: checkpoint already covers all requested EM iterations");
@@ -322,15 +330,19 @@ MpcgsResult estimateTheta(const Dataset& dataset, const MpcgsOptions& opts,
             slots[l] = LocusSlot{samplers[l].get(), &sinks[l], &monitors[l]};
         MultiLocusRun run(std::move(slots), cfg);
         if (resumeMidIteration && em == emStart) {
-            if (resumeReader->version() >= 2) {
-                for (auto& s : samplers) s->load(*resumeReader);
-                for (SummarySink& s : sinks) s.load(*resumeReader);
-                for (ConvergenceMonitor& m : monitors) m.load(*resumeReader);
-            } else {
-                // v1 interleaves nothing: one sampler, one sink, one monitor.
-                samplers[0]->load(*resumeReader);
-                sinks[0].load(*resumeReader);
-                monitors[0].load(*resumeReader);
+            try {
+                if (resumeReader->version() >= 2) {
+                    for (auto& s : samplers) s->load(*resumeReader);
+                    for (SummarySink& s : sinks) s.load(*resumeReader);
+                    for (ConvergenceMonitor& m : monitors) m.load(*resumeReader);
+                } else {
+                    // v1 interleaves nothing: one sampler, one sink, one monitor.
+                    samplers[0]->load(*resumeReader);
+                    sinks[0].load(*resumeReader);
+                    monitors[0].load(*resumeReader);
+                }
+            } catch (const CheckpointError& e) {
+                throw ResumeError(e.what());
             }
             run.restoreProgress(resumeBurnDone, resumeSampleDone, resumeStopped);
             resumeReader.reset();

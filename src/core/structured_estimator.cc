@@ -1,0 +1,310 @@
+#include "core/structured_estimator.h"
+
+#include <cmath>
+#include <memory>
+#include <utility>
+
+#include "core/structured_sampler.h"
+#include "lik/locus_likelihoods.h"
+#include "mcmc/checkpoint.h"
+#include "rng/splitmix.h"
+#include "util/error.h"
+#include "util/timer.h"
+
+namespace mpcgs {
+namespace {
+
+/// Fingerprint tag of structured-estimator snapshots ("STRC" again — the
+/// payload layouts are versioned by the file header, the tag only guards
+/// against feeding a single-population snapshot to the structured driver).
+constexpr std::uint32_t kStructuredRunTag = 0x43525453u;
+
+std::uint64_t emSeed(const StructuredOptions& opts, std::size_t em) {
+    return opts.seed + em * 0x632BE59BD9B4E019ull;
+}
+
+void writeModel(CheckpointWriter& w, const MigrationModel& m) {
+    w.doubles(m.theta);
+    w.doubles(m.mig);
+}
+
+MigrationModel readModel(CheckpointReader& r) {
+    MigrationModel m;
+    m.theta = r.doubles();
+    m.mig = r.doubles();
+    if (m.theta.empty() || m.mig.size() != m.theta.size() * m.theta.size())
+        throw CheckpointError("corrupt snapshot: migration model shape mismatch");
+    return m;
+}
+
+void writeFingerprint(CheckpointWriter& w, const StructuredOptions& opts,
+                      const Alignment& aln, const std::vector<int>& tipDemes) {
+    w.u32(kStructuredRunTag);
+    w.u64(opts.seed);
+    w.u64(opts.samplesPerIteration);
+    w.u64(opts.burnInFraction1000);
+    w.u64(opts.chains);
+    w.f64(opts.pathRefreshProb);
+    w.str(opts.substModel);
+    w.f64(opts.stopRhat);
+    w.f64(opts.stopEss);
+    writeModel(w, opts.init);
+    w.u64(tipDemes.size());
+    for (const int d : tipDemes) w.u32(static_cast<std::uint32_t>(d));
+    w.u64(aln.sequenceCount());
+    w.u64(aln.length());
+}
+
+void checkFingerprint(CheckpointReader& r, const StructuredOptions& opts,
+                      const Alignment& aln, const std::vector<int>& tipDemes) {
+    if (r.version() < 3)
+        throw ConfigError(
+            "resume: structured runs need a format v3 snapshot (found version " +
+            std::to_string(r.version()) + ")");
+    bool ok = true;
+    ok &= r.u32() == kStructuredRunTag;
+    ok &= r.u64() == opts.seed;
+    ok &= r.u64() == opts.samplesPerIteration;
+    ok &= r.u64() == opts.burnInFraction1000;
+    ok &= r.u64() == opts.chains;
+    ok &= r.f64() == opts.pathRefreshProb;
+    ok &= r.str() == opts.substModel;
+    ok &= r.f64() == opts.stopRhat;
+    ok &= r.f64() == opts.stopEss;
+    if (ok) ok &= readModel(r) == opts.init;
+    if (ok) {
+        ok &= r.u64() == tipDemes.size();
+        if (ok)
+            for (const int d : tipDemes) ok &= r.u32() == static_cast<std::uint32_t>(d);
+    }
+    ok &= r.u64() == aln.sequenceCount();
+    ok &= r.u64() == aln.length();
+    if (!ok)
+        throw ConfigError(
+            "resume: checkpoint was written by an incompatible structured run");
+}
+
+void writeHistory(CheckpointWriter& w, const std::vector<StructuredEmRecord>& history) {
+    w.u64(history.size());
+    for (const StructuredEmRecord& h : history) {
+        writeModel(w, h.before);
+        writeModel(w, h.after);
+        w.f64(h.logLAtMax);
+        w.f64(h.seconds);
+        w.f64(h.moveRate);
+        w.u64(h.samples);
+        w.f64(h.rhat);
+        w.f64(h.ess);
+        w.u32(h.stoppedEarly ? 1 : 0);
+    }
+}
+
+std::vector<StructuredEmRecord> readHistory(CheckpointReader& r) {
+    std::vector<StructuredEmRecord> history(r.u64());
+    for (StructuredEmRecord& h : history) {
+        h.before = readModel(r);
+        h.after = readModel(r);
+        h.logLAtMax = r.f64();
+        h.seconds = r.f64();
+        h.moveRate = r.f64();
+        h.samples = r.u64();
+        h.rhat = r.f64();
+        h.ess = r.f64();
+        h.stoppedEarly = r.u32() != 0;
+    }
+    return history;
+}
+
+}  // namespace
+
+void validateStructuredOptions(const StructuredOptions& opts) {
+    opts.init.validate();
+    if (opts.init.demeCount() < 2)
+        throw ConfigError("structured options: need at least 2 demes");
+    if (opts.emIterations == 0)
+        throw ConfigError("structured options: need >= 1 EM iteration");
+    if (opts.samplesPerIteration == 0)
+        throw ConfigError("structured options: need >= 1 sample per EM iteration");
+    if (opts.burnInFraction1000 > 1000)
+        throw ConfigError("structured options: burn-in permille must be <= 1000");
+    if (opts.chains == 0) throw ConfigError("structured options: need >= 1 chain");
+    if (opts.pathRefreshProb < 0.0 || opts.pathRefreshProb >= 1.0)
+        throw ConfigError("structured options: pathRefreshProb must be in [0, 1)");
+    if (opts.resume && opts.checkpointPath.empty())
+        throw ConfigError("structured options: resume requires a checkpointPath");
+}
+
+StructuredRelativeLikelihood finalStructuredLikelihood(const StructuredResult& result) {
+    return StructuredRelativeLikelihood(result.finalSummaries, result.finalDriving);
+}
+
+StructuredResult estimateStructured(const Alignment& aln, const std::vector<int>& tipDemes,
+                                    const StructuredOptions& opts, ThreadPool* pool) {
+    validateStructuredOptions(opts);
+    const int K = opts.init.demeCount();
+    if (tipDemes.size() != aln.sequenceCount())
+        throw ConfigError("estimateStructured: one deme assignment per sequence required");
+    for (const int d : tipDemes)
+        if (d < 0 || d >= K)
+            throw ConfigError("estimateStructured: tip deme out of range");
+    bool allInOneDeme = false;
+    for (int k = 0; k < K && !allInOneDeme; ++k) {
+        int n = 0;
+        for (const int d : tipDemes) n += d == k ? 1 : 0;
+        allInOneDeme = n == static_cast<int>(tipDemes.size());
+    }
+    if (allInOneDeme)
+        throw ConfigError(
+            "estimateStructured: all sequences in one deme — migration rates are "
+            "unidentifiable; run the single-population pipeline instead");
+
+    Timer total;
+    const std::unique_ptr<SubstModel> model = makeInferenceModel(opts.substModel, aln);
+    const DataLikelihood lik(aln, *model, opts.compressPatterns);
+
+    StructuredResult result;
+    MigrationModel driving = opts.init;
+
+    // Warm start: a seeded draw from the structured prior at the driving
+    // values (labels must be consistent from step one; data-independent
+    // initialization is standard MCMC warmup and burn-in absorbs it).
+    Mt19937 initRng = Mt19937::fromSplitMix(splitMix64At(opts.seed, 0x53545243ull));
+    StructuredGenealogy current = simulateStructuredCoalescent(tipDemes, driving, initRng);
+    current.tree().setTipNames(aln.names());
+
+    std::size_t emStart = 0;
+    std::unique_ptr<CheckpointReader> resumeReader;
+    bool resumeMidIteration = false;
+    std::size_t resumeBurnDone = 0;
+    std::size_t resumeSampleDone = 0;
+    bool resumeStopped = false;
+
+    if (opts.resume) {
+        // Snapshot READ failures become ResumeError so callers can fall
+        // back to a fresh run; fingerprint mismatches stay ConfigError.
+        try {
+            resumeReader = std::make_unique<CheckpointReader>(opts.checkpointPath);
+            checkFingerprint(*resumeReader, opts, aln, tipDemes);
+            emStart = resumeReader->u64();
+            driving = readModel(*resumeReader);
+            result.history = readHistory(*resumeReader);
+            for (const StructuredEmRecord& h : result.history)
+                result.samplingSeconds += h.seconds;
+            current = readStructuredGenealogy(*resumeReader, K);
+            if (resumeReader->u32() == 1) {
+                resumeMidIteration = true;
+                resumeBurnDone = resumeReader->u64();
+                resumeSampleDone = resumeReader->u64();
+                resumeStopped = resumeReader->u32() != 0;
+            } else {
+                resumeReader.reset();
+            }
+        } catch (const CheckpointError& e) {
+            throw ResumeError(e.what());
+        }
+        if (emStart >= opts.emIterations)
+            throw ConfigError(
+                "resume: checkpoint already covers all requested EM iterations");
+    }
+
+    // Tick budgets mirror the MultiChain strategy: one lockstep round per
+    // tick, burn-in as the configured permille of the serial step count.
+    const std::size_t capTicks =
+        (opts.samplesPerIteration + opts.chains - 1) / opts.chains;
+    const std::size_t burnTicks =
+        (opts.samplesPerIteration * opts.burnInFraction1000 + 999) / 1000;
+
+    for (std::size_t em = emStart; em < opts.emIterations; ++em) {
+        StructuredEmRecord rec;
+        rec.before = driving;
+
+        Timer estep;
+        const StructuredGenealogy emInit = current;
+        StructuredChainsSampler sampler(lik, driving, emInit, opts.chains,
+                                        emSeed(opts, em), opts.pathRefreshProb, pool);
+        StructuredSummarySink sink(K);
+        ConvergenceMonitor monitor;
+
+        SamplerRun::Config cfg;
+        cfg.burnInTicks = burnTicks;
+        cfg.sampleTicks = capTicks;
+        cfg.stopping.rhatBelow = opts.stopRhat;
+        cfg.stopping.essAtLeast = opts.stopEss;
+        cfg.checkpointInterval = opts.checkpointIntervalTicks;
+        if (!opts.checkpointPath.empty()) {
+            cfg.checkpoint = [&, em](std::size_t burnDone, std::size_t sampleDone,
+                                     bool stopped) {
+                CheckpointWriter w(opts.checkpointPath);
+                writeFingerprint(w, opts, aln, tipDemes);
+                w.u64(em);
+                writeModel(w, rec.before);
+                writeHistory(w, result.history);
+                writeStructuredGenealogy(w, emInit);
+                w.u32(1);  // mid-iteration
+                w.u64(burnDone);
+                w.u64(sampleDone);
+                w.u32(stopped ? 1 : 0);
+                sampler.save(w);
+                sink.save(w);
+                monitor.save(w);
+                w.commit();
+            };
+        }
+
+        SamplerRun run(sampler, cfg);
+        if (resumeMidIteration && em == emStart) {
+            try {
+                sampler.load(*resumeReader);
+                sink.load(*resumeReader);
+                monitor.load(*resumeReader);
+            } catch (const CheckpointError& e) {
+                throw ResumeError(e.what());
+            }
+            run.restoreProgress(resumeBurnDone, resumeSampleDone, resumeStopped);
+            resumeReader.reset();
+        }
+
+        const SamplerRunReport report = run.execute(sink, monitor);
+        rec.seconds = estep.seconds();
+        result.samplingSeconds += rec.seconds;
+        rec.samples = report.samples;
+        rec.stoppedEarly = report.stoppedEarly;
+        rec.rhat = report.rhat;
+        rec.ess = report.ess;
+        rec.moveRate = sampler.stats().moveRate();
+
+        current = sampler.structuredContinuation();
+
+        // Profile M-step over the structured relative likelihood.
+        result.finalSummaries = sink.chainMajor();
+        result.finalDriving = rec.before;
+        const StructuredRelativeLikelihood rl(result.finalSummaries, rec.before);
+        const StructuredMleResult mle = maximizeStructured(rl, driving, 1e-5, 10, pool);
+        driving = mle.model;
+        rec.after = driving;
+        rec.logLAtMax = mle.logL;
+        result.history.push_back(rec);
+
+        if (!opts.checkpointPath.empty() && em + 1 < opts.emIterations) {
+            CheckpointWriter w(opts.checkpointPath);
+            writeFingerprint(w, opts, aln, tipDemes);
+            w.u64(em + 1);
+            writeModel(w, driving);
+            writeHistory(w, result.history);
+            writeStructuredGenealogy(w, current);
+            w.u32(0);  // iteration boundary
+            w.commit();
+        }
+    }
+
+    result.estimate = driving;
+    const StructuredRelativeLikelihood rl(result.finalSummaries, result.finalDriving);
+    const int coords = structuredCoordinateCount(K);
+    result.support.reserve(static_cast<std::size_t>(coords));
+    for (int c = 0; c < coords; ++c)
+        result.support.push_back(structuredSupportInterval(rl, result.estimate, c, 1.92, pool));
+    result.totalSeconds = total.seconds();
+    return result;
+}
+
+}  // namespace mpcgs

@@ -8,6 +8,7 @@
 #include <unistd.h>
 #endif
 
+#include "coalescent/structured.h"
 #include "phylo/tree.h"
 #include "rng/mt19937.h"
 
@@ -208,6 +209,44 @@ Genealogy readGenealogy(CheckpointReader& r) {
         std::vector<std::string> tipNames(names);
         for (auto& name : tipNames) name = r.str();
         g.setTipNames(std::move(tipNames));
+    }
+    return g;
+}
+
+void writeStructuredGenealogy(CheckpointWriter& w, const StructuredGenealogy& g) {
+    writeGenealogy(w, g.tree());
+    const int nodes = g.tree().nodeCount();
+    for (NodeId id = 0; id < nodes; ++id) w.u32(static_cast<std::uint32_t>(g.deme(id)));
+    for (NodeId id = 0; id < nodes; ++id) {
+        const auto& events = g.branchEvents(id);
+        w.u64(events.size());
+        for (const MigrationEvent& e : events) {
+            w.f64(e.time);
+            w.u32(static_cast<std::uint32_t>(e.toDeme));
+        }
+    }
+}
+
+StructuredGenealogy readStructuredGenealogy(CheckpointReader& r, int demeCount) {
+    StructuredGenealogy g(readGenealogy(r));
+    const int nodes = g.tree().nodeCount();
+    for (NodeId id = 0; id < nodes; ++id) g.setDeme(id, static_cast<int>(r.u32()));
+    for (NodeId id = 0; id < nodes; ++id) {
+        const std::uint64_t n = r.u64();
+        // Each event occupies one f64 + one u32 in the stream.
+        if (n > r.remaining() / (sizeof(double) + sizeof(std::uint32_t)))
+            throw CheckpointError("corrupt snapshot: implausible migration event count");
+        auto& events = g.branchEvents(id);
+        events.resize(n);
+        for (MigrationEvent& e : events) {
+            e.time = r.f64();
+            e.toDeme = static_cast<int>(r.u32());
+        }
+    }
+    try {
+        g.validate(demeCount);
+    } catch (const Error& e) {
+        throw CheckpointError(std::string("corrupt snapshot: ") + e.what());
     }
     return g;
 }

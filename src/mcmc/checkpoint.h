@@ -27,20 +27,38 @@ namespace mpcgs {
 
 class Genealogy;
 class Mt19937;
+class StructuredGenealogy;
 
 /// Corrupt, truncated, or incompatible snapshot file.
 class CheckpointError : public Error {
   public:
     explicit CheckpointError(const std::string& what)
         : Error("checkpoint error: " + what) {}
+
+  protected:
+    struct AlreadyFormatted {};
+    CheckpointError(AlreadyFormatted, const std::string& what) : Error(what) {}
+};
+
+/// A snapshot that could not be READ back during resume (missing,
+/// truncated, or corrupt at any depth of the payload). Distinct from
+/// plain CheckpointError so callers can fall back to a fresh run on
+/// unreadable snapshots while mid-run WRITE failures stay fatal. Takes
+/// the inner error's already-formatted message verbatim.
+class ResumeError : public CheckpointError {
+  public:
+    explicit ResumeError(const std::string& formatted)
+        : CheckpointError(AlreadyFormatted{}, formatted) {}
 };
 
 inline constexpr std::uint32_t kCheckpointMagic = 0x4B43504Du;  // "MPCK"
-/// Current format: v2 snapshots carry per-locus payloads (genealogies, RNG
-/// streams, sinks, monitors) for multi-locus runs. v1 single-locus
-/// snapshots are still readable; the reader exposes the file's version so
-/// owners can branch on layout.
-inline constexpr std::uint32_t kCheckpointVersion = 2;
+/// Current format: v3 adds deme-labelled (structured-coalescent) genealogy
+/// payloads — node demes and per-branch migration events. v2 snapshots
+/// carry per-locus payloads (genealogies, RNG streams, sinks, monitors)
+/// for multi-locus runs; v1 is the original single-locus layout. Both
+/// older versions are still readable; the reader exposes the file's
+/// version so owners can branch on layout.
+inline constexpr std::uint32_t kCheckpointVersion = 3;
 inline constexpr std::uint32_t kCheckpointMinVersion = 1;
 
 class CheckpointWriter {
@@ -81,7 +99,7 @@ class CheckpointReader {
     explicit CheckpointReader(const std::string& path);
 
     /// Format version stamped in the header (1 = single-locus layouts,
-    /// 2 = per-locus payloads).
+    /// 2 = per-locus payloads, 3 = structured-genealogy payloads).
     std::uint32_t version() const { return version_; }
 
     std::uint32_t u32();
@@ -115,5 +133,12 @@ Genealogy readGenealogy(CheckpointReader& r);
 
 void writeRng(CheckpointWriter& w, const Mt19937& rng);
 void readRng(CheckpointReader& r, Mt19937& rng);
+
+/// Deme-labelled genealogy payload (format v3): the plain genealogy
+/// followed by per-node demes and per-branch migration events. The read
+/// side validates label consistency for `demeCount` demes, so a corrupt
+/// or mislabelled snapshot raises CheckpointError before any sampling.
+void writeStructuredGenealogy(CheckpointWriter& w, const StructuredGenealogy& g);
+StructuredGenealogy readStructuredGenealogy(CheckpointReader& r, int demeCount);
 
 }  // namespace mpcgs

@@ -3,11 +3,16 @@
 #include <algorithm>
 #include <limits>
 
+#include "coalescent/structured.h"
 #include "mcmc/checkpoint.h"
 #include "par/kernel.h"
 #include "util/error.h"
 
 namespace mpcgs {
+
+void SampleSink::consume(const StructuredGenealogy& g, const SampleTag& tag) {
+    consume(g.tree(), tag);
+}
 
 void ConvergenceMonitor::beginRun(std::uint32_t chains) {
     if (chains > traces_.size()) {

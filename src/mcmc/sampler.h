@@ -41,6 +41,7 @@ namespace mpcgs {
 
 class CheckpointWriter;
 class CheckpointReader;
+class StructuredGenealogy;
 
 /// Provenance of one streamed sample.
 struct SampleTag {
@@ -62,6 +63,12 @@ class SampleSink {
     virtual void beginRun(std::uint32_t chains) { (void)chains; }
 
     virtual void consume(const Genealogy& g, const SampleTag& tag) = 0;
+
+    /// Deme-labelled sample from a structured-coalescent sampler. The
+    /// default forwards the underlying tree to consume(Genealogy), so
+    /// label-agnostic sinks (convergence monitors, trace writers) work on
+    /// structured runs unchanged; label-aware sinks override this.
+    virtual void consume(const StructuredGenealogy& g, const SampleTag& tag);
 };
 
 /// Stamps a fixed locus id onto every tag before forwarding (not owning
@@ -76,6 +83,11 @@ class LocusTagSink final : public SampleSink {
 
     void beginRun(std::uint32_t chains) override { inner_->beginRun(chains); }
     void consume(const Genealogy& g, const SampleTag& tag) override {
+        SampleTag stamped = tag;
+        stamped.locus = locus_;
+        inner_->consume(g, stamped);
+    }
+    void consume(const StructuredGenealogy& g, const SampleTag& tag) override {
         SampleTag stamped = tag;
         stamped.locus = locus_;
         inner_->consume(g, stamped);
@@ -96,6 +108,9 @@ class FanoutSink final : public SampleSink {
         for (SampleSink* s : sinks_) s->beginRun(chains);
     }
     void consume(const Genealogy& g, const SampleTag& tag) override {
+        for (SampleSink* s : sinks_) s->consume(g, tag);
+    }
+    void consume(const StructuredGenealogy& g, const SampleTag& tag) override {
         for (SampleSink* s : sinks_) s->consume(g, tag);
     }
 

@@ -1,5 +1,7 @@
 #include "seq/alignment.h"
 
+#include <unordered_set>
+
 #include "util/error.h"
 
 namespace mpcgs {
@@ -7,8 +9,16 @@ namespace mpcgs {
 Alignment::Alignment(std::vector<Sequence> seqs) : seqs_(std::move(seqs)) {
     if (seqs_.empty()) return;
     const std::size_t len = seqs_[0].length();
-    for (const auto& s : seqs_)
+    std::unordered_set<std::string> names;
+    names.reserve(seqs_.size());
+    for (const auto& s : seqs_) {
         if (s.length() != len) throw ParseError("alignment: sequences have unequal lengths");
+        // Duplicate names break tip lookup, pop-map assignment and result
+        // reporting; every input format funnels through here, so reject
+        // once centrally.
+        if (!names.insert(s.name()).second)
+            throw ParseError("alignment: duplicate sequence name '" + s.name() + "'");
+    }
 }
 
 std::vector<std::string> Alignment::names() const {

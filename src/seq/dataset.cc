@@ -35,6 +35,40 @@ std::string uniqueName(std::string base, std::unordered_set<std::string>& used) 
 
 }  // namespace
 
+PopMap readPopMap(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw ParseError("pop-map: cannot open '" + path + "'");
+    PopMap map;
+    std::string line;
+    std::size_t lineNo = 0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        if (const auto hash = line.find('#'); hash != std::string::npos) line.erase(hash);
+        std::istringstream fields(line);
+        std::string seq, pop, extra;
+        if (!(fields >> seq)) continue;  // blank or comment-only line
+        const std::string where =
+            " (pop-map '" + path + "' line " + std::to_string(lineNo) + ")";
+        if (!(fields >> pop))
+            throw ParseError("pop-map: missing population label for '" + seq + "'" + where);
+        if (fields >> extra)
+            throw ParseError("pop-map: unexpected trailing field '" + extra + "'" + where);
+        if (map.bySequence.count(seq) > 0)
+            throw ParseError("pop-map: duplicate sequence name '" + seq + "'" + where);
+        int index = -1;
+        for (std::size_t i = 0; i < map.populations.size(); ++i)
+            if (map.populations[i] == pop) index = static_cast<int>(i);
+        if (index < 0) {
+            index = static_cast<int>(map.populations.size());
+            map.populations.push_back(pop);
+        }
+        map.bySequence[seq] = index;
+    }
+    if (map.bySequence.empty())
+        throw ParseError("pop-map: '" + path + "' assigns no sequences");
+    return map;
+}
+
 Alignment readAlignmentFile(const std::string& path) {
     const std::string ext = lowerExtension(path);
     if (ext == ".nex" || ext == ".nxs") return readNexusFile(path);
@@ -80,6 +114,7 @@ Dataset Dataset::fromManifest(const std::string& manifestPath) {
 
         std::string name;
         double rate = 1.0;
+        std::string popMapPath;
         std::string field;
         while (fields >> field) {
             const auto eq = field.find('=');
@@ -100,6 +135,8 @@ Dataset Dataset::fromManifest(const std::string& manifestPath) {
                 }
                 if (used_chars != value.size())
                     throw ConfigError("Dataset: bad rate '" + value + "'" + where);
+            } else if (key == "pop") {
+                popMapPath = value;
             } else {
                 throw ConfigError("Dataset: unknown manifest key '" + key + "'" + where);
             }
@@ -114,12 +151,44 @@ Dataset Dataset::fromManifest(const std::string& manifestPath) {
         if (explicitName && used.count(name) > 0)
             throw ConfigError("Dataset: duplicate locus name '" + name + "' (manifest '" +
                               manifestPath + "' line " + std::to_string(lineNo) + ")");
-        ds.add(Locus{uniqueName(name, used), readAlignmentFile(file.string()), rate});
+        Locus locus{uniqueName(name, used), readAlignmentFile(file.string()), rate};
+        if (!popMapPath.empty()) {
+            std::filesystem::path popFile(popMapPath);
+            if (popFile.is_relative()) popFile = baseDir / popFile;
+            ds.assignPopulations(locus, readPopMap(popFile.string()));
+        }
+        ds.add(std::move(locus));
     }
     if (ds.locusCount() == 0)
         throw ConfigError("Dataset: manifest '" + manifestPath + "' lists no loci");
     ds.validate();
     return ds;
+}
+
+int Dataset::internPopulation(const std::string& label) {
+    for (std::size_t i = 0; i < popNames_.size(); ++i)
+        if (popNames_[i] == label) return static_cast<int>(i);
+    popNames_.push_back(label);
+    return static_cast<int>(popNames_.size() - 1);
+}
+
+void Dataset::assignPopulations(Locus& locus, const PopMap& map) {
+    std::vector<int> pops;
+    pops.reserve(locus.alignment.sequenceCount());
+    for (const std::string& seq : locus.alignment.names()) {
+        const auto it = map.bySequence.find(seq);
+        if (it == map.bySequence.end())
+            throw ConfigError("Dataset: sequence '" + seq + "' of locus '" + locus.name +
+                              "' has no population assignment in the pop-map");
+        pops.push_back(
+            internPopulation(map.populations[static_cast<std::size_t>(it->second)]));
+    }
+    locus.populations = std::move(pops);
+}
+
+void Dataset::applyPopMap(const PopMap& map) {
+    for (Locus& locus : loci_)
+        if (locus.populations.empty()) assignPopulations(locus, map);
 }
 
 std::size_t Dataset::totalSites() const {
@@ -144,6 +213,15 @@ void Dataset::validate() const {
                               " needs a positive finite mutation-rate scalar");
         if (!names.insert(locus.name).second)
             throw ConfigError("Dataset: duplicate locus name '" + locus.name + "'");
+        if (!locus.populations.empty()) {
+            if (locus.populations.size() != locus.alignment.sequenceCount())
+                throw ConfigError("Dataset: " + where +
+                                  " needs one population assignment per sequence");
+            for (const int p : locus.populations)
+                if (p < 0 || p >= populationCount())
+                    throw ConfigError("Dataset: " + where +
+                                      " has a population index out of range");
+        }
     }
 }
 

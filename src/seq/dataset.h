@@ -9,6 +9,7 @@
 // the L = 1 special case (mu = 1).
 #pragma once
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -16,11 +17,33 @@
 
 namespace mpcgs {
 
-/// One locus: a named alignment plus its relative mutation-rate scalar.
+/// Per-sequence population assignment read from a pop-map file: one
+/// `<sequence-name> <population-label>` pair per line ('#' starts a
+/// comment, blank lines are ignored). Labels are assigned indices in order
+/// of first appearance, so deme numbering is deterministic for a given
+/// file. Used by the structured-coalescent pipeline (each sequence's deme
+/// seeds its lineage's label).
+struct PopMap {
+    std::vector<std::string> populations;   ///< index -> label, first-appearance order
+    std::map<std::string, int> bySequence;  ///< sequence name -> population index
+
+    int populationCount() const { return static_cast<int>(populations.size()); }
+};
+
+/// Parse a pop-map file. Throws ParseError on malformed lines (missing
+/// label, trailing junk) and on duplicate sequence names.
+PopMap readPopMap(const std::string& path);
+
+/// One locus: a named alignment plus its relative mutation-rate scalar and
+/// (optionally) per-sequence population assignments.
 struct Locus {
     std::string name;
     Alignment alignment;
     double mutationScale = 1.0;  ///< mu_l: locus rate relative to the dataset average
+    /// Population index per sequence, aligned with the alignment's order;
+    /// empty means "single unstructured population" (every pre-structured
+    /// workload). Indices refer to the owning Dataset's populationNames().
+    std::vector<int> populations;
 };
 
 /// An ordered collection of independent loci sharing theta. Locus order is
@@ -42,10 +65,13 @@ class Dataset {
 
     /// Load a manifest: one locus per line,
     ///
-    ///   <file> [name=<locus-name>] [rate=<mutation-rate-scalar>]
+    ///   <file> [name=<locus-name>] [rate=<mutation-rate-scalar>] [pop=<pop-map-file>]
     ///
-    /// '#' starts a comment; blank lines are ignored; relative paths are
-    /// resolved against the manifest's directory.
+    /// '#' starts a comment; blank lines are ignored; relative paths (the
+    /// locus file and any pop= pop-map) are resolved against the
+    /// manifest's directory. A pop= column assigns that locus's sequences
+    /// to populations via the named pop-map file; labels are interned into
+    /// the dataset-wide populationNames() registry.
     static Dataset fromManifest(const std::string& manifestPath);
 
     void add(Locus locus) { loci_.push_back(std::move(locus)); }
@@ -54,16 +80,35 @@ class Dataset {
     const Locus& locus(std::size_t l) const { return loci_[l]; }
     const std::vector<Locus>& loci() const { return loci_; }
 
+    /// Population labels in interned index order; empty when no locus has
+    /// assignments.
+    const std::vector<std::string>& populationNames() const { return popNames_; }
+    int populationCount() const { return static_cast<int>(popNames_.size()); }
+
+    /// Assign populations from `map` to every locus that does not already
+    /// have assignments (manifest pop= columns take precedence). Every
+    /// sequence of an assigned locus must appear in the map; labels are
+    /// interned into populationNames(). Throws ConfigError on missing
+    /// sequences.
+    void applyPopMap(const PopMap& map);
+
     /// Sites summed over loci (reporting only).
     std::size_t totalSites() const;
 
     /// Throws ConfigError unless every locus has >= 2 sequences, a nonzero
-    /// length, a positive finite mutation scale and a unique name (and the
-    /// dataset has at least one locus).
+    /// length, a positive finite mutation scale, a unique name, and —
+    /// when populations are assigned — one in-range population index per
+    /// sequence (and the dataset has at least one locus).
     void validate() const;
 
   private:
+    /// Index of `label` in popNames_, appending on first sight.
+    int internPopulation(const std::string& label);
+    /// Assign `locus`'s sequences from `map`, interning labels.
+    void assignPopulations(Locus& locus, const PopMap& map);
+
     std::vector<Locus> loci_;
+    std::vector<std::string> popNames_;
 };
 
 /// Read one alignment with the extension-sniffed format rules of

@@ -1,0 +1,213 @@
+// Checkpoint robustness: truncated and version-bumped MPCK snapshots must
+// produce a diagnosable CheckpointError (never a crash, hang or silent
+// misread), v1 and v2 snapshots stay readable under the v3 reader, and
+// structured payload corruption is caught by label validation.
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "coalescent/simulator.h"
+#include "coalescent/structured.h"
+#include "core/driver.h"
+#include "mcmc/checkpoint.h"
+#include "phylo/tree.h"
+#include "rng/mt19937.h"
+#include "seq/seqgen.h"
+#include "seq/subst_model.h"
+#include "util/error.h"
+
+namespace mpcgs {
+namespace {
+
+std::string tempPath(const std::string& name) { return ::testing::TempDir() + name; }
+
+std::vector<char> slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::vector<char>(std::istreambuf_iterator<char>(in),
+                             std::istreambuf_iterator<char>());
+}
+
+void dump(const std::string& path, const std::vector<char>& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// A realistic snapshot body: a genealogy, an RNG stream and a few scalars.
+std::string writeSample(const std::string& name) {
+    const std::string path = tempPath(name);
+    Mt19937 rng(5);
+    const Genealogy g = simulateCoalescent(6, 1.0, rng);
+    CheckpointWriter w(path);
+    w.u64(42);
+    writeGenealogy(w, g);
+    writeRng(w, rng);
+    w.f64(3.25);
+    w.commit();
+    return path;
+}
+
+TEST(CheckpointHardeningTest, EveryTruncationIsDiagnosable) {
+    const std::string path = writeSample("hardening_full.mpck");
+    const std::vector<char> bytes = slurp(path);
+    ASSERT_GT(bytes.size(), 16u);
+
+    const std::string cut = tempPath("hardening_cut.mpck");
+    // Walk a spread of truncation points including the header boundary and
+    // the final byte; every one must raise CheckpointError — either at
+    // open (header gone) or on the first read past the cut.
+    for (std::size_t keep : {std::size_t{0}, std::size_t{3}, std::size_t{4},
+                             std::size_t{7}, std::size_t{8}, std::size_t{9},
+                             bytes.size() / 4, bytes.size() / 2, bytes.size() - 1}) {
+        dump(cut, std::vector<char>(bytes.begin(),
+                                    bytes.begin() + static_cast<std::ptrdiff_t>(keep)));
+        EXPECT_THROW(
+            {
+                CheckpointReader r(cut);
+                r.u64();
+                readGenealogy(r);
+                Mt19937 rng(1);
+                readRng(r, rng);
+                r.f64();
+            },
+            CheckpointError)
+            << "truncated to " << keep << " bytes";
+    }
+    std::remove(path.c_str());
+    std::remove(cut.c_str());
+}
+
+TEST(CheckpointHardeningTest, FutureVersionIsRejectedWithTheVersionInTheMessage) {
+    const std::string path = tempPath("hardening_future.mpck");
+    {
+        CheckpointWriter w(path, kCheckpointVersion + 1);
+        w.u64(1);
+        w.commit();
+    }
+    try {
+        CheckpointReader r(path);
+        FAIL() << "future format version was accepted";
+    } catch (const CheckpointError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find(std::to_string(kCheckpointVersion + 1)), std::string::npos)
+            << "message should name the offending version: " << what;
+    }
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointHardeningTest, AllSupportedVersionsStillOpen) {
+    // v3 readers must keep accepting v1 and v2 files (read-compat is how
+    // old runs resume after an upgrade).
+    for (std::uint32_t v = kCheckpointMinVersion; v <= kCheckpointVersion; ++v) {
+        const std::string path = tempPath("hardening_v" + std::to_string(v) + ".mpck");
+        {
+            CheckpointWriter w(path, v);
+            w.u64(7);
+            w.str("payload");
+            w.commit();
+        }
+        CheckpointReader r(path);
+        EXPECT_EQ(r.version(), v);
+        EXPECT_EQ(r.u64(), 7u);
+        EXPECT_EQ(r.str(), "payload");
+        std::remove(path.c_str());
+    }
+}
+
+TEST(CheckpointHardeningTest, ResumeFromTruncatedSnapshotRaisesResumeError) {
+    // The driver distinguishes unreadable-snapshot READS (ResumeError, so
+    // the CLI can fall back to a fresh run) from config mismatches and
+    // write failures (still fatal). Exercise the real estimateTheta path.
+    Mt19937 rng(3);
+    const Genealogy g = simulateCoalescent(6, 1.0, rng);
+    SeqGenOptions so;
+    so.length = 120;
+    const auto model = makeF84(2.0, kUniformFreqs);
+    const Alignment aln = simulateSequences(g, *model, so, rng);
+
+    const std::string path = tempPath("hardening_resume.mpck");
+    MpcgsOptions opts;
+    opts.theta0 = 1.0;
+    opts.emIterations = 2;
+    opts.samplesPerIteration = 200;
+    opts.strategy = Strategy::SerialMh;
+    opts.seed = 77;
+    opts.checkpointPath = path;
+    opts.checkpointIntervalTicks = 5;
+    estimateTheta(aln, opts);
+
+    std::vector<char> bytes = slurp(path);
+    ASSERT_GT(bytes.size(), 32u);
+    dump(path, std::vector<char>(bytes.begin(),
+                                 bytes.begin() + static_cast<std::ptrdiff_t>(
+                                                     bytes.size() / 2)));
+    opts.resume = true;
+    EXPECT_THROW(estimateTheta(aln, opts), ResumeError);
+
+    // A config mismatch on a READABLE snapshot must NOT become a
+    // ResumeError (silently discarding a healthy snapshot would be worse).
+    dump(path, bytes);
+    opts.seed = 78;  // fingerprint mismatch
+    try {
+        estimateTheta(aln, opts);
+        FAIL() << "incompatible snapshot was accepted";
+    } catch (const ResumeError&) {
+        FAIL() << "config mismatch must stay fatal, not fall back";
+    } catch (const ConfigError&) {
+        // expected
+    }
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointHardeningTest, GarbageMagicIsRejected) {
+    const std::string path = tempPath("hardening_magic.mpck");
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "definitely not a snapshot, longer than one header";
+    }
+    EXPECT_THROW(CheckpointReader r(path), CheckpointError);
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointHardeningTest, CorruptStructuredPayloadIsRejected) {
+    Mt19937 rng(11);
+    const MigrationModel m(2, 1.0, 0.5);
+    std::vector<int> demes{0, 0, 1, 1};
+    const StructuredGenealogy g = simulateStructuredCoalescent(demes, m, rng);
+
+    // Out-of-range deme count at read time: labels beyond K fail validation.
+    const std::string path = tempPath("hardening_structured.mpck");
+    {
+        CheckpointWriter w(path);
+        writeStructuredGenealogy(w, g);
+        w.commit();
+    }
+    bool hasDemeOne = false;
+    for (NodeId id = 0; id < g.tree().nodeCount(); ++id) hasDemeOne |= g.deme(id) == 1;
+    ASSERT_TRUE(hasDemeOne);
+    {
+        CheckpointReader r(path);
+        EXPECT_THROW(readStructuredGenealogy(r, 1), CheckpointError);
+    }
+    {
+        CheckpointReader r(path);
+        EXPECT_NO_THROW(readStructuredGenealogy(r, 2));
+    }
+
+    // Flip one migration-event count length word to an absurd value: the
+    // reader must reject before allocating.
+    std::vector<char> bytes = slurp(path);
+    // Genealogy payload first; the deme words follow; corrupt the final
+    // 8 bytes (the last branch's event count or an event field) to 2^62.
+    for (int i = 1; i <= 8; ++i)
+        bytes[bytes.size() - static_cast<std::size_t>(i)] = static_cast<char>(0x40 + i);
+    dump(path, bytes);
+    CheckpointReader r(path);
+    EXPECT_THROW(readStructuredGenealogy(r, 2), CheckpointError);
+    std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mpcgs

@@ -1,0 +1,136 @@
+// Table-driven robustness corpus: every file under tests/data/corrupt/
+// must be REJECTED by its format's parser with a clean library Error
+// (ParseError/ConfigError) — never accepted, never crashed, never a
+// foreign exception. Complements the randomized mutations of
+// fuzz_parser_test.cc with curated realistic failure shapes (bad counts,
+// truncation, non-ACGT runs, duplicate names, empty files, manifest and
+// pop-map mistakes). Drop a new file in the directory and it is covered
+// automatically; name it with the format's extension (.phy/.fa/.nex, or
+// manifest_*/popmap_* for the loaders).
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "seq/dataset.h"
+#include "seq/fasta.h"
+#include "seq/nexus.h"
+#include "seq/phylip.h"
+#include "util/error.h"
+
+#ifndef MPCGS_TEST_DATA_DIR
+#error "MPCGS_TEST_DATA_DIR must point at tests/data (set by CMakeLists.txt)"
+#endif
+
+namespace mpcgs {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<fs::path> corpusFiles() {
+    std::vector<fs::path> files;
+    for (const auto& entry : fs::directory_iterator(fs::path(MPCGS_TEST_DATA_DIR) / "corrupt"))
+        if (entry.is_regular_file()) files.push_back(entry.path());
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+/// Dispatch by file name the way the real loaders do.
+void parseByKind(const fs::path& file) {
+    const std::string stem = file.stem().string();
+    if (stem.rfind("manifest_", 0) == 0) {
+        Dataset::fromManifest(file.string());
+        return;
+    }
+    if (stem.rfind("popmap_", 0) == 0) {
+        readPopMap(file.string());
+        return;
+    }
+    readAlignmentFile(file.string());  // extension-sniffed .phy/.fa/.nex
+}
+
+TEST(ParserCorpusTest, CorpusIsNonTrivial) {
+    EXPECT_GE(corpusFiles().size(), 20u);
+}
+
+TEST(ParserCorpusTest, EveryCorruptInputIsRejectedCleanly) {
+    for (const fs::path& file : corpusFiles()) {
+        bool rejected = false;
+        try {
+            parseByKind(file);
+        } catch (const Error&) {
+            rejected = true;  // the one acceptable outcome
+        } catch (const std::exception& e) {
+            FAIL() << file.filename() << " threw a non-library exception: " << e.what();
+        }
+        EXPECT_TRUE(rejected) << file.filename() << " was accepted but is corrupt";
+    }
+}
+
+TEST(ParserCorpusTest, SpecificFailuresAreDiagnosable) {
+    const fs::path dir = fs::path(MPCGS_TEST_DATA_DIR) / "corrupt";
+    // A few load-bearing cases pinned to their exact error category, so a
+    // regression to "accept garbage" or to a crash cannot hide behind the
+    // catch-all sweep.
+    EXPECT_THROW(readPhylipFile((dir / "phylip_bad_count.phy").string()), ParseError);
+    EXPECT_THROW(readPhylipFile((dir / "phylip_dup_names.phy").string()), ParseError);
+    EXPECT_THROW(readPhylipFile((dir / "phylip_nonacgt.phy").string()), ParseError);
+    EXPECT_THROW(readPhylipFile((dir / "phylip_bomb_header.phy").string()), ParseError);
+    EXPECT_THROW(readFastaFile((dir / "fasta_dup_names.fa").string()), ParseError);
+    EXPECT_THROW(readFastaFile((dir / "fasta_ragged.fa").string()), ParseError);
+    EXPECT_THROW(readNexusFile((dir / "nexus_truncated.nex").string()), ParseError);
+    EXPECT_THROW(readPopMap((dir / "popmap_dup_seq.txt").string()), ParseError);
+    EXPECT_THROW(Dataset::fromManifest((dir / "manifest_bad_rate.txt").string()),
+                 ConfigError);
+    EXPECT_THROW(Dataset::fromManifest((dir / "manifest_empty.txt").string()), ConfigError);
+}
+
+TEST(PopMapTest, ManifestPopColumnAssignsPopulations) {
+    const std::string dir = ::testing::TempDir();
+    {
+        std::ofstream aln(dir + "popcol_locus.phy");
+        aln << " 4 8\ns1 ACGTACGT\ns2 ACGTACGA\ns3 TTGTACGT\ns4 TTGAACGT\n";
+        std::ofstream pop(dir + "popcol_map.txt");
+        pop << "s1 east\ns2 east\ns3 west\ns4 west\n";
+        std::ofstream man(dir + "popcol_manifest.txt");
+        man << "popcol_locus.phy name=shore rate=1.0 pop=popcol_map.txt\n";
+    }
+    const Dataset ds = Dataset::fromManifest(dir + "popcol_manifest.txt");
+    ASSERT_EQ(ds.locusCount(), 1u);
+    EXPECT_EQ(ds.populationCount(), 2);
+    EXPECT_EQ(ds.populationNames()[0], "east");
+    const std::vector<int> expected{0, 0, 1, 1};
+    EXPECT_EQ(ds.locus(0).populations, expected);
+
+    // A pop-map missing one of the locus's sequences must fail loudly.
+    {
+        std::ofstream pop(dir + "popcol_map.txt");
+        pop << "s1 east\ns2 east\ns3 west\n";  // s4 missing
+    }
+    EXPECT_THROW(Dataset::fromManifest(dir + "popcol_manifest.txt"), ConfigError);
+}
+
+TEST(PopMapTest, ValidMapParsesAndInternsInFirstAppearanceOrder) {
+    const std::string path = ::testing::TempDir() + "popmap_ok.txt";
+    {
+        std::ofstream out(path);
+        out << "# seaside samples\n"
+            << "s1 north\n"
+            << "s2 south\n"
+            << "s3 north   # back home\n";
+    }
+    const PopMap map = readPopMap(path);
+    EXPECT_EQ(map.populationCount(), 2);
+    EXPECT_EQ(map.populations[0], "north");
+    EXPECT_EQ(map.populations[1], "south");
+    EXPECT_EQ(map.bySequence.at("s1"), 0);
+    EXPECT_EQ(map.bySequence.at("s2"), 1);
+    EXPECT_EQ(map.bySequence.at("s3"), 0);
+    std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mpcgs

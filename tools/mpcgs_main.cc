@@ -1,16 +1,20 @@
 // mpcgs — multi-proposal coalescent genealogy sampler (§5.1.1), extended
-// to multi-locus datasets sharing theta.
+// to multi-locus datasets sharing theta and to the two-population
+// structured coalescent (per-deme thetas + migration rates).
 //
 // Usage mirrors the paper's proof of concept:
 //   mpcgs <seqdata.phy> [<more-loci...>] <init_theta> [--loci-manifest M]
 //         [--threads N] [--strategy gmh|mh|multichain|heated]
 //         [--samples M] [--em K] [--proposals N] [--seed S] [--curve out.csv]
+//         [--populations K --pop-map F]
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 
 #include "core/driver.h"
+#include "core/structured_estimator.h"
 #include "core/support_interval.h"
+#include "mcmc/checkpoint.h"
 #include "seq/dataset.h"
 #include "util/options.h"
 #include "util/timer.h"
@@ -23,7 +27,7 @@ void usage(const char* prog) {
                  "  every positional argument but the last is a locus file\n"
                  "  (.phy | .nex/.nxs | .fa/.fasta); loci share one theta\n"
                  "  --loci-manifest F  read loci from a manifest file instead/as well:\n"
-                 "                     one '<file> [name=N] [rate=R]' per line\n"
+                 "                     one '<file> [name=N] [rate=R] [pop=F]' per line\n"
                  "  --threads N        worker threads (default: hardware)\n"
                  "  --strategy S       gmh | mh | multichain | heated (default gmh)\n"
                  "  --cached-baseline  use dirty-path likelihood caching for --strategy mh\n"
@@ -41,8 +45,128 @@ void usage(const char* prog) {
                  "  --stop-ess N       ... and pooled effective sample size >= N\n"
                  "  --checkpoint FILE  write restart snapshots to FILE during sampling\n"
                  "  --checkpoint-interval T  ticks between snapshots (default: auto)\n"
-                 "  --resume           continue from the snapshot at --checkpoint FILE\n",
+                 "  --resume           continue from the snapshot at --checkpoint FILE\n"
+                 "                     (an unreadable snapshot falls back to a fresh run)\n"
+                 "structured (two-population migration) mode:\n"
+                 "  --populations K    infer per-deme thetas + migration rates (K = 2)\n"
+                 "  --pop-map F        per-sequence population file: '<seq> <pop>' lines\n"
+                 "                     (or assign via the manifest's pop= column)\n"
+                 "  --mig-init M       initial migration rate guess (default 1.0)\n"
+                 "  --path-refresh P   labels-only move share of proposals (default 0.25)\n",
                  prog);
+}
+
+/// --resume against a missing/corrupt snapshot falls back to a fresh run
+/// with a clear message instead of dying (the snapshot may have been
+/// truncated by a crash or copied half-way — exactly when a restart
+/// matters most). The drivers raise ResumeError for unreadable snapshots
+/// at ANY payload depth, so deep truncation falls back too; incompatible
+/// -but-readable snapshots (ConfigError) and mid-run WRITE failures still
+/// fail loudly — silently discarding a healthy snapshot would be worse
+/// than stopping.
+template <class Run>
+auto withResumeFallback(bool& resumeFlag, Run&& run) {
+    try {
+        return run();
+    } catch (const mpcgs::ResumeError& e) {
+        if (!resumeFlag) throw;
+        std::fprintf(stderr, "mpcgs: cannot resume — %s; starting fresh\n", e.what());
+        resumeFlag = false;
+        return run();
+    }
+}
+
+/// The structured (two-population) pipeline: locus 0's alignment with its
+/// per-sequence deme assignment, EM over (theta_1, theta_2, M_12, M_21).
+int runStructured(const mpcgs::Dataset& ds, const mpcgs::Options& opts, double theta0,
+                  mpcgs::ThreadPool& pool, unsigned threads) {
+    using namespace mpcgs;
+    const long long populations = opts.getInt("populations", 0);
+    if (populations != 2) {
+        std::fprintf(stderr, "mpcgs: --populations currently supports exactly 2 demes\n");
+        return 2;
+    }
+    // The structured sampler has one strategy (lockstep migration-aware
+    // chains) and its own output; flag silently-dropped options instead of
+    // letting the user believe they took effect.
+    for (const char* flag :
+         {"strategy", "proposals", "set-samples", "cached-baseline", "curve"})
+        if (opts.has(flag))
+            std::fprintf(stderr, "mpcgs: note — --%s has no effect with --populations\n",
+                         flag);
+    if (ds.locusCount() != 1) {
+        std::fprintf(stderr,
+                     "mpcgs: structured mode currently analyzes a single locus "
+                     "(%zu given)\n",
+                     ds.locusCount());
+        return 2;
+    }
+    const Locus& locus = ds.locus(0);
+    if (locus.populations.empty()) {
+        std::fprintf(stderr,
+                     "mpcgs: structured mode needs per-sequence population "
+                     "assignments; pass --pop-map or a manifest pop= column\n");
+        return 2;
+    }
+    if (ds.populationCount() != 2) {
+        std::fprintf(stderr, "mpcgs: pop-map assigns %d populations, need exactly 2\n",
+                     ds.populationCount());
+        return 2;
+    }
+
+    StructuredOptions so;
+    so.init = MigrationModel(2, theta0, opts.getDouble("mig-init", 1.0));
+    so.emIterations = static_cast<std::size_t>(opts.getInt("em", 4));
+    so.samplesPerIteration = static_cast<std::size_t>(opts.getInt("samples", 4000));
+    so.chains = static_cast<std::size_t>(opts.getInt("chains", 4));
+    so.pathRefreshProb = opts.getDouble("path-refresh", 0.25);
+    so.seed = static_cast<std::uint64_t>(opts.getInt("seed", 20160408));
+    so.substModel = opts.get("model", "F81");
+    so.stopRhat = opts.getDouble("stop-rhat", 0.0);
+    so.stopEss = opts.getDouble("stop-ess", 0.0);
+    so.checkpointPath = opts.get("checkpoint", "");
+    so.checkpointIntervalTicks =
+        static_cast<std::size_t>(opts.getInt("checkpoint-interval", 0));
+    so.resume = opts.getBool("resume", false);
+    validateStructuredOptions(so);
+
+    int inDeme0 = 0;
+    for (const int d : locus.populations) inDeme0 += d == 0 ? 1 : 0;
+    std::printf("mpcgs structured: locus %s, %zu sequences x %zu bp, demes %s=%d %s=%zu, "
+                "theta0=%.4g, threads=%u\n",
+                locus.name.c_str(), locus.alignment.sequenceCount(),
+                locus.alignment.length(), ds.populationNames()[0].c_str(), inDeme0,
+                ds.populationNames()[1].c_str(), locus.populations.size() - inDeme0,
+                theta0, threads);
+
+    const StructuredResult res = withResumeFallback(so.resume, [&] {
+        return estimateStructured(locus.alignment, locus.populations, so, &pool);
+    });
+
+    for (std::size_t i = 0; i < res.history.size(); ++i) {
+        const auto& h = res.history[i];
+        std::printf("  EM %zu: (th1 %.4g, th2 %.4g, M12 %.4g, M21 %.4g) -> "
+                    "(th1 %.4g, th2 %.4g, M12 %.4g, M21 %.4g)\n"
+                    "        logL %.4g, %zu samples, move rate %.2f, %s%s\n",
+                    i + 1, h.before.theta[0], h.before.theta[1], h.before.rate(0, 1),
+                    h.before.rate(1, 0), h.after.theta[0], h.after.theta[1],
+                    h.after.rate(0, 1), h.after.rate(1, 0), h.logLAtMax, h.samples,
+                    h.moveRate, formatDuration(h.seconds).c_str(),
+                    h.stoppedEarly ? "  [converged early]" : "");
+        if (h.rhat > 0.0)
+            std::printf("        convergence: R-hat %.4f, pooled ESS %.0f\n", h.rhat, h.ess);
+    }
+    std::printf("final structured estimate (total %s, sampling %s):\n",
+                formatDuration(res.totalSeconds).c_str(),
+                formatDuration(res.samplingSeconds).c_str());
+    for (int c = 0; c < structuredCoordinateCount(2); ++c) {
+        const auto& si = res.support[static_cast<std::size_t>(c)];
+        std::printf("  %-8s %.6g   approx. 95%% support [%.6g, %.6g]%s\n",
+                    structuredCoordinateName(2, c).c_str(),
+                    getStructuredCoordinate(res.estimate, c), si.lower, si.upper,
+                    (si.lowerBounded && si.upperBounded) ? "" : " (open-ended)");
+    }
+    return 0;
 }
 
 }  // namespace
@@ -92,7 +216,7 @@ int main(int argc, char** argv) {
         mo.resume = opts.getBool("resume", false);
 
         // Reject nonsense at parse time, before any data is read.
-        validateOptions(mo);
+        if (!opts.has("populations")) validateOptions(mo);
 
         // Manifest loci first (their rates/names are explicit), then the
         // positional files — whose derived names dedupe against the
@@ -115,11 +239,15 @@ int main(int argc, char** argv) {
                 ds.add(std::move(merged));
             }
         }
+        if (const auto popMap = opts.get("pop-map")) ds.applyPopMap(readPopMap(*popMap));
         ds.validate();
 
         const unsigned threads =
             static_cast<unsigned>(opts.getInt("threads", hardwareThreads()));
         ThreadPool pool(threads);
+
+        if (opts.has("populations"))
+            return runStructured(ds, opts, mo.theta0, pool, threads);
 
         std::printf("mpcgs: %zu loci, %zu total sites, theta0=%.4g, strategy=%s, threads=%u\n",
                     ds.locusCount(), ds.totalSites(), mo.theta0, strat.c_str(), threads);
@@ -133,7 +261,8 @@ int main(int argc, char** argv) {
                         rate.c_str());
         }
 
-        const MpcgsResult res = estimateTheta(ds, mo, &pool);
+        const MpcgsResult res =
+            withResumeFallback(mo.resume, [&] { return estimateTheta(ds, mo, &pool); });
 
         for (std::size_t i = 0; i < res.history.size(); ++i) {
             const auto& h = res.history[i];

@@ -15,19 +15,29 @@
 // locus l is written to <PREFIX>locus<l>.phy and a dataset manifest to
 // <PREFIX>manifest.txt (ready for `mpcgs --loci-manifest`); without it,
 // the alignments are written to stdout back to back.
+// Two-deme mode simulates a structured (two-population migration)
+// coalescent and writes the alignment plus a pop-map file ready for
+// `mpcgs --populations 2 --pop-map`:
+//
+//   seqgen --demes N1,N2 --thetas T1,T2 --mig M12[,M21] [--length ...]
+//          [--out PREFIX]
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "coalescent/simulator.h"
+#include "coalescent/structured.h"
 #include "phylo/newick.h"
 #include "rng/mt19937.h"
 #include "rng/splitmix.h"
 #include "seq/phylip.h"
 #include "seq/seqgen.h"
 #include "seq/subst_model.h"
+#include "util/error.h"
 #include "util/options.h"
 
 namespace {
@@ -41,6 +51,92 @@ std::unique_ptr<mpcgs::SubstModel> makeGeneratorModel(const std::string& name, d
     if (name == "JC69") return makeJc69();
     if (name == "F81") return std::make_unique<F81Model>(pi);
     return nullptr;
+}
+
+/// Parse "a" or "a,b" into exactly `want` doubles (a single value repeats).
+std::vector<double> parsePair(const std::string& text, std::size_t want) {
+    std::vector<double> out;
+    std::istringstream in(text);
+    std::string field;
+    while (std::getline(in, field, ',')) {
+        std::size_t used = 0;
+        double v = 0.0;
+        try {
+            v = std::stod(field, &used);
+        } catch (const std::exception&) {
+            used = 0;
+        }
+        if (used != field.size())
+            throw mpcgs::ConfigError("seqgen: bad numeric field '" + field + "'");
+        out.push_back(v);
+    }
+    if (out.size() == 1) out.resize(want, out[0]);
+    if (out.size() != want)
+        throw mpcgs::ConfigError("seqgen: expected " + std::to_string(want) +
+                                 " comma-separated values in '" + text + "'");
+    return out;
+}
+
+/// Two-deme structured workload: one labelled genealogy, sequences evolved
+/// on its tree, pop-map emitted next to the alignment.
+int runTwoDeme(const mpcgs::Options& opts, const mpcgs::SubstModel& model,
+               const mpcgs::SeqGenOptions& so, std::uint64_t seed) {
+    using namespace mpcgs;
+    const auto counts = parsePair(*opts.get("demes"), 2);
+    for (const double c : counts)
+        if (!(c >= 1.0) || c != std::floor(c) || c > 1e6) {
+            std::fprintf(stderr,
+                         "seqgen: --demes needs two positive integer tip counts\n");
+            return 2;
+        }
+    const int n1 = static_cast<int>(counts[0]);
+    const int n2 = static_cast<int>(counts[1]);
+    const auto thetas = parsePair(opts.get("thetas", opts.get("theta", "1.0")), 2);
+    const auto migs = parsePair(opts.get("mig", "1.0"), 2);
+    MigrationModel m(2, 1.0, 1.0);
+    m.theta = thetas;
+    m.setRate(0, 1, migs[0]);
+    m.setRate(1, 0, migs[1]);
+    m.validate();
+
+    std::vector<int> demes;
+    std::vector<std::string> names;
+    for (int i = 0; i < n1 + n2; ++i) {
+        demes.push_back(i < n1 ? 0 : 1);
+        names.push_back((i < n1 ? "p1s" : "p2s") + std::to_string(i < n1 ? i + 1 : i - n1 + 1));
+    }
+
+    Mt19937 rng = Mt19937::fromSplitMix(splitMix64At(seed, 2));
+    StructuredGenealogy g = simulateStructuredCoalescent(demes, m, rng);
+    g.tree().setTipNames(names);
+    const Alignment aln = simulateSequences(g.tree(), model, so, rng);
+
+    if (const auto prefix = opts.get("out")) {
+        const std::string alnFile = *prefix + "twodeme.phy";
+        const std::string popFile = *prefix + "popmap.txt";
+        writePhylipFile(alnFile, aln);
+        std::ofstream pop(popFile);
+        if (!pop) {
+            std::fprintf(stderr, "seqgen: cannot write pop-map at prefix '%s'\n",
+                         prefix->c_str());
+            return 1;
+        }
+        pop << "# two-deme simulation: theta=(" << m.theta[0] << ',' << m.theta[1]
+            << ") M=(" << m.rate(0, 1) << ',' << m.rate(1, 0) << ") seed=" << seed
+            << " migrations=" << g.migrationCount() << '\n';
+        for (std::size_t i = 0; i < names.size(); ++i)
+            pop << names[i] << ' ' << (demes[i] == 0 ? "pop1" : "pop2") << '\n';
+        std::fprintf(stderr,
+                     "seqgen: wrote %d+%d two-deme sequences to %s, pop-map to %s "
+                     "(%zu migration events on the true genealogy)\n",
+                     n1, n2, alnFile.c_str(), popFile.c_str(), g.migrationCount());
+    } else {
+        writePhylip(std::cout, aln);
+        std::fprintf(stderr,
+                     "seqgen: two-deme alignment on stdout; use --out PREFIX to also "
+                     "write the pop-map file\n");
+    }
+    return 0;
 }
 
 }  // namespace
@@ -64,6 +160,8 @@ int main(int argc, char** argv) {
             std::fprintf(stderr, "seqgen: unknown model '%s'\n", modelName.c_str());
             return 2;
         }
+
+        if (opts.has("demes")) return runTwoDeme(opts, *model, so, seed);
 
         const auto loci = static_cast<std::size_t>(opts.getInt("loci", 0));
         if (loci > 0) {
