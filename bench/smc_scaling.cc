@@ -1,0 +1,109 @@
+// SMC particle-filter scaling: one pass's wall time and logZ across a
+// particles x threads sweep. Particle propagation is embarrassingly
+// parallel over fixed-size blocks (par/kernel.h launchBlocked with
+// per-slot RNG streams), so throughput should scale with the thread count
+// while logZ stays BITWISE identical — this harness asserts the bitwise
+// invariance (exit 1 on any mismatch) with the same launch discipline the
+// PR 1/2 benches rely on, then emits BENCH_smc.json (snapshot committed
+// under bench/) with build provenance.
+//
+//   $ ./smc_scaling [--particles N] [--seqs n] [--length L] [--paper]
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "bench/workload.h"
+#include "lik/felsenstein.h"
+#include "smc/smc_sampler.h"
+#include "util/build_info.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace {
+
+struct Row {
+    std::size_t particles;
+    unsigned threads;
+    double seconds;
+    double particlesPerSec;
+    double logZ;
+    double speedupVs1T;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace mpcgs;
+    using namespace mpcgs::bench;
+    const Options cli = Options::parse(argc, argv);
+    if (cli.has("print-config")) {
+        std::fputs(buildConfigSummary().c_str(), stdout);
+        return 0;
+    }
+    const bool paper = cli.getBool("paper", false);
+    const int nSeq = static_cast<int>(cli.getInt("seqs", 10));
+    const std::size_t length = static_cast<std::size_t>(cli.getInt("length", 300));
+    const std::size_t maxParticles =
+        static_cast<std::size_t>(cli.getInt("particles", paper ? 8192 : 2048));
+
+    printHeader("SMC scaling (one filter pass per particles x threads cell)");
+    const Alignment data = makeDataset(nSeq, length, 1.0, 31);
+    const F81Model model(data.baseFrequencies());
+    const DataLikelihood lik(data, model);
+    std::printf("%d sequences x %zu bp, theta = 1.0, systematic resampling\n\n", nSeq,
+                length);
+
+    bool bitwiseOk = true;
+    std::vector<Row> rows;
+    Table table({"particles", "threads", "time (s)", "particles/sec", "logZ", "speedup"});
+    for (std::size_t particles = 256; particles <= maxParticles; particles *= 4) {
+        SmcOptions opts;
+        opts.particles = particles;
+        double oneThreadSeconds = 0.0;
+        double referenceLogZ = 0.0;
+        for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+            ThreadPool pool(threads);
+            Timer timer;
+            const SmcPassResult res = runSmcPass(lik, 1.0, opts, 47, &pool);
+            const double seconds = timer.seconds();
+            if (threads == 1) {
+                oneThreadSeconds = seconds;
+                referenceLogZ = res.logZ;
+            } else if (std::memcmp(&res.logZ, &referenceLogZ, sizeof(double)) != 0) {
+                std::fprintf(stderr,
+                             "BITWISE MISMATCH: %zu particles, %u threads: logZ %.17g "
+                             "vs 1-thread %.17g\n",
+                             particles, threads, res.logZ, referenceLogZ);
+                bitwiseOk = false;
+            }
+            const double rate = static_cast<double>(particles) / seconds;
+            rows.push_back({particles, threads, seconds, rate, res.logZ,
+                            oneThreadSeconds / seconds});
+            table.addRow({Table::integer(particles), Table::integer(threads),
+                          Table::num(seconds, 3), Table::num(rate, 0),
+                          Table::num(res.logZ, 3), Table::num(oneThreadSeconds / seconds, 2)});
+        }
+    }
+    table.print(std::cout);
+    std::printf("\nlogZ bitwise thread-invariance: %s\n", bitwiseOk ? "PASS" : "FAIL");
+
+    std::ofstream json("BENCH_smc.json");
+    json << "{\n  \"benchmark\": \"smc_scaling\",\n";
+    json << "  \"provenance\": " << buildProvenanceJson() << ",\n";
+    json << "  \"config\": {\"sequences\": " << nSeq << ", \"length\": " << length
+         << ", \"scheme\": \"systematic\", \"bitwise_thread_invariant\": "
+         << (bitwiseOk ? "true" : "false") << "},\n  \"results\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row& r = rows[i];
+        json << "    {\"particles\": " << r.particles << ", \"threads\": " << r.threads
+             << ", \"seconds\": " << r.seconds << ", \"particles_per_sec\": "
+             << r.particlesPerSec << ", \"logZ\": " << r.logZ
+             << ", \"speedup_vs_1t\": " << r.speedupVs1T << "}"
+             << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    json << "  ]\n}\n";
+    std::printf("wrote BENCH_smc.json (%zu rows)\n", rows.size());
+    return bitwiseOk ? 0 : 1;
+}

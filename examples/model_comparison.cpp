@@ -8,6 +8,7 @@
 
 #include "coalescent/simulator.h"
 #include "core/driver.h"
+#include "core/smc_estimator.h"
 #include "rng/mt19937.h"
 #include "seq/seqgen.h"
 #include "seq/subst_model.h"
@@ -28,7 +29,13 @@ int main(int argc, char** argv) {
     const Alignment data = simulateSequences(truth, *generator, {600, 1.0}, rng);
 
     ThreadPool pool;
-    Table table({"inference model", "theta-hat", "note"});
+    // theta-hat (MCMC) is the EM maximizer of the sampled relative
+    // likelihood; theta-hat (SMC) maximizes the particle-filter marginal
+    // likelihood of the SAME data under the SAME model, plus its pooled
+    // log marginal likelihood log Zhat at the maximum — the quantity model
+    // comparison actually wants (a Bayes factor is a logZ difference).
+    Table table({"inference model", "theta-hat (MCMC)", "theta-hat (SMC)", "logZ (SMC)",
+                 "note"});
     for (const char* name : {"F81", "JC69", "HKY85", "F84"}) {
         MpcgsOptions opts;
         opts.theta0 = 0.5;
@@ -37,15 +44,28 @@ int main(int argc, char** argv) {
         opts.substModel = name;
         opts.seed = 3;
         const MpcgsResult res = estimateTheta(data, opts, &pool);
+
+        SmcEstimateOptions smcOpts;
+        smcOpts.theta0 = 0.5;
+        smcOpts.smc.particles = 1024;
+        smcOpts.substModel = name;
+        smcOpts.seed = 3;
+        const SmcEstimateResult smc =
+            estimateThetaSmc(Dataset::single(data), smcOpts, &pool);
+
         std::string note;
         if (std::string(name) == "F81") note = "paper's Eq. 20 kernel";
         if (std::string(name) == "F84") note = "matches the generator";
-        table.addRow({name, Table::num(res.theta), note});
+        table.addRow({name, Table::num(res.theta), Table::num(smc.theta),
+                      Table::num(smc.logZAtMax, 2), note});
     }
     std::printf("data generated under F84 (kappa=%.1f), true theta = %.2f\n\n", kappa,
                 trueTheta);
     table.print(std::cout);
     std::printf("\nAll models recover theta to the same order; the residual spread is\n"
-                "the mismatch the thesis notes between its F81 kernel and seq-gen's F84.\n");
+                "the mismatch the thesis notes between its F81 kernel and seq-gen's F84.\n"
+                "The MCMC and SMC columns cross-validate each other, and the logZ\n"
+                "column ranks the models directly: the highest marginal likelihood\n"
+                "should belong to the generator's own family.\n");
     return 0;
 }

@@ -1,0 +1,235 @@
+#include "core/smc_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "core/mle.h"
+#include "lik/locus_likelihoods.h"
+#include "mcmc/checkpoint.h"
+#include "util/error.h"
+#include "util/timer.h"
+
+namespace mpcgs {
+namespace {
+
+/// Swallow the genealogy stream: PMMH's posterior lives in the theta
+/// traces (kept by the sampler) and the convergence monitor.
+class DiscardSink final : public SampleSink {
+  public:
+    void consume(const Genealogy&, const SampleTag&) override {}
+};
+
+PooledSmcLikelihood::LocusTerm termFor(const Dataset& ds, const LocusLikelihoods& liks,
+                                       std::size_t l) {
+    return PooledSmcLikelihood::LocusTerm{&liks.at(l), ds.locus(l).mutationScale};
+}
+
+std::vector<PooledSmcLikelihood::LocusTerm> allTerms(const Dataset& ds,
+                                                     const LocusLikelihoods& liks) {
+    std::vector<PooledSmcLikelihood::LocusTerm> terms;
+    terms.reserve(ds.locusCount());
+    for (std::size_t l = 0; l < ds.locusCount(); ++l) terms.push_back(termFor(ds, liks, l));
+    return terms;
+}
+
+// --- PMMH checkpoint layout -------------------------------------------
+// fingerprint ('PSMC' tag + run configuration + locus roster; the sample
+// cap is deliberately absent so a resumed run may extend the horizon) |
+// burnDone sampleDone stopped | sampler payload | monitor payload.
+
+void writeFingerprint(CheckpointWriter& w, const PmmhEstimateOptions& opts,
+                      const Dataset& ds) {
+    w.u32(kPmmhSnapshotTag);
+    w.u64(opts.pmmh.seed);
+    w.u64(opts.pmmh.chains);
+    w.u64(opts.pmmh.smc.particles);
+    w.u32(static_cast<std::uint32_t>(opts.pmmh.smc.scheme));
+    w.f64(opts.pmmh.smc.essThreshold);
+    w.f64(opts.pmmh.proposalSigma);
+    w.f64(opts.pmmh.thetaMin);
+    w.f64(opts.pmmh.thetaMax);
+    w.f64(opts.theta0);
+    w.u64(opts.burnInFraction1000);
+    w.str(opts.substModel);
+    w.u64(ds.locusCount());
+    for (const Locus& locus : ds.loci()) {
+        w.str(locus.name);
+        w.u64(locus.alignment.sequenceCount());
+        w.u64(locus.alignment.length());
+        w.f64(locus.mutationScale);
+    }
+}
+
+void checkFingerprint(CheckpointReader& r, const PmmhEstimateOptions& opts,
+                      const Dataset& ds) {
+    bool ok = true;
+    ok &= r.u32() == kPmmhSnapshotTag;
+    ok &= r.u64() == opts.pmmh.seed;
+    ok &= r.u64() == opts.pmmh.chains;
+    ok &= r.u64() == opts.pmmh.smc.particles;
+    ok &= r.u32() == static_cast<std::uint32_t>(opts.pmmh.smc.scheme);
+    ok &= r.f64() == opts.pmmh.smc.essThreshold;
+    ok &= r.f64() == opts.pmmh.proposalSigma;
+    ok &= r.f64() == opts.pmmh.thetaMin;
+    ok &= r.f64() == opts.pmmh.thetaMax;
+    ok &= r.f64() == opts.theta0;
+    ok &= r.u64() == opts.burnInFraction1000;
+    ok &= r.str() == opts.substModel;
+    ok &= r.u64() == ds.locusCount();
+    if (ok) {
+        for (const Locus& locus : ds.loci()) {
+            ok &= r.str() == locus.name;
+            ok &= r.u64() == locus.alignment.sequenceCount();
+            ok &= r.u64() == locus.alignment.length();
+            ok &= r.f64() == locus.mutationScale;
+        }
+    }
+    if (!ok)
+        throw ConfigError(
+            "resume: PMMH checkpoint was written by an incompatible run configuration");
+}
+
+double quantileOfSorted(const std::vector<double>& sorted, double q) {
+    if (sorted.empty()) return 0.0;
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+SmcEstimateResult estimateThetaSmc(const Dataset& dataset, const SmcEstimateOptions& opts,
+                                   ThreadPool* pool) {
+    if (opts.theta0 <= 0.0) throw ConfigError("smc: theta0 must be positive");
+    validateSmcOptions(opts.smc);
+    dataset.validate();
+
+    Timer total;
+    const LocusLikelihoods liks(dataset, opts.substModel, opts.compressPatterns);
+    const PooledSmcLikelihood pooled(allTerms(dataset, liks), opts.smc, opts.seed);
+
+    SmcEstimateResult res;
+    const MleResult mle = maximizeTheta(pooled, opts.theta0, pool);
+    res.theta = mle.theta;
+    res.logZAtMax = mle.logL;
+    res.support = supportInterval(pooled, res.theta, 1.92, 1e4, pool);
+    if (opts.curvePoints > 0)
+        res.curve = pooled.curve(res.theta / 20, res.theta * 20, opts.curvePoints, pool);
+    res.totalSeconds = total.seconds();
+    return res;
+}
+
+std::unique_ptr<Sampler> makePmmhSampler(const PooledSmcLikelihood& marginal,
+                                         double thetaInit, const PmmhOptions& opts,
+                                         ThreadPool* pool) {
+    return std::make_unique<PmmhSampler>(marginal, thetaInit, opts, pool);
+}
+
+PmmhEstimateResult runPmmh(const Dataset& dataset, const PmmhEstimateOptions& opts,
+                           ThreadPool* pool) {
+    if (opts.theta0 <= 0.0) throw ConfigError("pmmh: theta0 must be positive");
+    if (opts.samples == 0) throw ConfigError("pmmh: need >= 1 sample");
+    if (opts.burnInFraction1000 > 1000)
+        throw ConfigError("pmmh: burn-in permille must be <= 1000");
+    if (opts.resume && opts.checkpointPath.empty())
+        throw ConfigError("pmmh: resume requires a checkpointPath");
+    validatePmmhOptions(opts.pmmh);
+    dataset.validate();
+
+    Timer total;
+    const LocusLikelihoods liks(dataset, opts.substModel, opts.compressPatterns);
+    const PooledSmcLikelihood pooled(allTerms(dataset, liks), opts.pmmh.smc,
+                                     opts.pmmh.seed);
+    PmmhSampler sampler(pooled, opts.theta0, opts.pmmh, pool);
+
+    const std::size_t capTicks =
+        (opts.samples + opts.pmmh.chains - 1) / opts.pmmh.chains;
+    // Planned burn-in, derived from the cap on a fresh run. A resumed run
+    // takes the ORIGINAL run's value from the snapshot instead: the cap is
+    // outside the fingerprint precisely so --samples can grow, and
+    // recomputing burn ticks from the new cap would inject extra
+    // burn ticks into the middle of an already-sampling chain.
+    std::size_t burnTicks = (capTicks * opts.burnInFraction1000 + 999) / 1000;
+
+    ConvergenceMonitor monitor;
+    DiscardSink sink;
+    std::size_t resumeBurnDone = 0, resumeSampleDone = 0;
+    bool resumeStopped = false;
+    if (opts.resume) {
+        try {
+            CheckpointReader r(opts.checkpointPath);
+            checkFingerprint(r, opts, dataset);
+            burnTicks = r.u64();
+            resumeBurnDone = r.u64();
+            resumeSampleDone = r.u64();
+            resumeStopped = r.u32() != 0;
+            sampler.load(r);
+            monitor.load(r);
+        } catch (const CheckpointError& e) {
+            throw ResumeError(e.what());
+        }
+    }
+
+    SamplerRun::Config cfg;
+    cfg.burnInTicks = burnTicks;
+    cfg.sampleTicks = capTicks;
+    cfg.stopping.rhatBelow = opts.stopRhat;
+    cfg.stopping.essAtLeast = opts.stopEss;
+    cfg.checkpointInterval = opts.checkpointIntervalTicks;
+    if (!opts.checkpointPath.empty()) {
+        cfg.checkpoint = [&, burnTicks](std::size_t burnDone, std::size_t sampleDone,
+                                        bool stopped) {
+            CheckpointWriter w(opts.checkpointPath);
+            writeFingerprint(w, opts, dataset);
+            w.u64(burnTicks);  // freeze the burn geometry for resumes
+            w.u64(burnDone);
+            w.u64(sampleDone);
+            w.u32(stopped ? 1 : 0);
+            sampler.save(w);
+            monitor.save(w);
+            w.commit();
+        };
+    }
+
+    SamplerRun run(sampler, cfg);
+    if (opts.resume) run.restoreProgress(resumeBurnDone, resumeSampleDone, resumeStopped);
+
+    const SamplerRunReport report = run.execute(sink, monitor);
+
+    PmmhEstimateResult res;
+    res.stoppedEarly = report.stoppedEarly;
+    res.rhat = report.rhat;
+    res.ess = report.ess;
+    const SamplerStats stats = sampler.stats();
+    res.acceptRate = stats.moveRate();
+    for (std::size_t c = 0; c < opts.pmmh.chains; ++c) {
+        const std::vector<double>& trace = sampler.thetaTrace(c);
+        res.thetaChainMajor.insert(res.thetaChainMajor.end(), trace.begin(), trace.end());
+    }
+    res.samples = res.thetaChainMajor.size();
+    if (!res.thetaChainMajor.empty()) {
+        double sum = 0.0;
+        for (double t : res.thetaChainMajor) sum += t;
+        res.posteriorMean = sum / static_cast<double>(res.samples);
+        double ss = 0.0;
+        for (double t : res.thetaChainMajor) {
+            const double d = t - res.posteriorMean;
+            ss += d * d;
+        }
+        res.posteriorSd = res.samples > 1
+                              ? std::sqrt(ss / static_cast<double>(res.samples - 1))
+                              : 0.0;
+        std::vector<double> sorted = res.thetaChainMajor;
+        std::sort(sorted.begin(), sorted.end());
+        res.q025 = quantileOfSorted(sorted, 0.025);
+        res.median = quantileOfSorted(sorted, 0.5);
+        res.q975 = quantileOfSorted(sorted, 0.975);
+    }
+    res.totalSeconds = total.seconds();
+    return res;
+}
+
+}  // namespace mpcgs

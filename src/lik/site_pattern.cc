@@ -10,6 +10,7 @@ SitePatterns::SitePatterns(const Alignment& aln, bool compress) {
     nSeq_ = aln.sequenceCount();
     nSites_ = aln.length();
     require(nSeq_ > 0 && nSites_ > 0, "SitePatterns: empty alignment");
+    names_ = aln.names();
     siteToPattern_.resize(nSites_);
 
     if (!compress) {

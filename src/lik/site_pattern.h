@@ -33,6 +33,11 @@ class SitePatterns {
     /// Pattern index of each original column.
     const std::vector<std::size_t>& siteToPattern() const { return siteToPattern_; }
 
+    /// Sequence names in tip order, captured from the alignment — the SMC
+    /// cloud labels its genealogies with these so sampled trees are
+    /// exportable the same way MCMC genealogies are.
+    const std::vector<std::string>& sequenceNames() const { return names_; }
+
     /// Raw pattern-major code matrix (patternCount x nSeq), for the strip
     /// kernels' tip fills.
     const NucCode* codesData() const { return codes_.data(); }
@@ -46,6 +51,7 @@ class SitePatterns {
     std::vector<NucCode> codes_;     // patternCount x nSeq
     std::vector<double> weights_;
     std::vector<std::size_t> siteToPattern_;
+    std::vector<std::string> names_;
 };
 
 }  // namespace mpcgs

@@ -52,13 +52,16 @@ class ResumeError : public CheckpointError {
 };
 
 inline constexpr std::uint32_t kCheckpointMagic = 0x4B43504Du;  // "MPCK"
-/// Current format: v3 adds deme-labelled (structured-coalescent) genealogy
-/// payloads — node demes and per-branch migration events. v2 snapshots
-/// carry per-locus payloads (genealogies, RNG streams, sinks, monitors)
-/// for multi-locus runs; v1 is the original single-locus layout. Both
-/// older versions are still readable; the reader exposes the file's
-/// version so owners can branch on layout.
-inline constexpr std::uint32_t kCheckpointVersion = 3;
+/// Current format: v4 adds the 'PSMC' section — particle-marginal MH
+/// (PMMH) sampler payloads (per-chain theta, logZ, genealogy, RNG stream,
+/// pass-seed counter and theta trace; src/smc/pmmh.h). v3 added
+/// deme-labelled (structured-coalescent) genealogy payloads — node demes
+/// and per-branch migration events. v2 snapshots carry per-locus payloads
+/// (genealogies, RNG streams, sinks, monitors) for multi-locus runs; v1 is
+/// the original single-locus layout. All older versions are still
+/// readable; the reader exposes the file's version so owners can branch
+/// on layout.
+inline constexpr std::uint32_t kCheckpointVersion = 4;
 inline constexpr std::uint32_t kCheckpointMinVersion = 1;
 
 class CheckpointWriter {
@@ -99,7 +102,8 @@ class CheckpointReader {
     explicit CheckpointReader(const std::string& path);
 
     /// Format version stamped in the header (1 = single-locus layouts,
-    /// 2 = per-locus payloads, 3 = structured-genealogy payloads).
+    /// 2 = per-locus payloads, 3 = structured-genealogy payloads,
+    /// 4 = PMMH 'PSMC' sections).
     std::uint32_t version() const { return version_; }
 
     std::uint32_t u32();

@@ -1,0 +1,73 @@
+#include "smc/particle_cloud.h"
+
+#include <cmath>
+
+#include "rng/splitmix.h"
+#include "util/logspace.h"
+
+namespace mpcgs {
+
+ParticleCloud::ParticleCloud(std::size_t n, const ForestEvaluator& eval, int tipCount,
+                             std::uint64_t passSeed)
+    : hostRng_(Mt19937::fromSplitMix(splitMix64At(passSeed, 0))) {
+    // One shared template: the initial forest is identical for every
+    // particle (all tips uncoalesced), so build the tip vectors once.
+    Particle init;
+    init.tree = Genealogy(tipCount);
+    init.tree.setTipNames(eval.tipNames());
+    init.roots.reserve(static_cast<std::size_t>(tipCount));
+    init.partials.reserve(static_cast<std::size_t>(tipCount));
+    init.rootLogL.reserve(static_cast<std::size_t>(tipCount));
+    logL0_ = 0.0;
+    for (int t = 0; t < tipCount; ++t) {
+        init.roots.push_back(t);
+        init.partials.push_back(eval.tipPartials(t));
+        init.rootLogL.push_back(eval.rootLogLikelihood(init.partials.back()));
+        logL0_ += init.rootLogL.back();
+    }
+
+    particles_.assign(n, init);
+    slotRngs_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        slotRngs_.push_back(Mt19937::fromSplitMix(splitMix64At(passSeed, i + 1)));
+    logW_.ensure(n);
+    const double uniform = -std::log(static_cast<double>(n));
+    for (std::size_t i = 0; i < n; ++i) logW_.data()[i] = uniform;
+    probs_.assign(n, 1.0 / static_cast<double>(n));
+}
+
+double ParticleCloud::normalizeWeights() {
+    const std::span<double> w = logWeights();
+    const double logSum = logNormalize(w, probs_);
+    for (double& x : w) x -= logSum;
+    return logSum;
+}
+
+void ParticleCloud::resample(ResamplingScheme scheme) {
+    resampleAncestors(scheme, probs_, hostRng_, ancestry_);
+    // Overwrite slots in place, keeping survivors (ancestry[i] == i) where
+    // they are — after a typical ESS-triggered resample most slots survive,
+    // and particle states are heavyweight (a genealogy arena plus per-root
+    // conditional vectors). An ancestor that is itself replaced is staged
+    // before any slot is written, so every copy reads pre-resample state
+    // regardless of order. Slot RNG streams deliberately stay with the
+    // slot, so none of this affects the determinism contract.
+    std::vector<int> stagedAt(particles_.size(), -1);
+    std::vector<Particle> staged;
+    for (std::size_t i = 0; i < ancestry_.size(); ++i) {
+        const std::uint32_t a = ancestry_[i];
+        if (a == i || ancestry_[a] == a || stagedAt[a] >= 0) continue;
+        stagedAt[a] = static_cast<int>(staged.size());
+        staged.push_back(particles_[a]);
+    }
+    for (std::size_t i = 0; i < ancestry_.size(); ++i) {
+        const std::uint32_t a = ancestry_[i];
+        if (a == i) continue;
+        particles_[i] = stagedAt[a] >= 0 ? staged[stagedAt[a]] : particles_[a];
+    }
+    const double uniform = -std::log(static_cast<double>(particles_.size()));
+    for (double& x : logWeights()) x = uniform;
+    probs_.assign(particles_.size(), 1.0 / static_cast<double>(particles_.size()));
+}
+
+}  // namespace mpcgs

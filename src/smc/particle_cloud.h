@@ -1,0 +1,93 @@
+// ParticleCloud — the state container of the genealogy particle filter.
+//
+// N particles, each a partially-built genealogy (a forest of live subtree
+// roots with cached conditional-likelihood vectors, growing
+// coalescence-by-coalescence toward a full tree), plus the cloud-level
+// weight machinery: 64-byte-aligned log-weight storage, log-space
+// normalization (util/logspace), ESS, and ancestor-indexed resampling
+// under any of the four schemes in smc/resampling.h.
+//
+// Determinism contract (mirrors the sampler runtime): every particle SLOT
+// owns a fixed SplitMix64-derived Mt19937 stream for the whole pass.
+// Resampling copies particle STATES between slots but never moves the
+// streams, and propagation touches only slot-local state, so a cloud
+// stepped thread-parallel over particle blocks (par/kernel.h
+// launchBlocked) is bitwise invariant to the worker count.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "lik/forest_eval.h"
+#include "phylo/tree.h"
+#include "rng/mt19937.h"
+#include "smc/resampling.h"
+#include "util/aligned.h"
+
+namespace mpcgs {
+
+/// One particle: a forest over n tips after `coalescences()` merge events.
+/// Live roots carry their subtree conditional vectors and cached root
+/// log-likelihood so one coalescence costs a single combine().
+struct Particle {
+    Genealogy tree;                        ///< arena; topology grows as events land
+    std::vector<NodeId> roots;             ///< live subtree roots, oldest arena ids
+    std::vector<SubtreePartials> partials; ///< parallel to roots
+    std::vector<double> rootLogL;          ///< parallel to roots (cached factors)
+    double lastEventTime = 0.0;            ///< most ancient coalescence so far
+
+    int lineageCount() const { return static_cast<int>(roots.size()); }
+};
+
+class ParticleCloud {
+  public:
+    /// A cloud of `n` particles over the tips of `eval`'s alignment, every
+    /// particle the all-tips forest, weights uniform. Slot i's RNG stream
+    /// is splitMix64At(passSeed, i + 1); stream 0 is reserved for the
+    /// cloud-level draws (resampling, final genealogy selection).
+    ParticleCloud(std::size_t n, const ForestEvaluator& eval, int tipCount,
+                  std::uint64_t passSeed);
+
+    std::size_t size() const { return particles_.size(); }
+    Particle& particle(std::size_t i) { return particles_[i]; }
+    const Particle& particle(std::size_t i) const { return particles_[i]; }
+    Mt19937& slotRng(std::size_t i) { return slotRngs_[i]; }
+    Mt19937& hostRng() { return hostRng_; }
+
+    /// The log of the forest likelihood every particle shares at step 0
+    /// (the deterministic initial state's weight — part of logZ).
+    double initialLogForestLikelihood() const { return logL0_; }
+
+    std::span<double> logWeights() { return {logW_.data(), particles_.size()}; }
+    std::span<const double> logWeights() const { return {logW_.data(), particles_.size()}; }
+
+    /// Normalize the log-weights in place (subtract their logSumExp) and
+    /// refresh the cached linear probabilities; returns the logSumExp.
+    double normalizeWeights();
+
+    /// Linear-space normalized weights (valid after normalizeWeights()).
+    std::span<const double> probabilities() const { return probs_; }
+
+    /// ESS of the current normalized weights.
+    double ess() const { return weightEss(probs_); }
+
+    /// Resample ancestors under `scheme` from the current probabilities
+    /// (drawn with the host stream), copy particle states slot-by-slot,
+    /// and reset the weights to uniform. Slot RNG streams stay put.
+    void resample(ResamplingScheme scheme);
+
+    /// Ancestor indices chosen by the most recent resample() (diagnostics).
+    const std::vector<std::uint32_t>& lastAncestry() const { return ancestry_; }
+
+  private:
+    std::vector<Particle> particles_;
+    std::vector<Mt19937> slotRngs_;
+    Mt19937 hostRng_;
+    AlignedDoubles logW_;
+    std::vector<double> probs_;
+    std::vector<std::uint32_t> ancestry_;
+    double logL0_ = 0.0;
+};
+
+}  // namespace mpcgs

@@ -1,0 +1,120 @@
+#include "smc/resampling.h"
+
+#include <cmath>
+
+#include "util/error.h"
+#include "util/logspace.h"
+
+namespace mpcgs {
+
+std::string resamplingSchemeName(ResamplingScheme s) {
+    switch (s) {
+        case ResamplingScheme::Multinomial: return "multinomial";
+        case ResamplingScheme::Stratified: return "stratified";
+        case ResamplingScheme::Systematic: return "systematic";
+        case ResamplingScheme::Residual: return "residual";
+    }
+    return "unknown";
+}
+
+ResamplingScheme parseResamplingScheme(const std::string& name) {
+    if (name == "multinomial") return ResamplingScheme::Multinomial;
+    if (name == "stratified") return ResamplingScheme::Stratified;
+    if (name == "systematic") return ResamplingScheme::Systematic;
+    if (name == "residual") return ResamplingScheme::Residual;
+    throw ConfigError("unknown resampling scheme '" + name +
+                      "' (expected multinomial|stratified|systematic|residual)");
+}
+
+double weightEss(std::span<const double> probs) {
+    double sumSq = 0.0;
+    for (double p : probs) sumSq += p * p;
+    return sumSq > 0.0 ? 1.0 / sumSq : 0.0;
+}
+
+double essFromLogWeights(std::span<const double> logWeights) {
+    std::vector<double> probs;
+    logNormalize(logWeights, probs);
+    return weightEss(probs);
+}
+
+namespace {
+
+/// Smallest index i with cdf(i) > u, by linear scan with a carried running
+/// sum. `from` lets stratified/systematic continue the scan monotonically.
+std::size_t invertCdf(std::span<const double> probs, double u, std::size_t from,
+                      double& runningCdf) {
+    std::size_t i = from;
+    while (i + 1 < probs.size() && runningCdf + probs[i] <= u) {
+        runningCdf += probs[i];
+        ++i;
+    }
+    return i;
+}
+
+void multinomial(std::span<const double> probs, std::size_t n, Rng& rng,
+                 std::vector<std::uint32_t>& out) {
+    // Independent categorical draws; each restarts the CDF scan.
+    for (std::size_t k = 0; k < n; ++k)
+        out.push_back(static_cast<std::uint32_t>(rng.categorical(probs)));
+}
+
+void stratified(std::span<const double> probs, std::size_t n, Rng& rng,
+                std::vector<std::uint32_t>& out) {
+    const double inv = 1.0 / static_cast<double>(n);
+    double cdf = 0.0;
+    std::size_t i = 0;
+    for (std::size_t k = 0; k < n; ++k) {
+        const double u = (static_cast<double>(k) + rng.uniform01()) * inv;
+        i = invertCdf(probs, u, i, cdf);
+        out.push_back(static_cast<std::uint32_t>(i));
+    }
+}
+
+void systematic(std::span<const double> probs, std::size_t n, Rng& rng,
+                std::vector<std::uint32_t>& out) {
+    const double inv = 1.0 / static_cast<double>(n);
+    const double u0 = rng.uniform01() * inv;
+    double cdf = 0.0;
+    std::size_t i = 0;
+    for (std::size_t k = 0; k < n; ++k) {
+        const double u = u0 + static_cast<double>(k) * inv;
+        i = invertCdf(probs, u, i, cdf);
+        out.push_back(static_cast<std::uint32_t>(i));
+    }
+}
+
+void residual(std::span<const double> probs, std::size_t n, Rng& rng,
+              std::vector<std::uint32_t>& out) {
+    // Deterministic floor(N w_i) copies, then multinomial on the remainders.
+    std::vector<double> rest(probs.size());
+    std::size_t assigned = 0;
+    for (std::size_t i = 0; i < probs.size(); ++i) {
+        const double expected = static_cast<double>(n) * probs[i];
+        const double copies = std::floor(expected);
+        for (std::size_t c = 0; c < static_cast<std::size_t>(copies); ++c)
+            out.push_back(static_cast<std::uint32_t>(i));
+        assigned += static_cast<std::size_t>(copies);
+        rest[i] = expected - copies;
+    }
+    for (std::size_t k = assigned; k < n; ++k)
+        out.push_back(static_cast<std::uint32_t>(rng.categorical(rest)));
+}
+
+}  // namespace
+
+void resampleAncestors(ResamplingScheme scheme, std::span<const double> probs,
+                       Rng& rng, std::vector<std::uint32_t>& ancestors) {
+    const std::size_t n = probs.size();
+    if (n == 0) throw InvariantError("resampleAncestors: empty weight vector");
+    ancestors.clear();
+    ancestors.reserve(n);
+    switch (scheme) {
+        case ResamplingScheme::Multinomial: multinomial(probs, n, rng, ancestors); break;
+        case ResamplingScheme::Stratified: stratified(probs, n, rng, ancestors); break;
+        case ResamplingScheme::Systematic: systematic(probs, n, rng, ancestors); break;
+        case ResamplingScheme::Residual: residual(probs, n, rng, ancestors); break;
+    }
+}
+
+}  // namespace mpcgs

@@ -1,0 +1,59 @@
+// Resampling kernels for the particle-filter subsystem.
+//
+// Given normalized particle weights w_1..w_N, a resampling scheme draws N
+// ancestor indices with E[offspring_i] = N * w_i (unbiasedness — verified
+// statistically in tests/resampling_test.cc). The schemes differ only in
+// the variance of the offspring counts:
+//
+//   Multinomial  N iid categorical draws; the baseline, highest variance.
+//   Stratified   one uniform per 1/N stratum of the CDF.
+//   Systematic   a single uniform shared by all strata (lowest variance in
+//                practice; Douc, Cappe & Moulines 2005).
+//   Residual     floor(N w_i) deterministic copies + multinomial on the
+//                fractional remainders.
+//
+// Resampling is triggered adaptively: only when the effective sample size
+// N_eff = 1 / sum_i w_i^2 (Kong, Liu & Wong 1994) drops below a threshold
+// fraction of N, so well-balanced clouds keep their full weight history.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "rng/rng.h"
+
+namespace mpcgs {
+
+enum class ResamplingScheme {
+    Multinomial,
+    Stratified,
+    Systematic,
+    Residual,
+};
+
+/// Canonical lower-case name ("multinomial", "stratified", ...).
+std::string resamplingSchemeName(ResamplingScheme s);
+
+/// Parse a scheme name; throws ConfigError for unknown names.
+ResamplingScheme parseResamplingScheme(const std::string& name);
+
+/// Effective sample size 1 / sum_i w_i^2 of normalized weights. A uniform
+/// cloud has ESS = N; a single-atom cloud has ESS = 1.
+double weightEss(std::span<const double> probs);
+
+/// ESS straight from unnormalized log-weights (normalizes internally).
+double essFromLogWeights(std::span<const double> logWeights);
+
+/// Draw N ancestor indices from normalized weights `probs` (N =
+/// probs.size()) under `scheme`, appending into `ancestors` (cleared
+/// first). RNG consumption is a deterministic function of (scheme, probs)
+/// — stratified/systematic always draw N/1 uniforms, while multinomial
+/// and residual's leftover stage draw one categorical per non-deterministic
+/// offspring — so replaying a checkpointed stream reproduces the same
+/// ancestry exactly.
+void resampleAncestors(ResamplingScheme scheme, std::span<const double> probs,
+                       Rng& rng, std::vector<std::uint32_t>& ancestors);
+
+}  // namespace mpcgs

@@ -1,0 +1,150 @@
+#include "smc/smc_sampler.h"
+
+#include <cmath>
+#include <utility>
+
+#include "coalescent/prior.h"
+#include "par/kernel.h"
+#include "rng/splitmix.h"
+#include "smc/particle_cloud.h"
+#include "util/error.h"
+#include "util/logspace.h"
+
+namespace mpcgs {
+
+void validateSmcOptions(const SmcOptions& opts) {
+    if (opts.particles == 0) throw ConfigError("smc: need >= 1 particle");
+    if (!(opts.essThreshold >= 0.0 && opts.essThreshold <= 1.0))
+        throw ConfigError("smc: ESS threshold must lie in [0, 1]");
+    if (opts.blockSize == 0) throw ConfigError("smc: particle block size must be >= 1");
+}
+
+namespace {
+
+/// Advance one particle by one coalescence: prior-rate waiting time,
+/// uniform pair, one combine(); returns the incremental log-weight
+/// (partial-likelihood ratio). `eventIndex` is the arena id of the new
+/// internal node.
+double propagateParticle(Particle& pt, Mt19937& rng, const ForestEvaluator& eval,
+                         double theta, NodeId newNode) {
+    const int k = pt.lineageCount();
+    // Waiting time of the NEXT coalescence among k lineages: total rate
+    // k(k-1)/theta (Eq. 17 summed over the k(k-1)/2 pairs).
+    const double rate = static_cast<double>(k) * static_cast<double>(k - 1) / theta;
+    const double t = pt.lastEventTime + rng.exponential(rate);
+
+    // Uniform unordered pair (i, j), i < j.
+    const std::size_t i = static_cast<std::size_t>(rng.below(static_cast<std::uint64_t>(k)));
+    std::size_t j = static_cast<std::size_t>(rng.below(static_cast<std::uint64_t>(k - 1)));
+    if (j >= i) ++j;
+    const std::size_t a = i < j ? i : j;
+    const std::size_t b = i < j ? j : i;
+
+    const NodeId ra = pt.roots[a];
+    const NodeId rb = pt.roots[b];
+    const double lenA = t - pt.tree.node(ra).time;
+    const double lenB = t - pt.tree.node(rb).time;
+
+    pt.tree.node(newNode).time = t;
+    pt.tree.link(newNode, ra);
+    pt.tree.link(newNode, rb);
+
+    SubtreePartials merged;
+    eval.combine(pt.partials[a], lenA, pt.partials[b], lenB, merged);
+    const double mergedLogL = eval.rootLogLikelihood(merged);
+    const double inc = mergedLogL - pt.rootLogL[a] - pt.rootLogL[b];
+
+    // Replace root a with the merged subtree, drop root b (swap-with-back
+    // keeps the arrays dense; order within a particle is slot-local state,
+    // so this stays deterministic).
+    pt.roots[a] = newNode;
+    pt.partials[a] = std::move(merged);
+    pt.rootLogL[a] = mergedLogL;
+    pt.roots[b] = pt.roots.back();
+    pt.roots.pop_back();
+    pt.partials[b] = std::move(pt.partials.back());
+    pt.partials.pop_back();
+    pt.rootLogL[b] = pt.rootLogL.back();
+    pt.rootLogL.pop_back();
+    pt.lastEventTime = t;
+    return inc;
+}
+
+}  // namespace
+
+SmcPassResult runSmcPass(const DataLikelihood& lik, double theta, const SmcOptions& opts,
+                         std::uint64_t passSeed, ThreadPool* pool) {
+    validateSmcOptions(opts);
+    if (theta <= 0.0) throw ConfigError("smc: theta must be positive");
+    const int n = static_cast<int>(lik.patterns().sequenceCount());
+    if (n < 2) throw ConfigError("smc: need at least 2 sequences");
+
+    const ForestEvaluator eval(lik);
+    ParticleCloud cloud(opts.particles, eval, n, passSeed);
+    const std::size_t N = cloud.size();
+
+    SmcPassResult res;
+    res.logZ = cloud.initialLogForestLikelihood();
+
+    std::vector<double> inc(N, 0.0);
+    for (int event = 0; event < n - 1; ++event) {
+        const NodeId newNode = n + event;
+        // Parallel section: each slot propagates its own particle with its
+        // own stream; the block partition depends only on (N, blockSize).
+        launchBlocked(pool, N, opts.blockSize,
+                      [&](std::size_t, std::size_t begin, std::size_t end) {
+                          for (std::size_t p = begin; p < end; ++p)
+                              inc[p] = propagateParticle(cloud.particle(p),
+                                                         cloud.slotRng(p), eval, theta,
+                                                         newNode);
+                      });
+
+        // Serial cloud-level bookkeeping: logZ += log(sum_i Wbar_i w_i).
+        const std::span<double> logW = cloud.logWeights();
+        for (std::size_t p = 0; p < N; ++p) logW[p] += inc[p];
+        res.logZ += cloud.normalizeWeights();
+
+        const double essFrac = cloud.ess() / static_cast<double>(N);
+        if (essFrac < res.minEssFraction) res.minEssFraction = essFrac;
+        const bool lastEvent = event == n - 2;
+        if (!lastEvent && cloud.ess() < opts.essThreshold * static_cast<double>(N)) {
+            cloud.resample(opts.scheme);
+            ++res.resamples;
+        }
+    }
+
+    // Draw one genealogy from the final weighted cloud (host stream).
+    const std::size_t pick = cloud.hostRng().categorical(cloud.probabilities());
+    Particle& chosen = cloud.particle(pick);
+    chosen.tree.setRoot(chosen.roots.front());
+    res.sampled = std::move(chosen.tree);
+    res.sampledLogPosterior =
+        chosen.rootLogL.front() + logCoalescentPrior(res.sampled, theta);
+    return res;
+}
+
+double SmcThetaLikelihood::logL(double theta, ThreadPool* pool) const {
+    return runSmcPass(lik_, theta, opts_, passSeed_, pool).logZ;
+}
+
+double PooledSmcLikelihood::logL(double theta, ThreadPool* pool) const {
+    double total = 0.0;
+    for (std::size_t l = 0; l < loci_.size(); ++l)
+        total += runSmcPass(*loci_[l].lik, theta * loci_[l].mutationScale, opts_,
+                            splitMix64At(passSeed_, l), pool)
+                     .logZ;
+    return total;
+}
+
+std::vector<SmcPassResult> PooledSmcLikelihood::passes(double theta,
+                                                       std::uint64_t passSeed,
+                                                       ThreadPool* pool) const {
+    std::vector<SmcPassResult> out;
+    out.reserve(loci_.size());
+    for (std::size_t l = 0; l < loci_.size(); ++l)
+        out.push_back(runSmcPass(*loci_[l].lik, theta * loci_[l].mutationScale, opts_,
+                                 splitMix64At(passSeed, l), pool));
+    return out;
+}
+
+}  // namespace mpcgs

@@ -1,0 +1,122 @@
+// Sequential Monte Carlo over coalescent genealogies.
+//
+// The filter grows every particle coalescence-by-coalescence (Chen & Xie
+// 2013's particle MCMC construction over Kingman's coalescent; Cappello &
+// Palacios 2019 use the same event-by-event decomposition): with k live
+// lineages, propose the waiting time from the prior's full coalescence
+// rate k(k-1)/theta and a uniform pair to merge. The proposal density then
+// equals the per-event coalescent prior (Eq. 17) exactly, so the prior
+// cancels from the incremental importance weight, leaving the
+// partial-forest likelihood ratio
+//
+//   w_t = L(forest_t) / L(forest_{t-1})
+//       = L_root(new node) / (L_root(child a) * L_root(child b)),
+//
+// the data-lookahead term computed incrementally by lik/forest_eval.h.
+// With intermediate targets pi_t = Prior_t x L_t, the SMC identity
+//
+//   log Zhat = log L(forest_0) + sum_t log( sum_i Wbar_{t-1,i} w_t,i )
+//
+// is an UNBIASED estimator of the marginal likelihood P(D | theta) — the
+// quantity MCMC-EM can only maximize, never report. ESS-triggered adaptive
+// resampling (any scheme in smc/resampling.h) keeps the cloud balanced.
+//
+// Parallelism: particle propagation + weighting run thread-parallel over
+// fixed-size particle blocks via launchBlocked, with per-slot RNG streams,
+// so logZ is bitwise invariant to the thread count (asserted in
+// bench/smc_scaling.cc and tests/smc_test.cc).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/posterior.h"
+#include "lik/felsenstein.h"
+#include "par/thread_pool.h"
+#include "phylo/tree.h"
+#include "smc/resampling.h"
+
+namespace mpcgs {
+
+struct SmcOptions {
+    std::size_t particles = 512;
+    ResamplingScheme scheme = ResamplingScheme::Systematic;
+    /// Resample when ESS < essThreshold * particles (1.0 = every step,
+    /// 0.0 = never).
+    double essThreshold = 0.5;
+    /// Particle-block grain of the parallel launches; fixed so the block
+    /// partition (and thus the result) is independent of the thread count.
+    std::size_t blockSize = 16;
+};
+
+/// Throws ConfigError on nonsensical options (no particles, threshold
+/// outside [0,1], zero block size).
+void validateSmcOptions(const SmcOptions& opts);
+
+/// One filter pass over the posterior P(G | D, theta).
+struct SmcPassResult {
+    double logZ = 0.0;              ///< unbiased log marginal likelihood estimate
+    std::size_t resamples = 0;      ///< adaptive resampling events triggered
+    double minEssFraction = 1.0;    ///< smallest ESS/N seen across steps
+    Genealogy sampled;              ///< one genealogy drawn from the final cloud
+    double sampledLogPosterior = 0.0;  ///< log P(D|G) + log P(G|theta) of it
+};
+
+/// Run one SMC pass. Everything random derives from `passSeed` (slot
+/// streams + cloud-level draws), so the result is a deterministic function
+/// of (lik, theta, opts, passSeed) for ANY pool width.
+SmcPassResult runSmcPass(const DataLikelihood& lik, double theta, const SmcOptions& opts,
+                         std::uint64_t passSeed, ThreadPool* pool = nullptr);
+
+/// The SMC marginal-likelihood curve theta -> log Zhat(theta) behind the
+/// ThetaLikelihood interface, so maximizeTheta / supportInterval drive
+/// SMC-based point estimates and support curves directly. Every
+/// evaluation reuses the same passSeed (common random numbers), making
+/// the curve a deterministic function of theta — smooth enough for the
+/// golden-section fallback even when gradient ascent stalls on residual
+/// Monte-Carlo roughness.
+class SmcThetaLikelihood final : public ThetaLikelihood {
+  public:
+    SmcThetaLikelihood(const DataLikelihood& lik, SmcOptions opts, std::uint64_t passSeed)
+        : lik_(lik), opts_(opts), passSeed_(passSeed) {}
+
+    double logL(double theta, ThreadPool* pool = nullptr) const override;
+
+  private:
+    const DataLikelihood& lik_;
+    SmcOptions opts_;
+    std::uint64_t passSeed_;
+};
+
+/// Multi-locus pooled marginal likelihood: independent per-locus particle
+/// clouds, their logZ summed —
+///   log Zhat(theta) = sum_l log Zhat_l(mu_l * theta),
+/// locus l's pass seeded splitMix64At(passSeed, l) so loci decorrelate.
+class PooledSmcLikelihood final : public ThetaLikelihood {
+  public:
+    struct LocusTerm {
+        const DataLikelihood* lik = nullptr;
+        double mutationScale = 1.0;
+    };
+
+    PooledSmcLikelihood(std::vector<LocusTerm> loci, SmcOptions opts,
+                        std::uint64_t passSeed)
+        : loci_(std::move(loci)), opts_(opts), passSeed_(passSeed) {}
+
+    double logL(double theta, ThreadPool* pool = nullptr) const override;
+
+    std::size_t locusCount() const { return loci_.size(); }
+
+    /// Full per-locus pass results at one theta (pooled logZ = sum, plus
+    /// each locus's sampled genealogy) — the PMMH inner evaluation.
+    std::vector<SmcPassResult> passes(double theta, std::uint64_t passSeed,
+                                      ThreadPool* pool = nullptr) const;
+
+  private:
+    std::vector<LocusTerm> loci_;
+    SmcOptions opts_;
+    std::uint64_t passSeed_;
+};
+
+}  // namespace mpcgs

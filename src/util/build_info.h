@@ -1,0 +1,33 @@
+// Build provenance: compile-time facts every tool can print
+// (--print-config) and every bench harness can stamp into its
+// BENCH_*.json snapshot, so committed numbers carry the configuration
+// that produced them.
+#pragma once
+
+#include <string>
+
+namespace mpcgs {
+
+/// CMAKE_BUILD_TYPE the library was compiled with ("Release", "Debug",
+/// "unknown" outside CMake).
+const char* buildType();
+
+/// `git describe --always --dirty` captured at configure time
+/// ("unknown" outside a git checkout).
+const char* gitDescribe();
+
+/// Widest SIMD register the compiler could target, in doubles per vector
+/// (8 = AVX-512, 4 = AVX/AVX2, 2 = SSE2/NEON, 1 = scalar). The likelihood
+/// kernels rely on auto-vectorization at exactly this width.
+int simdWidthDoubles();
+
+/// Human-readable multi-line summary: build type, SIMD width, git
+/// describe, and the runtime thread default (hardwareThreads()).
+std::string buildConfigSummary();
+
+/// The same facts as one JSON object, e.g.
+/// {"build_type": "Release", "simd_doubles": 4, "git": "abc1234",
+///  "default_threads": 8} — embedded under "provenance" in BENCH_*.json.
+std::string buildProvenanceJson();
+
+}  // namespace mpcgs

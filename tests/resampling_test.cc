@@ -1,0 +1,169 @@
+// Resampling-kernel statistics: every scheme must be unbiased
+// (E[offspring_i] = N * w_i, verified over many seeds) and the
+// low-variance schemes (systematic, stratified, residual) must beat
+// multinomial's offspring variance; plus exact ESS arithmetic and basic
+// parsing/guard checks.
+#include "smc/resampling.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rng/mt19937.h"
+#include "util/error.h"
+
+namespace mpcgs {
+namespace {
+
+constexpr ResamplingScheme kAllSchemes[] = {
+    ResamplingScheme::Multinomial, ResamplingScheme::Stratified,
+    ResamplingScheme::Systematic, ResamplingScheme::Residual};
+
+/// A deliberately skewed but non-degenerate weight vector.
+std::vector<double> skewedWeights(std::size_t n) {
+    std::vector<double> w(n);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        w[i] = 1.0 / static_cast<double>(1 + i * i % 7 + i % 3);
+        sum += w[i];
+    }
+    for (double& x : w) x /= sum;
+    return w;
+}
+
+/// Mean and per-index variance of offspring counts over `reps` draws.
+struct OffspringStats {
+    std::vector<double> mean;
+    double meanVariance = 0.0;  ///< variance averaged over indices
+};
+
+OffspringStats offspringStats(ResamplingScheme scheme, const std::vector<double>& w,
+                              int reps, std::uint32_t seed) {
+    const std::size_t n = w.size();
+    std::vector<double> sum(n, 0.0), sumSq(n, 0.0);
+    Mt19937 rng(seed);
+    std::vector<std::uint32_t> ancestors;
+    std::vector<double> counts(n);
+    for (int r = 0; r < reps; ++r) {
+        resampleAncestors(scheme, w, rng, ancestors);
+        EXPECT_EQ(ancestors.size(), n);
+        std::fill(counts.begin(), counts.end(), 0.0);
+        for (const std::uint32_t a : ancestors) {
+            EXPECT_LT(a, n);
+            counts[a] += 1.0;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            sum[i] += counts[i];
+            sumSq[i] += counts[i] * counts[i];
+        }
+    }
+    OffspringStats out;
+    out.mean.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        out.mean[i] = sum[i] / reps;
+        out.meanVariance += sumSq[i] / reps - out.mean[i] * out.mean[i];
+    }
+    out.meanVariance /= static_cast<double>(n);
+    return out;
+}
+
+TEST(ResamplingTest, EverySchemeIsUnbiased) {
+    const std::size_t n = 64;
+    const std::vector<double> w = skewedWeights(n);
+    const int reps = 4000;
+    for (const ResamplingScheme scheme : kAllSchemes) {
+        const OffspringStats stats = offspringStats(scheme, w, reps, 1234);
+        for (std::size_t i = 0; i < n; ++i) {
+            const double expected = static_cast<double>(n) * w[i];
+            // Multinomial per-index sd over 4000 reps is
+            // sqrt(N w (1-w) / reps) < 0.03; 5 sigma of headroom.
+            EXPECT_NEAR(stats.mean[i], expected, 0.15)
+                << resamplingSchemeName(scheme) << " index " << i;
+        }
+    }
+}
+
+TEST(ResamplingTest, LowVarianceSchemesBeatMultinomial) {
+    const std::vector<double> w = skewedWeights(64);
+    const int reps = 4000;
+    const double multinomial =
+        offspringStats(ResamplingScheme::Multinomial, w, reps, 99).meanVariance;
+    const double stratified =
+        offspringStats(ResamplingScheme::Stratified, w, reps, 99).meanVariance;
+    const double systematic =
+        offspringStats(ResamplingScheme::Systematic, w, reps, 99).meanVariance;
+    const double residual =
+        offspringStats(ResamplingScheme::Residual, w, reps, 99).meanVariance;
+    EXPECT_LT(stratified, multinomial);
+    EXPECT_LT(systematic, multinomial);
+    EXPECT_LT(residual, multinomial);
+    // Systematic is at least as tight as stratified on average (a single
+    // shared uniform versus one per stratum).
+    EXPECT_LE(systematic, stratified * 1.05);
+}
+
+TEST(ResamplingTest, EssMathIsExact) {
+    // Uniform weights: ESS = N exactly.
+    const std::vector<double> uniform(16, 1.0 / 16.0);
+    EXPECT_DOUBLE_EQ(weightEss(uniform), 16.0);
+
+    // Single atom: ESS = 1.
+    std::vector<double> atom(16, 0.0);
+    atom[3] = 1.0;
+    EXPECT_DOUBLE_EQ(weightEss(atom), 1.0);
+
+    // Two-point {p, 1-p}: ESS = 1 / (p^2 + (1-p)^2).
+    for (const double p : {0.1, 0.25, 0.5, 0.9}) {
+        const std::vector<double> two{p, 1.0 - p};
+        EXPECT_DOUBLE_EQ(weightEss(two), 1.0 / (p * p + (1.0 - p) * (1.0 - p)));
+    }
+
+    // Log-space entry point: shifting all log-weights by a constant
+    // (unnormalized input) changes nothing.
+    const std::vector<double> logW{-1.0, -2.0, -3.0, -4.0};
+    std::vector<double> shifted = logW;
+    for (double& x : shifted) x += 123.0;
+    EXPECT_NEAR(essFromLogWeights(logW), essFromLogWeights(shifted), 1e-9);
+
+    // Cross-check against the closed form for two log-weights.
+    const std::vector<double> pair{std::log(0.2), std::log(0.8)};
+    EXPECT_NEAR(essFromLogWeights(pair), 1.0 / (0.04 + 0.64), 1e-12);
+}
+
+TEST(ResamplingTest, SchemeNamesRoundTrip) {
+    for (const ResamplingScheme scheme : kAllSchemes)
+        EXPECT_EQ(parseResamplingScheme(resamplingSchemeName(scheme)), scheme);
+    EXPECT_THROW(parseResamplingScheme("bogus"), ConfigError);
+}
+
+TEST(ResamplingTest, ResidualKeepsDeterministicCopiesFirst) {
+    // With weights {0.5, 0.25, 0.125, 0.125} and N = 8 every expected
+    // count is integral, so residual resampling is fully deterministic.
+    const std::vector<double> w{0.5, 0.25, 0.125, 0.125};
+    std::vector<double> probs(8, 0.0);
+    // Expand to 8 slots: put the mass on the first four indices.
+    probs[0] = w[0];
+    probs[1] = w[1];
+    probs[2] = w[2];
+    probs[3] = w[3];
+    Mt19937 rng(5);
+    std::vector<std::uint32_t> ancestors;
+    resampleAncestors(ResamplingScheme::Residual, probs, rng, ancestors);
+    std::vector<int> counts(8, 0);
+    for (const std::uint32_t a : ancestors) counts[a]++;
+    EXPECT_EQ(counts[0], 4);
+    EXPECT_EQ(counts[1], 2);
+    EXPECT_EQ(counts[2], 1);
+    EXPECT_EQ(counts[3], 1);
+}
+
+TEST(ResamplingTest, EmptyWeightsAreRejected) {
+    Mt19937 rng(1);
+    std::vector<std::uint32_t> ancestors;
+    EXPECT_THROW(resampleAncestors(ResamplingScheme::Systematic, {}, rng, ancestors),
+                 InvariantError);
+}
+
+}  // namespace
+}  // namespace mpcgs

@@ -19,6 +19,7 @@
 #include "coalescent/structured.h"
 #include "core/driver.h"
 #include "core/growth_estimator.h"
+#include "core/smc_estimator.h"
 #include "core/structured_estimator.h"
 #include "rng/mt19937.h"
 #include "rng/splitmix.h"
@@ -124,6 +125,98 @@ TEST(StatisticalQaTest, GrowthModelRecoversThetaAndGrowthRegime) {
         EXPECT_GT(res.params.theta, truth.theta / 4.0) << "theta, seed " << seed;
         EXPECT_LT(res.params.theta, truth.theta * 4.0) << "theta, seed " << seed;
     }
+}
+
+TEST(StatisticalQaTest, SmcAndPmmhAgreeWithMcmcOnASharedSingleLocusDataset) {
+    // Cross-paradigm QA: the SMC marginal-likelihood maximizer and the
+    // PMMH posterior are estimators of the same theta as MCMC-EM, built on
+    // entirely different integration machinery (particle clouds vs Markov
+    // chains). On one shared dataset all three must land inside each
+    // other's slackened support intervals — a disagreement means one
+    // paradigm's weights, priors or curves are wrong.
+    const double thetaTrue = 1.0;
+    const unsigned seed = 17;
+    Mt19937 rng(seed);
+    const Genealogy g = simulateCoalescent(8, thetaTrue, rng);
+    const Alignment aln = simulateAlignment(g, 500, rng);
+
+    // MCMC-EM reference estimate + support interval.
+    MpcgsOptions mcmcOpts;
+    mcmcOpts.theta0 = 0.5;
+    mcmcOpts.emIterations = 3;
+    mcmcOpts.samplesPerIteration = 1500;
+    mcmcOpts.strategy = Strategy::MultiChain;
+    mcmcOpts.chains = 2;
+    mcmcOpts.seed = seed * 1000 + 1;
+    const MpcgsResult mcmc = estimateTheta(aln, mcmcOpts);
+    const PooledRelativeLikelihood rl = finalPooledLikelihood(mcmc);
+    const SupportInterval mcmcSi = supportInterval(rl, mcmc.theta);
+
+    // SMC point estimate from the marginal-likelihood curve.
+    SmcEstimateOptions smcOpts;
+    smcOpts.theta0 = 0.5;
+    smcOpts.smc.particles = 1024;
+    smcOpts.seed = seed * 1000 + 2;
+    const SmcEstimateResult smc = estimateThetaSmc(Dataset::single(aln), smcOpts);
+    expectInsideSlackened(smc.theta, mcmcSi.lower, mcmcSi.upper, kSlack,
+                          "SMC estimate vs MCMC interval");
+    expectInsideSlackened(thetaTrue, smc.support.lower, smc.support.upper, kSlack,
+                          "truth vs SMC interval");
+
+    // PMMH posterior mean.
+    PmmhEstimateOptions pmmhOpts;
+    pmmhOpts.theta0 = 0.5;
+    pmmhOpts.samples = 400;
+    pmmhOpts.pmmh.chains = 2;
+    pmmhOpts.pmmh.seed = seed * 1000 + 3;
+    pmmhOpts.pmmh.smc.particles = 256;
+    const PmmhEstimateResult pmmh = runPmmh(Dataset::single(aln), pmmhOpts);
+    expectInsideSlackened(pmmh.posteriorMean, mcmcSi.lower, mcmcSi.upper, kSlack,
+                          "PMMH posterior mean vs MCMC interval");
+}
+
+TEST(StatisticalQaTest, SmcAndPmmhAgreeWithMcmcOnASharedFourLocusDataset) {
+    // The multi-locus variant: per-locus particle clouds summed into a
+    // pooled logZ must agree with the pooled MCMC-EM curve.
+    const double thetaTrue = 1.0;
+    const unsigned seed = 8;
+    Dataset ds;
+    Mt19937 rng(seed);
+    for (int l = 0; l < 4; ++l) {
+        const Genealogy g = simulateCoalescent(6, thetaTrue, rng);
+        ds.add(Locus{"locus" + std::to_string(l), simulateAlignment(g, 250, rng), 1.0});
+    }
+
+    MpcgsOptions mcmcOpts;
+    mcmcOpts.theta0 = 2.0;
+    mcmcOpts.emIterations = 3;
+    mcmcOpts.samplesPerIteration = 800;
+    mcmcOpts.strategy = Strategy::MultiChain;
+    mcmcOpts.chains = 2;
+    mcmcOpts.seed = seed * 1000 + 7;
+    const MpcgsResult mcmc = estimateTheta(ds, mcmcOpts);
+    const PooledRelativeLikelihood rl = finalPooledLikelihood(mcmc);
+    const SupportInterval mcmcSi = supportInterval(rl, mcmc.theta);
+
+    SmcEstimateOptions smcOpts;
+    smcOpts.theta0 = 2.0;
+    smcOpts.smc.particles = 1024;
+    smcOpts.seed = seed * 1000 + 11;
+    const SmcEstimateResult smc = estimateThetaSmc(ds, smcOpts);
+    expectInsideSlackened(smc.theta, mcmcSi.lower, mcmcSi.upper, kSlack,
+                          "4-locus SMC estimate vs MCMC interval");
+    expectInsideSlackened(thetaTrue, smc.support.lower, smc.support.upper, kSlack,
+                          "truth vs 4-locus SMC interval");
+
+    PmmhEstimateOptions pmmhOpts;
+    pmmhOpts.theta0 = 2.0;
+    pmmhOpts.samples = 300;
+    pmmhOpts.pmmh.chains = 2;
+    pmmhOpts.pmmh.seed = seed * 1000 + 13;
+    pmmhOpts.pmmh.smc.particles = 128;
+    const PmmhEstimateResult pmmh = runPmmh(ds, pmmhOpts);
+    expectInsideSlackened(pmmh.posteriorMean, mcmcSi.lower, mcmcSi.upper, kSlack,
+                          "4-locus PMMH posterior mean vs MCMC interval");
 }
 
 TEST(StatisticalQaTest, TwoDemeStructuredParametersAreRecovered) {

@@ -271,7 +271,7 @@ TEST(StructuredCheckpointTest, LabelledGenealogyRoundTripsExactly) {
         w.commit();
     }
     CheckpointReader r(path);
-    EXPECT_EQ(r.version(), 3u);
+    EXPECT_EQ(r.version(), kCheckpointVersion);
     const StructuredGenealogy back = readStructuredGenealogy(r, 2);
     EXPECT_EQ(back, g);
 }

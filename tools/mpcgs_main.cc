@@ -12,10 +12,12 @@
 #include <iostream>
 
 #include "core/driver.h"
+#include "core/smc_estimator.h"
 #include "core/structured_estimator.h"
 #include "core/support_interval.h"
 #include "mcmc/checkpoint.h"
 #include "seq/dataset.h"
+#include "util/build_info.h"
 #include "util/options.h"
 #include "util/timer.h"
 
@@ -29,7 +31,9 @@ void usage(const char* prog) {
                  "  --loci-manifest F  read loci from a manifest file instead/as well:\n"
                  "                     one '<file> [name=N] [rate=R] [pop=F]' per line\n"
                  "  --threads N        worker threads (default: hardware)\n"
-                 "  --strategy S       gmh | mh | multichain | heated (default gmh)\n"
+                 "  --algo A           mcmc (default) | smc | pmmh\n"
+                 "  --strategy S       gmh | mh | multichain | heated (default gmh,\n"
+                 "                     mcmc algo only)\n"
                  "  --cached-baseline  use dirty-path likelihood caching for --strategy mh\n"
                  "  --samples M        genealogy samples per locus per EM iteration"
                  " (default 4000)\n"
@@ -47,6 +51,16 @@ void usage(const char* prog) {
                  "  --checkpoint-interval T  ticks between snapshots (default: auto)\n"
                  "  --resume           continue from the snapshot at --checkpoint FILE\n"
                  "                     (an unreadable snapshot falls back to a fresh run)\n"
+                 "  --print-config     print build type, SIMD width, git describe and the\n"
+                 "                     thread default, then exit\n"
+                 "sequential Monte Carlo (--algo smc|pmmh):\n"
+                 "  --particles N      particles per cloud (default 1024 smc, 256 pmmh)\n"
+                 "  --resampling R     multinomial | stratified | systematic (default) |\n"
+                 "                     residual\n"
+                 "  --ess-threshold F  resample when ESS < F * particles (default 0.5)\n"
+                 "  --pmmh-sigma S     log-normal random-walk sd over theta (default 0.4)\n"
+                 "                     (pmmh reuses --samples, --chains, --stop-*,\n"
+                 "                     --checkpoint/--resume)\n"
                  "structured (two-population migration) mode:\n"
                  "  --populations K    infer per-deme thetas + migration rates (K = 2)\n"
                  "  --pop-map F        per-sequence population file: '<seq> <pop>' lines\n"
@@ -169,11 +183,103 @@ int runStructured(const mpcgs::Dataset& ds, const mpcgs::Options& opts, double t
     return 0;
 }
 
+/// --algo smc: maximize the pooled SMC marginal likelihood log Zhat(theta)
+/// directly (no EM loop — the curve itself is the estimator).
+int runSmcAlgo(const mpcgs::Dataset& ds, const mpcgs::Options& opts, double theta0,
+               mpcgs::ThreadPool& pool, unsigned threads) {
+    using namespace mpcgs;
+    // One-shot curve maximization: no chains, no EM loop, no snapshots.
+    // Flag silently-dropped options instead of letting the user believe
+    // they took effect (the structured path's convention).
+    for (const char* flag : {"strategy", "samples", "em", "chains", "proposals",
+                             "set-samples", "cached-baseline", "stop-rhat", "stop-ess",
+                             "checkpoint", "checkpoint-interval", "resume", "pmmh-sigma"})
+        if (opts.has(flag))
+            std::fprintf(stderr, "mpcgs: note — --%s has no effect with --algo smc\n",
+                         flag);
+    SmcEstimateOptions so;
+    so.theta0 = theta0;
+    so.smc.particles = static_cast<std::size_t>(opts.getInt("particles", 1024));
+    so.smc.scheme = parseResamplingScheme(opts.get("resampling", "systematic"));
+    so.smc.essThreshold = opts.getDouble("ess-threshold", 0.5);
+    so.seed = static_cast<std::uint64_t>(opts.getInt("seed", 20160408));
+    so.substModel = opts.get("model", "F81");
+    if (opts.has("curve")) so.curvePoints = 81;
+
+    std::printf("mpcgs smc: %zu loci, %zu particles, %s resampling, theta0=%.4g, "
+                "threads=%u\n",
+                ds.locusCount(), so.smc.particles,
+                resamplingSchemeName(so.smc.scheme).c_str(), theta0, threads);
+    const SmcEstimateResult res = estimateThetaSmc(ds, so, &pool);
+    std::printf("SMC theta estimate: %.6g  (pooled log marginal likelihood %.4g, %s)\n",
+                res.theta, res.logZAtMax, formatDuration(res.totalSeconds).c_str());
+    std::printf("approx. 95%% support interval: [%.6g, %.6g]%s\n", res.support.lower,
+                res.support.upper,
+                (res.support.lowerBounded && res.support.upperBounded) ? ""
+                                                                       : " (open-ended)");
+    if (const auto curveFile = opts.get("curve")) {
+        std::ofstream f(*curveFile);
+        f << "theta,logZ\n";
+        for (const auto& [theta, lz] : res.curve) f << theta << ',' << lz << '\n';
+        std::printf("SMC marginal-likelihood curve written to %s\n", curveFile->c_str());
+    }
+    return 0;
+}
+
+/// --algo pmmh: particle-marginal MH posterior over theta through the
+/// unified sampler runtime (parallel chains, convergence stopping,
+/// checkpoint/resume).
+int runPmmhAlgo(const mpcgs::Dataset& ds, const mpcgs::Options& opts, double theta0,
+                mpcgs::ThreadPool& pool, unsigned threads) {
+    using namespace mpcgs;
+    for (const char* flag :
+         {"strategy", "em", "proposals", "set-samples", "cached-baseline", "curve"})
+        if (opts.has(flag))
+            std::fprintf(stderr, "mpcgs: note — --%s has no effect with --algo pmmh\n",
+                         flag);
+    PmmhEstimateOptions po;
+    po.theta0 = theta0;
+    po.samples = static_cast<std::size_t>(opts.getInt("samples", 2000));
+    po.pmmh.chains = static_cast<std::size_t>(opts.getInt("chains", 2));
+    po.pmmh.proposalSigma = opts.getDouble("pmmh-sigma", 0.4);
+    po.pmmh.seed = static_cast<std::uint64_t>(opts.getInt("seed", 20160408));
+    po.pmmh.smc.particles = static_cast<std::size_t>(opts.getInt("particles", 256));
+    po.pmmh.smc.scheme = parseResamplingScheme(opts.get("resampling", "systematic"));
+    po.pmmh.smc.essThreshold = opts.getDouble("ess-threshold", 0.5);
+    po.substModel = opts.get("model", "F81");
+    po.stopRhat = opts.getDouble("stop-rhat", 0.0);
+    po.stopEss = opts.getDouble("stop-ess", 0.0);
+    po.checkpointPath = opts.get("checkpoint", "");
+    po.checkpointIntervalTicks =
+        static_cast<std::size_t>(opts.getInt("checkpoint-interval", 0));
+    po.resume = opts.getBool("resume", false);
+
+    std::printf("mpcgs pmmh: %zu loci, %zu chains x %zu particles, %s resampling, "
+                "theta0=%.4g, threads=%u\n",
+                ds.locusCount(), po.pmmh.chains, po.pmmh.smc.particles,
+                resamplingSchemeName(po.pmmh.smc.scheme).c_str(), theta0, threads);
+    const PmmhEstimateResult res =
+        withResumeFallback(po.resume, [&] { return runPmmh(ds, po, &pool); });
+    std::printf("PMMH posterior over theta (%zu samples, accept rate %.2f, %s)%s:\n",
+                res.samples, res.acceptRate, formatDuration(res.totalSeconds).c_str(),
+                res.stoppedEarly ? "  [converged early]" : "");
+    std::printf("  mean %.6g  sd %.4g\n  95%% credible interval [%.6g, %.6g], "
+                "median %.6g\n",
+                res.posteriorMean, res.posteriorSd, res.q025, res.q975, res.median);
+    if (res.rhat > 0.0)
+        std::printf("  convergence: R-hat %.4f, pooled ESS %.0f\n", res.rhat, res.ess);
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     using namespace mpcgs;
     const Options opts = Options::parse(argc, argv);
+    if (opts.has("print-config")) {
+        std::fputs(buildConfigSummary().c_str(), stdout);
+        return 0;
+    }
     const bool haveManifest = opts.has("loci-manifest");
     // Without a manifest at least one locus file plus theta0 is required;
     // with one, theta0 alone suffices.
@@ -215,8 +321,20 @@ int main(int argc, char** argv) {
             static_cast<std::size_t>(opts.getInt("checkpoint-interval", 0));
         mo.resume = opts.getBool("resume", false);
 
+        const std::string algo = opts.get("algo", "mcmc");
+        if (algo != "mcmc" && algo != "smc" && algo != "pmmh") {
+            std::fprintf(stderr, "unknown algo '%s' (expected mcmc|smc|pmmh)\n",
+                         algo.c_str());
+            return 2;
+        }
+        if (algo != "mcmc" && opts.has("populations")) {
+            std::fprintf(stderr, "mpcgs: --algo %s does not support --populations\n",
+                         algo.c_str());
+            return 2;
+        }
+
         // Reject nonsense at parse time, before any data is read.
-        if (!opts.has("populations")) validateOptions(mo);
+        if (algo == "mcmc" && !opts.has("populations")) validateOptions(mo);
 
         // Manifest loci first (their rates/names are explicit), then the
         // positional files — whose derived names dedupe against the
@@ -248,6 +366,8 @@ int main(int argc, char** argv) {
 
         if (opts.has("populations"))
             return runStructured(ds, opts, mo.theta0, pool, threads);
+        if (algo == "smc") return runSmcAlgo(ds, opts, mo.theta0, pool, threads);
+        if (algo == "pmmh") return runPmmhAlgo(ds, opts, mo.theta0, pool, threads);
 
         std::printf("mpcgs: %zu loci, %zu total sites, theta0=%.4g, strategy=%s, threads=%u\n",
                     ds.locusCount(), ds.totalSites(), mo.theta0, strat.c_str(), threads);

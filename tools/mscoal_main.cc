@@ -9,11 +9,16 @@
 #include "coalescent/simulator.h"
 #include "phylo/newick.h"
 #include "rng/mt19937.h"
+#include "util/build_info.h"
 #include "util/options.h"
 
 int main(int argc, char** argv) {
     using namespace mpcgs;
     const Options opts = Options::parse(argc, argv);
+    if (opts.has("print-config")) {
+        std::fputs(buildConfigSummary().c_str(), stdout);
+        return 0;
+    }
     if (opts.positional().empty()) {
         std::fprintf(stderr, "usage: %s <nTips> [--theta T] [--seed S] [--reps R]\n", argv[0]);
         return 2;

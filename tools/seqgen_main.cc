@@ -37,6 +37,7 @@
 #include "seq/phylip.h"
 #include "seq/seqgen.h"
 #include "seq/subst_model.h"
+#include "util/build_info.h"
 #include "util/error.h"
 #include "util/options.h"
 
@@ -144,6 +145,10 @@ int runTwoDeme(const mpcgs::Options& opts, const mpcgs::SubstModel& model,
 int main(int argc, char** argv) {
     using namespace mpcgs;
     const Options opts = Options::parse(argc, argv);
+    if (opts.has("print-config")) {
+        std::fputs(buildConfigSummary().c_str(), stdout);
+        return 0;
+    }
     try {
         const std::string modelName = opts.get("model", "F84");
         const double kappa = opts.getDouble("kappa", 2.0);
