@@ -244,8 +244,11 @@ MpcgsResult estimateTheta(const Dataset& dataset, const MpcgsOptions& opts,
         // ResumeError, so callers can fall back to a fresh run; config
         // mismatches (checkFingerprint) stay ConfigError and stay fatal.
         try {
-            resumeReader = std::make_unique<CheckpointReader>(opts.checkpointPath);
+            resumeReader = std::make_unique<CheckpointReader>(
+                pickResumeSnapshot(opts.checkpointPath));
+            resumeReader->enterSection("fingerprint");
             checkFingerprint(*resumeReader, opts, dataset);
+            resumeReader->enterSection("context");
             emStart = resumeReader->u64();
             theta = resumeReader->f64();
             result.history = readHistory(*resumeReader);
@@ -273,6 +276,15 @@ MpcgsResult estimateTheta(const Dataset& dataset, const MpcgsOptions& opts,
     std::vector<LocusFinal> finals(L);
 
     for (std::size_t em = emStart; em < opts.emIterations; ++em) {
+        // EM-boundary stop check: a signal that lands during the M-step is
+        // honored before the next E-step allocates anything. The previous
+        // iteration's boundary snapshot (when checkpointing) already
+        // covers this state.
+        if (opts.supervisor && opts.supervisor->stopRequested())
+            throw InterruptedError(
+                "stop requested at EM iteration boundary (" + std::to_string(em) + ")",
+                !opts.checkpointPath.empty() && em > emStart);
+
         EmIterationRecord rec;
         rec.thetaBefore = theta;
 
@@ -302,26 +314,44 @@ MpcgsResult estimateTheta(const Dataset& dataset, const MpcgsOptions& opts,
         cfg.stopping.essAtLeast = opts.stopEss;
         cfg.checkpointInterval = opts.checkpointIntervalTicks;
         cfg.pool = pool;
+        if (opts.supervisor) cfg.stopRequested = opts.supervisor->stopCallback();
+        cfg.numeric.enabled = true;
+        cfg.numeric.theta = theta;
+        cfg.numeric.seed = seed;
+        cfg.numeric.phase = "estimateTheta E-step (EM iteration " + std::to_string(em) + ")";
         if (!opts.checkpointPath.empty()) {
             cfg.checkpoint = [&, em](std::size_t burnDone,
                                      std::span<const std::uint64_t> sampleDone,
                                      std::span<const std::uint8_t> stopped) {
-                CheckpointWriter w(opts.checkpointPath);
-                writeFingerprint(w, opts, dataset);
-                w.u64(em);
-                w.f64(rec.thetaBefore);
-                writeHistory(w, result.history);
-                for (const Genealogy& g : emInit) writeGenealogy(w, g);
-                w.u32(1);  // mid-iteration
-                w.u64(burnDone);
-                for (std::size_t l = 0; l < L; ++l) {
-                    w.u64(sampleDone[l]);
-                    w.u32(stopped[l] ? 1 : 0);
-                }
-                for (const auto& s : samplers) s->save(w);
-                for (const SummarySink& s : sinks) s.save(w);
-                for (const ConvergenceMonitor& m : monitors) m.save(w);
-                w.commit();
+                withCheckpointRetry(opts.supervisor, [&] {
+                    CheckpointWriter w(opts.checkpointPath);
+                    w.beginSection("fingerprint");
+                    writeFingerprint(w, opts, dataset);
+                    w.beginSection("context");
+                    w.u64(em);
+                    w.f64(rec.thetaBefore);
+                    writeHistory(w, result.history);
+                    for (const Genealogy& g : emInit) writeGenealogy(w, g);
+                    w.u32(1);  // mid-iteration
+                    w.u64(burnDone);
+                    for (std::size_t l = 0; l < L; ++l) {
+                        w.u64(sampleDone[l]);
+                        w.u32(stopped[l] ? 1 : 0);
+                    }
+                    for (std::size_t l = 0; l < L; ++l) {
+                        w.beginSection("sampler." + std::to_string(l));
+                        samplers[l]->save(w);
+                    }
+                    for (std::size_t l = 0; l < L; ++l) {
+                        w.beginSection("sink." + std::to_string(l));
+                        sinks[l].save(w);
+                    }
+                    for (std::size_t l = 0; l < L; ++l) {
+                        w.beginSection("monitor." + std::to_string(l));
+                        monitors[l].save(w);
+                    }
+                    w.commit();
+                });
             };
         }
 
@@ -332,9 +362,18 @@ MpcgsResult estimateTheta(const Dataset& dataset, const MpcgsOptions& opts,
         if (resumeMidIteration && em == emStart) {
             try {
                 if (resumeReader->version() >= 2) {
-                    for (auto& s : samplers) s->load(*resumeReader);
-                    for (SummarySink& s : sinks) s.load(*resumeReader);
-                    for (ConvergenceMonitor& m : monitors) m.load(*resumeReader);
+                    for (std::size_t l = 0; l < L; ++l) {
+                        resumeReader->enterSection("sampler." + std::to_string(l));
+                        samplers[l]->load(*resumeReader);
+                    }
+                    for (std::size_t l = 0; l < L; ++l) {
+                        resumeReader->enterSection("sink." + std::to_string(l));
+                        sinks[l].load(*resumeReader);
+                    }
+                    for (std::size_t l = 0; l < L; ++l) {
+                        resumeReader->enterSection("monitor." + std::to_string(l));
+                        monitors[l].load(*resumeReader);
+                    }
                 } else {
                     // v1 interleaves nothing: one sampler, one sink, one monitor.
                     samplers[0]->load(*resumeReader);
@@ -391,14 +430,18 @@ MpcgsResult estimateTheta(const Dataset& dataset, const MpcgsOptions& opts,
         // EM-boundary snapshot: the next iteration restarts cleanly from
         // here even if the process dies during the M-step bookkeeping.
         if (!opts.checkpointPath.empty() && em + 1 < opts.emIterations) {
-            CheckpointWriter w(opts.checkpointPath);
-            writeFingerprint(w, opts, dataset);
-            w.u64(em + 1);
-            w.f64(theta);
-            writeHistory(w, result.history);
-            for (const Genealogy& g : current) writeGenealogy(w, g);
-            w.u32(0);  // iteration boundary
-            w.commit();
+            withCheckpointRetry(opts.supervisor, [&] {
+                CheckpointWriter w(opts.checkpointPath);
+                w.beginSection("fingerprint");
+                writeFingerprint(w, opts, dataset);
+                w.beginSection("context");
+                w.u64(em + 1);
+                w.f64(theta);
+                writeHistory(w, result.history);
+                for (const Genealogy& g : current) writeGenealogy(w, g);
+                w.u32(0);  // iteration boundary
+                w.commit();
+            });
         }
     }
 

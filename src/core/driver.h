@@ -25,6 +25,7 @@
 #include "core/mle.h"
 #include "core/posterior.h"
 #include "core/samplers.h"
+#include "core/supervisor.h"
 #include "par/thread_pool.h"
 #include "seq/alignment.h"
 #include "seq/dataset.h"
@@ -74,6 +75,12 @@ struct MpcgsOptions {
     std::string checkpointPath;
     std::size_t checkpointIntervalTicks = 0;  ///< ticks between snapshots (0 = auto)
     bool resume = false;
+
+    /// Optional run supervision (core/supervisor.h): cooperative
+    /// SIGTERM/SIGINT + wall-time stops polled at tick and EM boundaries
+    /// (the run checkpoints and raises InterruptedError), and
+    /// checkpoint-write retry with exponential backoff. Not owned.
+    const RunSupervisor* supervisor = nullptr;
 };
 
 /// Throws ConfigError on nonsensical option combinations (non-positive

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <memory>
+#include <unordered_map>
 
 #include "core/mle.h"
 #include "lik/locus_likelihoods.h"
@@ -90,6 +92,140 @@ void checkFingerprint(CheckpointReader& r, const PmmhEstimateOptions& opts,
             "resume: PMMH checkpoint was written by an incompatible run configuration");
 }
 
+// --- SMC-estimate checkpoint layout -----------------------------------
+// fingerprint ('SMCZ' tag + run configuration + locus roster) | memo
+// (the (theta, logZ) pairs evaluated so far, in evaluation order).
+
+constexpr std::uint32_t kSmcEstimateSnapshotTag = 0x5A434D53u;  // "SMCZ"
+
+void writeSmcFingerprint(CheckpointWriter& w, const SmcEstimateOptions& opts,
+                         const Dataset& ds) {
+    w.u32(kSmcEstimateSnapshotTag);
+    w.u64(opts.seed);
+    w.u64(opts.smc.particles);
+    w.u32(static_cast<std::uint32_t>(opts.smc.scheme));
+    w.f64(opts.smc.essThreshold);
+    w.f64(opts.theta0);
+    w.str(opts.substModel);
+    w.u64(ds.locusCount());
+    for (const Locus& locus : ds.loci()) {
+        w.str(locus.name);
+        w.u64(locus.alignment.sequenceCount());
+        w.u64(locus.alignment.length());
+        w.f64(locus.mutationScale);
+    }
+}
+
+void checkSmcFingerprint(CheckpointReader& r, const SmcEstimateOptions& opts,
+                         const Dataset& ds) {
+    bool ok = true;
+    ok &= r.u32() == kSmcEstimateSnapshotTag;
+    ok &= r.u64() == opts.seed;
+    ok &= r.u64() == opts.smc.particles;
+    ok &= r.u32() == static_cast<std::uint32_t>(opts.smc.scheme);
+    ok &= r.f64() == opts.smc.essThreshold;
+    ok &= r.f64() == opts.theta0;
+    ok &= r.str() == opts.substModel;
+    ok &= r.u64() == ds.locusCount();
+    if (ok) {
+        for (const Locus& locus : ds.loci()) {
+            ok &= r.str() == locus.name;
+            ok &= r.u64() == locus.alignment.sequenceCount();
+            ok &= r.u64() == locus.alignment.length();
+            ok &= r.f64() == locus.mutationScale;
+        }
+    }
+    if (!ok)
+        throw ConfigError(
+            "resume: SMC checkpoint was written by an incompatible run configuration");
+}
+
+/// Memoizing, checkpointing, stop-aware view of the pooled SMC curve.
+/// Every logZ value is a deterministic function of theta (common random
+/// numbers), so the memo of evaluated (theta, logZ) pairs IS the whole
+/// optimizer state: a resumed run hands the deterministic maximizer the
+/// cached values bitwise as it re-traverses the same theta sequence, and
+/// only goes live at the first theta the interrupted run never reached.
+class CheckpointedSmcLikelihood final : public ThetaLikelihood {
+  public:
+    CheckpointedSmcLikelihood(const PooledSmcLikelihood& inner,
+                              const SmcEstimateOptions& opts, const Dataset& ds)
+        : inner_(inner),
+          opts_(opts),
+          ds_(ds),
+          snapshotEvery_(opts.checkpointIntervalEvals ? opts.checkpointIntervalEvals
+                                                      : 8) {}
+
+    double logL(double theta, ThreadPool* pool = nullptr) const override {
+        const std::uint64_t key = thetaKey(theta);
+        if (const auto it = index_.find(key); it != index_.end()) return it->second;
+        // Stop only before a LIVE evaluation: memo replay after a resume
+        // involves no new work, so cache hits never interrupt.
+        if (opts_.supervisor && opts_.supervisor->stopRequested()) {
+            if (!opts_.checkpointPath.empty()) snapshot();
+            throw InterruptedError("stop requested before SMC curve evaluation " +
+                                       std::to_string(memo_.size() + 1) + " (" +
+                                       opts_.supervisor->stopReason() + ")",
+                                   !opts_.checkpointPath.empty());
+        }
+        const double v = inner_.logL(theta, pool);
+        memo_.emplace_back(theta, v);
+        index_.emplace(key, v);
+        if (!opts_.checkpointPath.empty() && memo_.size() % snapshotEvery_ == 0)
+            snapshot();
+        return v;
+    }
+
+    void loadFromSnapshot() {
+        try {
+            CheckpointReader r(pickResumeSnapshot(opts_.checkpointPath));
+            r.enterSection("fingerprint");
+            checkSmcFingerprint(r, opts_, ds_);
+            r.enterSection("memo");
+            const std::uint64_t n = r.u64();
+            for (std::uint64_t i = 0; i < n; ++i) {
+                const double t = r.f64();
+                const double v = r.f64();
+                memo_.emplace_back(t, v);
+                index_.emplace(thetaKey(t), v);
+            }
+        } catch (const CheckpointError& e) {
+            throw ResumeError(e.what());
+        }
+    }
+
+    std::size_t evaluations() const { return memo_.size(); }
+
+  private:
+    static std::uint64_t thetaKey(double theta) {
+        std::uint64_t k = 0;
+        std::memcpy(&k, &theta, sizeof k);
+        return k;
+    }
+
+    void snapshot() const {
+        withCheckpointRetry(opts_.supervisor, [&] {
+            CheckpointWriter w(opts_.checkpointPath);
+            w.beginSection("fingerprint");
+            writeSmcFingerprint(w, opts_, ds_);
+            w.beginSection("memo");
+            w.u64(memo_.size());
+            for (const auto& [t, v] : memo_) {
+                w.f64(t);
+                w.f64(v);
+            }
+            w.commit();
+        });
+    }
+
+    const PooledSmcLikelihood& inner_;
+    const SmcEstimateOptions& opts_;
+    const Dataset& ds_;
+    std::size_t snapshotEvery_;
+    mutable std::vector<std::pair<double, double>> memo_;
+    mutable std::unordered_map<std::uint64_t, double> index_;
+};
+
 double quantileOfSorted(const std::vector<double>& sorted, double q) {
     if (sorted.empty()) return 0.0;
     const double pos = q * static_cast<double>(sorted.size() - 1);
@@ -104,20 +240,24 @@ double quantileOfSorted(const std::vector<double>& sorted, double q) {
 SmcEstimateResult estimateThetaSmc(const Dataset& dataset, const SmcEstimateOptions& opts,
                                    ThreadPool* pool) {
     if (opts.theta0 <= 0.0) throw ConfigError("smc: theta0 must be positive");
+    if (opts.resume && opts.checkpointPath.empty())
+        throw ConfigError("smc: resume requires a checkpointPath");
     validateSmcOptions(opts.smc);
     dataset.validate();
 
     Timer total;
     const LocusLikelihoods liks(dataset, opts.substModel, opts.compressPatterns);
     const PooledSmcLikelihood pooled(allTerms(dataset, liks), opts.smc, opts.seed);
+    CheckpointedSmcLikelihood curve(pooled, opts, dataset);
+    if (opts.resume) curve.loadFromSnapshot();
 
     SmcEstimateResult res;
-    const MleResult mle = maximizeTheta(pooled, opts.theta0, pool);
+    const MleResult mle = maximizeTheta(curve, opts.theta0, pool);
     res.theta = mle.theta;
     res.logZAtMax = mle.logL;
-    res.support = supportInterval(pooled, res.theta, 1.92, 1e4, pool);
+    res.support = supportInterval(curve, res.theta, 1.92, 1e4, pool);
     if (opts.curvePoints > 0)
-        res.curve = pooled.curve(res.theta / 20, res.theta * 20, opts.curvePoints, pool);
+        res.curve = curve.curve(res.theta / 20, res.theta * 20, opts.curvePoints, pool);
     res.totalSeconds = total.seconds();
     return res;
 }
@@ -160,13 +300,17 @@ PmmhEstimateResult runPmmh(const Dataset& dataset, const PmmhEstimateOptions& op
     bool resumeStopped = false;
     if (opts.resume) {
         try {
-            CheckpointReader r(opts.checkpointPath);
+            CheckpointReader r(pickResumeSnapshot(opts.checkpointPath));
+            r.enterSection("fingerprint");
             checkFingerprint(r, opts, dataset);
+            r.enterSection("context");
             burnTicks = r.u64();
             resumeBurnDone = r.u64();
             resumeSampleDone = r.u64();
             resumeStopped = r.u32() != 0;
+            r.enterSection("sampler");
             sampler.load(r);
+            r.enterSection("monitor");
             monitor.load(r);
         } catch (const CheckpointError& e) {
             throw ResumeError(e.what());
@@ -179,18 +323,29 @@ PmmhEstimateResult runPmmh(const Dataset& dataset, const PmmhEstimateOptions& op
     cfg.stopping.rhatBelow = opts.stopRhat;
     cfg.stopping.essAtLeast = opts.stopEss;
     cfg.checkpointInterval = opts.checkpointIntervalTicks;
+    if (opts.supervisor) cfg.stopRequested = opts.supervisor->stopCallback();
+    cfg.numeric.enabled = true;
+    cfg.numeric.theta = opts.theta0;
+    cfg.numeric.seed = opts.pmmh.seed;
+    cfg.numeric.phase = "runPmmh sampling";
     if (!opts.checkpointPath.empty()) {
         cfg.checkpoint = [&, burnTicks](std::size_t burnDone, std::size_t sampleDone,
                                         bool stopped) {
-            CheckpointWriter w(opts.checkpointPath);
-            writeFingerprint(w, opts, dataset);
-            w.u64(burnTicks);  // freeze the burn geometry for resumes
-            w.u64(burnDone);
-            w.u64(sampleDone);
-            w.u32(stopped ? 1 : 0);
-            sampler.save(w);
-            monitor.save(w);
-            w.commit();
+            withCheckpointRetry(opts.supervisor, [&] {
+                CheckpointWriter w(opts.checkpointPath);
+                w.beginSection("fingerprint");
+                writeFingerprint(w, opts, dataset);
+                w.beginSection("context");
+                w.u64(burnTicks);  // freeze the burn geometry for resumes
+                w.u64(burnDone);
+                w.u64(sampleDone);
+                w.u32(stopped ? 1 : 0);
+                w.beginSection("sampler");
+                sampler.save(w);
+                w.beginSection("monitor");
+                monitor.save(w);
+                w.commit();
+            });
         };
     }
 

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "core/supervisor.h"
 #include "core/support_interval.h"
 #include "par/thread_pool.h"
 #include "seq/dataset.h"
@@ -33,6 +34,19 @@ struct SmcEstimateOptions {
     std::string substModel = "F81";
     bool compressPatterns = true;
     int curvePoints = 0;  ///< export the logZ curve on [theta/20, theta*20]
+
+    // Checkpoint/resume (format v5). The logZ curve is a deterministic
+    // function of theta under common random numbers, so the snapshot is
+    // simply the memo of evaluated (theta, logZ) pairs: on resume the
+    // deterministic maximizer re-traverses the same theta sequence,
+    // replays the memo bitwise, and goes live at the first unseen theta.
+    std::string checkpointPath;
+    std::size_t checkpointIntervalEvals = 0;  ///< evals between snapshots (0 = auto)
+    bool resume = false;
+
+    /// Optional run supervision (core/supervisor.h); same semantics as
+    /// MpcgsOptions::supervisor. Not owned.
+    const RunSupervisor* supervisor = nullptr;
 };
 
 struct SmcEstimateResult {
@@ -61,6 +75,10 @@ struct PmmhEstimateOptions {
     std::string checkpointPath;
     std::size_t checkpointIntervalTicks = 0;
     bool resume = false;
+
+    /// Optional run supervision (core/supervisor.h); same semantics as
+    /// MpcgsOptions::supervisor. Not owned.
+    const RunSupervisor* supervisor = nullptr;
 };
 
 struct PmmhEstimateResult {

@@ -183,8 +183,11 @@ StructuredResult estimateStructured(const Alignment& aln, const std::vector<int>
         // Snapshot READ failures become ResumeError so callers can fall
         // back to a fresh run; fingerprint mismatches stay ConfigError.
         try {
-            resumeReader = std::make_unique<CheckpointReader>(opts.checkpointPath);
+            resumeReader = std::make_unique<CheckpointReader>(
+                pickResumeSnapshot(opts.checkpointPath));
+            resumeReader->enterSection("fingerprint");
             checkFingerprint(*resumeReader, opts, aln, tipDemes);
+            resumeReader->enterSection("context");
             emStart = resumeReader->u64();
             driving = readModel(*resumeReader);
             result.history = readHistory(*resumeReader);
@@ -215,6 +218,12 @@ StructuredResult estimateStructured(const Alignment& aln, const std::vector<int>
         (opts.samplesPerIteration * opts.burnInFraction1000 + 999) / 1000;
 
     for (std::size_t em = emStart; em < opts.emIterations; ++em) {
+        // EM-boundary stop check, mirroring estimateTheta.
+        if (opts.supervisor && opts.supervisor->stopRequested())
+            throw InterruptedError(
+                "stop requested at EM iteration boundary (" + std::to_string(em) + ")",
+                !opts.checkpointPath.empty() && em > emStart);
+
         StructuredEmRecord rec;
         rec.before = driving;
 
@@ -231,31 +240,47 @@ StructuredResult estimateStructured(const Alignment& aln, const std::vector<int>
         cfg.stopping.rhatBelow = opts.stopRhat;
         cfg.stopping.essAtLeast = opts.stopEss;
         cfg.checkpointInterval = opts.checkpointIntervalTicks;
+        if (opts.supervisor) cfg.stopRequested = opts.supervisor->stopCallback();
+        cfg.numeric.enabled = true;
+        cfg.numeric.theta = driving.theta.empty() ? 0.0 : driving.theta.front();
+        cfg.numeric.seed = opts.seed;
+        cfg.numeric.phase =
+            "estimateStructured E-step (EM iteration " + std::to_string(em) + ")";
         if (!opts.checkpointPath.empty()) {
             cfg.checkpoint = [&, em](std::size_t burnDone, std::size_t sampleDone,
                                      bool stopped) {
-                CheckpointWriter w(opts.checkpointPath);
-                writeFingerprint(w, opts, aln, tipDemes);
-                w.u64(em);
-                writeModel(w, rec.before);
-                writeHistory(w, result.history);
-                writeStructuredGenealogy(w, emInit);
-                w.u32(1);  // mid-iteration
-                w.u64(burnDone);
-                w.u64(sampleDone);
-                w.u32(stopped ? 1 : 0);
-                sampler.save(w);
-                sink.save(w);
-                monitor.save(w);
-                w.commit();
+                withCheckpointRetry(opts.supervisor, [&] {
+                    CheckpointWriter w(opts.checkpointPath);
+                    w.beginSection("fingerprint");
+                    writeFingerprint(w, opts, aln, tipDemes);
+                    w.beginSection("context");
+                    w.u64(em);
+                    writeModel(w, rec.before);
+                    writeHistory(w, result.history);
+                    writeStructuredGenealogy(w, emInit);
+                    w.u32(1);  // mid-iteration
+                    w.u64(burnDone);
+                    w.u64(sampleDone);
+                    w.u32(stopped ? 1 : 0);
+                    w.beginSection("sampler");
+                    sampler.save(w);
+                    w.beginSection("sink");
+                    sink.save(w);
+                    w.beginSection("monitor");
+                    monitor.save(w);
+                    w.commit();
+                });
             };
         }
 
         SamplerRun run(sampler, cfg);
         if (resumeMidIteration && em == emStart) {
             try {
+                resumeReader->enterSection("sampler");
                 sampler.load(*resumeReader);
+                resumeReader->enterSection("sink");
                 sink.load(*resumeReader);
+                resumeReader->enterSection("monitor");
                 monitor.load(*resumeReader);
             } catch (const CheckpointError& e) {
                 throw ResumeError(e.what());
@@ -286,14 +311,18 @@ StructuredResult estimateStructured(const Alignment& aln, const std::vector<int>
         result.history.push_back(rec);
 
         if (!opts.checkpointPath.empty() && em + 1 < opts.emIterations) {
-            CheckpointWriter w(opts.checkpointPath);
-            writeFingerprint(w, opts, aln, tipDemes);
-            w.u64(em + 1);
-            writeModel(w, driving);
-            writeHistory(w, result.history);
-            writeStructuredGenealogy(w, current);
-            w.u32(0);  // iteration boundary
-            w.commit();
+            withCheckpointRetry(opts.supervisor, [&] {
+                CheckpointWriter w(opts.checkpointPath);
+                w.beginSection("fingerprint");
+                writeFingerprint(w, opts, aln, tipDemes);
+                w.beginSection("context");
+                w.u64(em + 1);
+                writeModel(w, driving);
+                writeHistory(w, result.history);
+                writeStructuredGenealogy(w, current);
+                w.u32(0);  // iteration boundary
+                w.commit();
+            });
         }
     }
 

@@ -20,6 +20,7 @@
 
 #include "coalescent/structured.h"
 #include "core/structured_problem.h"
+#include "core/supervisor.h"
 #include "core/support_interval.h"
 #include "par/thread_pool.h"
 #include "seq/alignment.h"
@@ -45,6 +46,10 @@ struct StructuredOptions {
     std::string checkpointPath;
     std::size_t checkpointIntervalTicks = 0;
     bool resume = false;
+
+    /// Optional run supervision (core/supervisor.h); same semantics as
+    /// MpcgsOptions::supervisor. Not owned.
+    const RunSupervisor* supervisor = nullptr;
 };
 
 /// Throws ConfigError on nonsensical combinations (invalid migration

@@ -1,0 +1,140 @@
+#include "core/supervisor.h"
+
+#include <algorithm>
+#include <csignal>
+#include <cstdio>
+#include <thread>
+
+#include "mcmc/checkpoint.h"
+#include "util/failpoint.h"
+
+namespace mpcgs {
+namespace {
+
+/// The one async-signal-safe cell SIGTERM/SIGINT are allowed to touch.
+/// Process-wide by necessity; a RunSupervisor resets it on destruction so
+/// back-to-back supervised runs (tests) start clean.
+volatile std::sig_atomic_t gSignal = 0;
+
+extern "C" void onStopSignal(int sig) { gSignal = sig; }
+
+}  // namespace
+
+RunSupervisor::RunSupervisor() : RunSupervisor(Config()) {}
+
+RunSupervisor::RunSupervisor(Config cfg)
+    : cfg_(cfg), start_(std::chrono::steady_clock::now()) {
+    if (cfg_.handleSignals) {
+#if defined(__unix__) || defined(__APPLE__)
+        struct sigaction sa {};
+        sa.sa_handler = onStopSignal;
+        sigemptyset(&sa.sa_mask);
+        sa.sa_flags = 0;  // no SA_RESTART: let blocking syscalls see the stop
+        ::sigaction(SIGTERM, &sa, nullptr);
+        ::sigaction(SIGINT, &sa, nullptr);
+#else
+        std::signal(SIGTERM, onStopSignal);
+        std::signal(SIGINT, onStopSignal);
+#endif
+        signalsInstalled_ = true;
+    }
+}
+
+RunSupervisor::~RunSupervisor() {
+    if (signalsInstalled_) {
+#if defined(__unix__) || defined(__APPLE__)
+        struct sigaction sa {};
+        sa.sa_handler = SIG_DFL;
+        sigemptyset(&sa.sa_mask);
+        ::sigaction(SIGTERM, &sa, nullptr);
+        ::sigaction(SIGINT, &sa, nullptr);
+#else
+        std::signal(SIGTERM, SIG_DFL);
+        std::signal(SIGINT, SIG_DFL);
+#endif
+    }
+    gSignal = 0;
+}
+
+bool RunSupervisor::stopRequested() const {
+    if (stopCause_.load(std::memory_order_relaxed) != 0) return true;
+    if (gSignal != 0) {
+        signum_.store(static_cast<int>(gSignal), std::memory_order_relaxed);
+        stopCause_.store(1, std::memory_order_relaxed);
+        return true;
+    }
+    if (cfg_.maxWallSeconds > 0.0) {
+        const double elapsed =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+                .count();
+        if (elapsed >= cfg_.maxWallSeconds) {
+            stopCause_.store(2, std::memory_order_relaxed);
+            return true;
+        }
+    }
+    if (MPCGS_FAILPOINT("supervisor.stop").fired()) {
+        stopCause_.store(3, std::memory_order_relaxed);
+        return true;
+    }
+    return false;
+}
+
+std::string RunSupervisor::stopReason() const {
+    switch (stopCause_.load(std::memory_order_relaxed)) {
+        case 1:
+            return signum_.load(std::memory_order_relaxed) == SIGINT ? "SIGINT"
+                                                                     : "SIGTERM";
+        case 2: {
+            char buf[64];
+            std::snprintf(buf, sizeof buf, "wall-time deadline (%gs)",
+                          cfg_.maxWallSeconds);
+            return buf;
+        }
+        case 3:
+            return "injected stop (fail point supervisor.stop)";
+        default:
+            return "";
+    }
+}
+
+void RunSupervisor::writeCheckpointWithRetry(
+    const std::function<void()>& write) const {
+    double backoffMs = cfg_.backoffInitialMs;
+    for (int attempt = 0;; ++attempt) {
+        try {
+            write();
+            return;
+        } catch (const CheckpointError& e) {
+            if (attempt >= cfg_.checkpointRetries) throw;
+            std::fprintf(stderr,
+                         "mpcgs: warning: checkpoint write failed (%s); retrying in "
+                         "%.0f ms (attempt %d of %d)\n",
+                         e.what(), backoffMs, attempt + 1, cfg_.checkpointRetries);
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(backoffMs));
+            backoffMs = std::min(backoffMs * 2.0, cfg_.backoffMaxMs);
+        }
+    }
+}
+
+void withCheckpointRetry(const RunSupervisor* supervisor,
+                         const std::function<void()>& write) {
+    if (supervisor)
+        supervisor->writeCheckpointWithRetry(write);
+    else
+        write();
+}
+
+int exitCodeFor(const std::exception& e) {
+    // Order matters where types nest: ResumeError derives from
+    // CheckpointError, so the more specific cast runs first.
+    if (dynamic_cast<const InterruptedError*>(&e)) return kExitInterrupted;
+    if (dynamic_cast<const NumericError*>(&e)) return kExitNumericFault;
+    if (dynamic_cast<const ResumeError*>(&e)) return kExitResumeFailed;
+    if (dynamic_cast<const CheckpointError*>(&e)) return kExitIoFault;
+    if (dynamic_cast<const ParseError*>(&e)) return kExitUsage;
+    if (dynamic_cast<const ConfigError*>(&e)) return kExitUsage;
+    return kExitFailure;
+}
+
+}  // namespace mpcgs

@@ -1,6 +1,8 @@
 #include "mcmc/checkpoint.h"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -11,14 +13,55 @@
 #include "coalescent/structured.h"
 #include "phylo/tree.h"
 #include "rng/mt19937.h"
+#include "util/crc32c.h"
+#include "util/failpoint.h"
 
 namespace mpcgs {
+namespace {
+
+/// ": <strerror> (errno N)" when errnum is set, empty otherwise — appended
+/// to every I/O failure message so ENOSPC reads as ENOSPC, not as a bare
+/// "write failed".
+std::string errnoSuffix(int errnum) {
+    if (errnum == 0) return "";
+    return std::string(": ") + std::strerror(errnum) + " (errno " +
+           std::to_string(errnum) + ")";
+}
+
+/// Evaluate an I/O fail point. On a hit the site fails exactly like a real
+/// fault: `errnum` carries the injected errno (0 for a plain error).
+bool injected(const char* point, int& errnum) {
+    const auto hit = MPCGS_FAILPOINT(point);
+    if (!hit.fired()) return false;
+    errnum = hit.action == failpoint::Action::Errno ? hit.errnum : 0;
+    return true;
+}
+
+std::string hex32(std::uint32_t v) {
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "0x%08X", v);
+    return buf;
+}
+
+}  // namespace
 
 CheckpointWriter::CheckpointWriter(std::string path, std::uint32_t version)
-    : path_(std::move(path)), out_(path_ + ".tmp", std::ios::binary | std::ios::trunc) {
-    if (!out_) throw CheckpointError("cannot open '" + path_ + ".tmp' for writing");
-    u32(kCheckpointMagic);
-    u32(version);
+    : path_(std::move(path)), version_(version) {
+    if (int e = 0; injected("checkpoint.open", e))
+        fail("open", path_ + ".tmp", e);
+    errno = 0;
+    out_.open(path_ + ".tmp", std::ios::binary | std::ios::trunc);
+    if (!out_) fail("open", path_ + ".tmp", errno);
+    try {
+        u32(kCheckpointMagic);
+        u32(version_);
+    } catch (...) {
+        // The destructor never runs when the constructor throws — remove
+        // the staging file here so no .tmp litter survives a header fault.
+        out_.close();
+        std::remove((path_ + ".tmp").c_str());
+        throw;
+    }
 }
 
 CheckpointWriter::~CheckpointWriter() {
@@ -28,9 +71,26 @@ CheckpointWriter::~CheckpointWriter() {
     }
 }
 
-void CheckpointWriter::raw(const void* data, std::size_t bytes) {
+void CheckpointWriter::fail(const std::string& op, const std::string& target,
+                            int errnum) {
+    throw CheckpointError(op + " failed for '" + target + "'" + errnoSuffix(errnum));
+}
+
+void CheckpointWriter::rawToStream(const void* data, std::size_t bytes) {
+    if (int e = 0; injected("checkpoint.write", e))
+        fail("write", path_ + ".tmp", e);
+    errno = 0;
     out_.write(static_cast<const char*>(data), static_cast<std::streamsize>(bytes));
-    if (!out_) throw CheckpointError("write failed for '" + path_ + "'");
+    if (!out_) fail("write", path_ + ".tmp", errno);
+}
+
+void CheckpointWriter::raw(const void* data, std::size_t bytes) {
+    if (inSection_) {
+        const char* p = static_cast<const char*>(data);
+        section_.insert(section_.end(), p, p + bytes);
+    } else {
+        rawToStream(data, bytes);
+    }
 }
 
 void CheckpointWriter::u32(std::uint32_t v) { raw(&v, sizeof v); }
@@ -45,6 +105,30 @@ void CheckpointWriter::str(const std::string& s) {
 void CheckpointWriter::doubles(std::span<const double> xs) {
     u64(xs.size());
     raw(xs.data(), xs.size() * sizeof(double));
+}
+
+void CheckpointWriter::beginSection(const std::string& name) {
+    if (version_ < 5) return;
+    if (inSection_) flushSection();
+    inSection_ = true;
+    sectionName_ = name;
+    section_.clear();
+}
+
+void CheckpointWriter::flushSection() {
+    // Frame fields bypass raw() — they must hit the stream, not the buffer.
+    const std::uint32_t marker = kSectionMarker;
+    rawToStream(&marker, sizeof marker);
+    const std::uint64_t nameLen = sectionName_.size();
+    rawToStream(&nameLen, sizeof nameLen);
+    rawToStream(sectionName_.data(), sectionName_.size());
+    const std::uint64_t payloadLen = section_.size();
+    rawToStream(&payloadLen, sizeof payloadLen);
+    const std::uint32_t crc = crc32c(section_.data(), section_.size());
+    rawToStream(&crc, sizeof crc);
+    rawToStream(section_.data(), section_.size());
+    inSection_ = false;
+    section_.clear();
 }
 
 namespace {
@@ -69,14 +153,28 @@ bool syncPath(const std::string& path) {
 }  // namespace
 
 void CheckpointWriter::commit() {
+    if (inSection_) flushSection();
     out_.flush();
     out_.close();
-    if (!out_) throw CheckpointError("flush failed for '" + path_ + "'");
-    if (!syncPath(path_ + ".tmp"))
-        throw CheckpointError("fsync failed for '" + path_ + ".tmp'");
+    if (!out_) fail("flush", path_ + ".tmp", errno);
+    if (int e = 0; injected("checkpoint.fsync", e))
+        fail("fsync", path_ + ".tmp", e);
+    errno = 0;
+    if (!syncPath(path_ + ".tmp")) fail("fsync", path_ + ".tmp", errno);
+    if (int e = 0; injected("checkpoint.rename", e)) fail("rename", path_, e);
+    // Two-generation retention: the previous snapshot survives as
+    // `<path>.prev` until the one we are about to publish is durable.
+    // Best-effort — a fresh run has no previous generation.
     std::error_code ec;
+    if (std::filesystem::exists(path_, ec) && !ec) {
+        std::error_code ignored;
+        std::filesystem::rename(path_, path_ + ".prev", ignored);
+    }
+    ec.clear();
     std::filesystem::rename(path_ + ".tmp", path_, ec);
-    if (ec) throw CheckpointError("rename to '" + path_ + "' failed: " + ec.message());
+    if (ec)
+        throw CheckpointError("rename to '" + path_ + "' failed: " + ec.message() +
+                              " (errno " + std::to_string(ec.value()) + ")");
     // Best effort: make the rename itself durable (not every filesystem
     // supports fsync on a directory handle).
     syncPath(std::filesystem::path(path_).has_parent_path()
@@ -85,10 +183,17 @@ void CheckpointWriter::commit() {
     committed_ = true;
 }
 
-CheckpointReader::CheckpointReader(const std::string& path)
-    : in_(path, std::ios::binary | std::ios::ate) {
-    if (!in_) throw CheckpointError("cannot open '" + path + "'");
+CheckpointReader::CheckpointReader(const std::string& path) : path_(path) {
+    if (int e = 0; injected("checkpoint.read.open", e))
+        throw CheckpointError("cannot open '" + path + "'" + errnoSuffix(e));
+    errno = 0;
+    in_.open(path, std::ios::binary | std::ios::ate);
+    if (!in_) throw CheckpointError("cannot open '" + path + "'" + errnoSuffix(errno));
     fileSize_ = static_cast<std::uint64_t>(in_.tellg());
+    if (fileSize_ == 0)
+        throw CheckpointError("'" + path +
+                              "' is empty (0 bytes) — the snapshot write was likely "
+                              "interrupted or the disk was full");
     in_.seekg(0);
     if (u32() != kCheckpointMagic) throw CheckpointError("'" + path + "' is not a snapshot");
     version_ = u32();
@@ -98,10 +203,24 @@ CheckpointReader::CheckpointReader(const std::string& path)
                               std::to_string(kCheckpointVersion));
 }
 
-void CheckpointReader::raw(void* data, std::size_t bytes) {
+void CheckpointReader::rawFromStream(void* data, std::size_t bytes) {
+    if (int e = 0; injected("checkpoint.read", e))
+        throw CheckpointError("read failed for '" + path_ + "'" + errnoSuffix(e));
     in_.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
     if (in_.gcount() != static_cast<std::streamsize>(bytes))
-        throw CheckpointError("truncated snapshot");
+        throw CheckpointError("truncated snapshot '" + path_ + "'");
+}
+
+void CheckpointReader::raw(void* data, std::size_t bytes) {
+    if (inSection_) {
+        if (bytes > section_.size() - sectionPos_)
+            throw CheckpointError("truncated section '" + sectionName_ + "' in '" +
+                                  path_ + "'");
+        std::memcpy(data, section_.data() + sectionPos_, bytes);
+        sectionPos_ += bytes;
+    } else {
+        rawFromStream(data, bytes);
+    }
 }
 
 std::uint32_t CheckpointReader::u32() {
@@ -123,6 +242,7 @@ double CheckpointReader::f64() {
 }
 
 std::uint64_t CheckpointReader::remaining() {
+    if (inSection_) return section_.size() - sectionPos_;
     const auto pos = static_cast<std::uint64_t>(in_.tellg());
     return pos > fileSize_ ? 0 : fileSize_ - pos;
 }
@@ -149,9 +269,82 @@ std::vector<double> CheckpointReader::doubles() {
     return xs;
 }
 
+std::string CheckpointReader::nextSection() {
+    // Any unread tail of the previous section is discarded; the stream is
+    // already positioned at the next frame because enterSection() consumed
+    // the whole payload up front.
+    inSection_ = false;
+    if (remaining() == 0) return std::string();
+    const std::uint32_t marker = u32();
+    if (marker != kSectionMarker)
+        throw CheckpointError("'" + path_ +
+                              "': expected a section frame but found marker " +
+                              hex32(marker) + " — snapshot is corrupt");
+    const std::string name = str();
+    const std::uint64_t len = u64();
+    const std::uint32_t storedCrc = u32();
+    requireRemaining(len);
+    section_.resize(len);
+    if (len > 0) rawFromStream(section_.data(), len);
+    const std::uint32_t actualCrc = crc32c(section_.data(), len);
+    if (actualCrc != storedCrc)
+        throw CheckpointError("'" + path_ + "': checksum mismatch in section '" + name +
+                              "' (stored " + hex32(storedCrc) + ", computed " +
+                              hex32(actualCrc) + ") — snapshot is corrupt");
+    sectionName_ = name;
+    sectionPos_ = 0;
+    inSection_ = true;
+    return name;
+}
+
+void CheckpointReader::enterSection(const std::string& expected) {
+    if (version_ < 5) return;
+    const std::string name = nextSection();
+    if (name.empty())
+        throw CheckpointError("'" + path_ + "': expected section '" + expected +
+                              "' but the snapshot ended");
+    if (name != expected)
+        throw CheckpointError("'" + path_ + "': expected section '" + expected +
+                              "' but found '" + name + "'");
+}
+
 bool checkpointExists(const std::string& path) {
     std::error_code ec;
     return std::filesystem::exists(path, ec) && !ec;
+}
+
+std::uint32_t verifySnapshot(const std::string& path) {
+    CheckpointReader r(path);
+    // Pre-v5 files carry no checksums — the header check above is all the
+    // verification available without parsing.
+    if (r.version() >= 5)
+        while (!r.nextSection().empty()) {}
+    return r.version();
+}
+
+std::string pickResumeSnapshot(const std::string& path) {
+    std::string firstFault;
+    try {
+        verifySnapshot(path);
+        return path;
+    } catch (const CheckpointError& e) {
+        firstFault = e.what();
+    }
+    const std::string prev = path + ".prev";
+    if (checkpointExists(prev)) {
+        try {
+            verifySnapshot(prev);
+            std::fprintf(stderr,
+                         "mpcgs: warning: %s; falling back to previous snapshot "
+                         "generation '%s'\n",
+                         firstFault.c_str(), prev.c_str());
+            return prev;
+        } catch (const CheckpointError& e2) {
+            throw ResumeError(firstFault + "; previous generation '" + prev +
+                              "' is also unusable: " + e2.what());
+        }
+    }
+    throw ResumeError(firstFault);
 }
 
 void writeGenealogy(CheckpointWriter& w, const Genealogy& g) {

@@ -5,14 +5,26 @@
 // and sample counters, the streamed summaries collected so far and the
 // convergence-monitor traces. The writer stages into `<path>.tmp` and
 // renames on commit, so a crash mid-write never clobbers the previous
-// snapshot.
+// snapshot. On commit the previous snapshot (when one exists) is kept as
+// `<path>.prev` until the new one is durable — pickResumeSnapshot() falls
+// back to it when the latest generation is corrupt.
 //
 // Format: little-endian host-native binary. Header = magic 'MPCK' (u32) +
-// format version (u32); the rest is a flat sequence of primitives written
-// and read in lockstep by the owning components (driver context, sampler
-// state, sink contents). Snapshots are not portable across architectures
-// with different endianness or double format — they are restart files, not
-// an interchange format.
+// format version (u32). Through v4 the rest is a flat sequence of
+// primitives written and read in lockstep by the owning components
+// (driver context, sampler state, sink contents). v5 wraps that same
+// primitive stream into named, CRC-32C-checksummed sections:
+//
+//   frame := marker 'SECT' (u32) | name (str) | payload length (u64)
+//          | crc32c(payload) (u32) | payload bytes
+//
+// Writers open sections with beginSection(); readers enter them with
+// enterSection(), which verifies the checksum before handing out a single
+// payload byte and names the damaged section on mismatch. Both calls are
+// no-ops on pre-v5 files, so owner read paths stay version-agnostic.
+// Snapshots are not portable across architectures with different
+// endianness or double format — they are restart files, not an
+// interchange format.
 #pragma once
 
 #include <cstdint>
@@ -29,7 +41,9 @@ class Genealogy;
 class Mt19937;
 class StructuredGenealogy;
 
-/// Corrupt, truncated, or incompatible snapshot file.
+/// Corrupt, truncated, or incompatible snapshot file; also raised by the
+/// writer on I/O failures (message carries the failing operation and
+/// strerror detail).
 class CheckpointError : public Error {
   public:
     explicit CheckpointError(const std::string& what)
@@ -52,17 +66,21 @@ class ResumeError : public CheckpointError {
 };
 
 inline constexpr std::uint32_t kCheckpointMagic = 0x4B43504Du;  // "MPCK"
-/// Current format: v4 adds the 'PSMC' section — particle-marginal MH
-/// (PMMH) sampler payloads (per-chain theta, logZ, genealogy, RNG stream,
-/// pass-seed counter and theta trace; src/smc/pmmh.h). v3 added
-/// deme-labelled (structured-coalescent) genealogy payloads — node demes
-/// and per-branch migration events. v2 snapshots carry per-locus payloads
-/// (genealogies, RNG streams, sinks, monitors) for multi-locus runs; v1 is
-/// the original single-locus layout. All older versions are still
-/// readable; the reader exposes the file's version so owners can branch
-/// on layout.
-inline constexpr std::uint32_t kCheckpointVersion = 4;
+/// Current format: v5 frames the payload into named sections, each
+/// guarded by a CRC-32C over its bytes, so single-bit corruption is
+/// detected and attributed before any state is parsed. v4 added the
+/// 'PSMC' section — particle-marginal MH (PMMH) sampler payloads
+/// (per-chain theta, logZ, genealogy, RNG stream, pass-seed counter and
+/// theta trace; src/smc/pmmh.h). v3 added deme-labelled
+/// (structured-coalescent) genealogy payloads — node demes and per-branch
+/// migration events. v2 snapshots carry per-locus payloads (genealogies,
+/// RNG streams, sinks, monitors) for multi-locus runs; v1 is the original
+/// single-locus layout. All older versions are still readable; the reader
+/// exposes the file's version so owners can branch on layout.
+inline constexpr std::uint32_t kCheckpointVersion = 5;
 inline constexpr std::uint32_t kCheckpointMinVersion = 1;
+/// Marker word opening every v5 section frame ("SECT").
+inline constexpr std::uint32_t kSectionMarker = 0x54434553u;
 
 class CheckpointWriter {
   public:
@@ -82,28 +100,47 @@ class CheckpointWriter {
     void str(const std::string& s);
     void doubles(std::span<const double> xs);
 
-    /// Flush and atomically rename the staging file onto `path`.
+    /// Start a named section: subsequent primitives are buffered and
+    /// flushed as one checksummed frame when the next section begins or
+    /// commit() runs. No-op when the writer's format version predates v5,
+    /// so owners call it unconditionally. Primitives written outside any
+    /// section (as the primitive-roundtrip tests do) go to the stream
+    /// unframed, exactly like pre-v5 files.
+    void beginSection(const std::string& name);
+
+    /// Flush and atomically rename the staging file onto `path`. When a
+    /// snapshot already exists at `path` it is preserved as `<path>.prev`
+    /// (two-generation retention) before the rename.
     void commit();
 
   private:
     void raw(const void* data, std::size_t bytes);
+    void rawToStream(const void* data, std::size_t bytes);
+    void flushSection();
+    [[noreturn]] void fail(const std::string& op, const std::string& target,
+                           int errnum);
 
     std::string path_;
     std::ofstream out_;
+    std::uint32_t version_ = kCheckpointVersion;
     bool committed_ = false;
+    bool inSection_ = false;
+    std::string sectionName_;
+    std::vector<char> section_;
 };
 
 class CheckpointReader {
   public:
     /// Opens `path` and validates the header. Throws CheckpointError when
-    /// the file is missing, truncated, or has the wrong magic or an
-    /// unsupported version (outside [kCheckpointMinVersion,
+    /// the file is missing, empty (a distinct message — the signature of an
+    /// interrupted or out-of-space write), truncated, or has the wrong
+    /// magic or an unsupported version (outside [kCheckpointMinVersion,
     /// kCheckpointVersion]).
     explicit CheckpointReader(const std::string& path);
 
     /// Format version stamped in the header (1 = single-locus layouts,
     /// 2 = per-locus payloads, 3 = structured-genealogy payloads,
-    /// 4 = PMMH 'PSMC' sections).
+    /// 4 = PMMH 'PSMC' sections, 5 = checksummed section frames).
     std::uint32_t version() const { return version_; }
 
     std::uint32_t u32();
@@ -112,22 +149,54 @@ class CheckpointReader {
     std::string str();
     std::vector<double> doubles();
 
-    /// Bytes left in the file. Length fields read from the snapshot are
-    /// validated against this before any allocation, so a corrupt length
-    /// word raises CheckpointError instead of a huge allocation.
+    /// Enter the next section frame, verifying its CRC-32C and that its
+    /// name matches `expected`. Throws CheckpointError naming the damaged
+    /// or mismatched section. No-op on pre-v5 files, so owner read paths
+    /// call it unconditionally; any unread tail of the previous section is
+    /// discarded.
+    void enterSection(const std::string& expected);
+
+    /// Advance to the next section frame, verify its CRC-32C, and position
+    /// the reader inside it; returns the section's name, or "" at
+    /// end-of-file (verifySnapshot's walk). Only meaningful on v5+ files.
+    std::string nextSection();
+
+    /// Bytes left in the current section (or in the file, outside any
+    /// section). Length fields read from the snapshot are validated
+    /// against this before any allocation, so a corrupt length word raises
+    /// CheckpointError instead of a huge allocation.
     std::uint64_t remaining();
     void requireRemaining(std::uint64_t bytes);
 
   private:
     void raw(void* data, std::size_t bytes);
+    void rawFromStream(void* data, std::size_t bytes);
 
+    std::string path_;
     std::ifstream in_;
     std::uint64_t fileSize_ = 0;
     std::uint32_t version_ = kCheckpointVersion;
+    bool inSection_ = false;
+    std::string sectionName_;
+    std::vector<char> section_;
+    std::size_t sectionPos_ = 0;
 };
 
 /// True when a snapshot file exists at `path`.
 bool checkpointExists(const std::string& path);
+
+/// Walk `path`'s section frames and verify every CRC without parsing any
+/// payload. Throws CheckpointError naming the first damaged section (or
+/// describing the structural fault). Pre-v5 files carry no checksums;
+/// verification succeeds after the header check alone. Returns the file's
+/// format version.
+std::uint32_t verifySnapshot(const std::string& path);
+
+/// Choose the snapshot generation to resume from: `path` when it
+/// verifies, else `<path>.prev` (with a stderr warning) when that
+/// verifies. Throws ResumeError when neither generation is usable,
+/// carrying both failure messages.
+std::string pickResumeSnapshot(const std::string& path);
 
 // Serialization helpers for the two composite types every sampler state
 // contains. Node times and tip names round-trip exactly, so a restored

@@ -1,14 +1,52 @@
 #include "mcmc/sampler.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "coalescent/structured.h"
+#include "core/numeric_guard.h"
+#include "core/supervisor.h"
 #include "mcmc/checkpoint.h"
 #include "par/kernel.h"
 #include "util/error.h"
+#include "util/failpoint.h"
 
 namespace mpcgs {
+namespace {
+
+/// Serial-section guardrail shared by both run orchestrators: checks the
+/// newest log-posterior of every chain in `monitor` after a tick. The
+/// mcmc.logpost fail point (evaluated once per call — deterministic tick
+/// counting) can poison chain 0's value or throw directly.
+void guardTickLogPosts(const SamplerNumericGuard& guard, const Sampler& sampler,
+                       const ConvergenceMonitor& monitor, std::uint64_t tick,
+                       std::uint32_t locus) {
+    if (!guard.enabled) return;
+    const auto hit = MPCGS_FAILPOINT("mcmc.logpost");
+    if (hit.fired() && hit.action != failpoint::Action::Nan)
+        throw InjectedFaultError("mcmc.logpost");
+    for (std::uint32_t c = 0; c < monitor.chainCount(); ++c) {
+        const auto& trace = monitor.trace(c);
+        if (trace.empty()) continue;
+        double v = trace.back();
+        if (c == 0 && hit.action == failpoint::Action::Nan)
+            v = std::numeric_limits<double>::quiet_NaN();
+        if (std::isfinite(v)) continue;
+        NumericFaultContext ctx;
+        ctx.where = "mcmc.logpost";
+        ctx.value = v;
+        ctx.theta = guard.theta;
+        ctx.seed = guard.seed;
+        ctx.tick = tick;
+        ctx.chain = c;
+        ctx.genealogy = genealogySummary(sampler.continuation());
+        ctx.detail = "phase: " + guard.phase + "\nlocus: " + std::to_string(locus);
+        raiseNumericFault(ctx);
+    }
+}
+
+}  // namespace
 
 void SampleSink::consume(const StructuredGenealogy& g, const SampleTag& tag) {
     consume(g.tree(), tag);
@@ -147,8 +185,19 @@ SamplerRunReport SamplerRun::execute(SampleSink& sink, ConvergenceMonitor& monit
         sinceCkpt = 0;
         cfg_.checkpoint(burnDone_, sampleDone_, stopped_);
     };
+    // Cooperative stop: polled at every tick boundary so an interrupt
+    // always lands on a consistent state; the forced final checkpoint
+    // makes `--resume` continue bitwise-identically.
+    const auto checkStop = [&](const char* where) {
+        if (!cfg_.stopRequested || !cfg_.stopRequested()) return;
+        maybeCheckpoint(true);
+        throw InterruptedError(std::string("stop requested during ") + where +
+                                   " — progress checkpointed at the tick boundary",
+                               static_cast<bool>(cfg_.checkpoint));
+    };
 
     while (burnDone_ < cfg_.burnInTicks) {
+        checkStop("burn-in");
         sampler_.tick(nullptr);
         ++burnDone_;
         maybeCheckpoint(burnDone_ == cfg_.burnInTicks);
@@ -163,8 +212,10 @@ SamplerRunReport SamplerRun::execute(SampleSink& sink, ConvergenceMonitor& monit
         cfg_.stopping.satisfied(monitor, &report.rhat, &report.ess);
     }
     while (!stopped_ && sampleDone_ < cfg_.sampleTicks) {
+        checkStop("sampling");
         sampler_.tick(&fanout);
         ++sampleDone_;
+        guardTickLogPosts(cfg_.numeric, sampler_, monitor, sampleDone_, 0);
         if (cfg_.stopping.enabled() && sampleDone_ % checkEvery == 0 &&
             cfg_.stopping.satisfied(monitor, &report.rhat, &report.ess)) {
             report.stoppedEarly = true;
@@ -253,6 +304,20 @@ MultiLocusReport MultiLocusRun::execute() {
         sinceCkpt = 0;
         cfg_.checkpoint(burnDone_, sampleDone_, stopped_);
     };
+    // Cooperative stop at round boundaries, in the serial section between
+    // parallel rounds — same contract as SamplerRun.
+    const auto checkStop = [&](const char* where) {
+        if (!cfg_.stopRequested || !cfg_.stopRequested()) return;
+        maybeCheckpoint(true);
+        throw InterruptedError(std::string("stop requested during ") + where +
+                                   " — progress checkpointed at the round boundary",
+                               static_cast<bool>(cfg_.checkpoint));
+    };
+    const auto guardRound = [&](std::uint64_t round) {
+        for (std::size_t l = 0; l < L; ++l)
+            guardTickLogPosts(cfg_.numeric, *slots_[l].sampler, *slots_[l].monitor,
+                              round, static_cast<std::uint32_t>(l));
+    };
 
     // The loci axis: one indivisible unit of pool work per locus and round.
     // With a single slot the sampler may own the pool internally, so the
@@ -265,6 +330,7 @@ MultiLocusReport MultiLocusRun::execute() {
     };
 
     while (burnDone_ < cfg_.burnInTicks) {
+        checkStop("burn-in");
         forEachLocus([&](std::size_t l) { slots_[l].sampler->tick(nullptr); });
         ++burnDone_;
         maybeCheckpoint(burnDone_ == cfg_.burnInTicks);
@@ -290,12 +356,15 @@ MultiLocusReport MultiLocusRun::execute() {
         return false;
     };
 
+    std::uint64_t round = 0;
     while (anyActive()) {
+        checkStop("sampling");
         forEachLocus([&](std::size_t l) {
             if (!locusActive(l)) return;
             slots_[l].sampler->tick(&tagged[l]);
             ++sampleDone_[l];
         });
+        guardRound(++round);
         // Serialized barrier section: per-locus stopping checks at each
         // locus's own cadence. A locus that satisfies its rule latches
         // stopped and freezes; the others keep sampling.

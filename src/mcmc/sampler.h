@@ -214,6 +214,19 @@ class Sampler {
     virtual void load(CheckpointReader& r) = 0;
 };
 
+/// Numeric-guardrail context shared by the run orchestrators: when
+/// enabled, the freshly-appended log-posteriors of every sampling tick are
+/// checked for finiteness in the serial section after the tick (never
+/// inside a parallel region), and a non-finite value dumps the offending
+/// chain state and raises NumericError (core/numeric_guard.h). theta and
+/// seed only label the fault dump.
+struct SamplerNumericGuard {
+    bool enabled = false;
+    double theta = 0.0;
+    std::uint64_t seed = 0;
+    std::string phase;  ///< extra dump context, e.g. "estimateTheta E-step"
+};
+
 /// What one sampling phase did.
 struct SamplerRunReport {
     std::size_t samples = 0;     ///< samples emitted (including pre-resume)
@@ -241,6 +254,13 @@ class SamplerRun {
         std::function<void(std::size_t burnDone, std::size_t sampleDone, bool stopped)>
             checkpoint;
         std::size_t checkpointInterval = 0;  ///< ticks between snapshots (0 = auto)
+        /// Polled at every tick boundary (RunSupervisor::stopCallback()).
+        /// When it returns true the run writes one final forced checkpoint
+        /// and raises InterruptedError; a later --resume continues
+        /// bitwise-identically to the uninterrupted run. Empty = no
+        /// cooperative stop.
+        std::function<bool()> stopRequested;
+        SamplerNumericGuard numeric;  ///< non-finite log-posterior guard
     };
 
     SamplerRun(Sampler& sampler, Config cfg);
@@ -327,6 +347,10 @@ class MultiLocusRun {
             checkpoint;
         std::size_t checkpointInterval = 0;  ///< rounds between snapshots (0 = auto)
         ThreadPool* pool = nullptr;          ///< loci-parallel axis (>= 2 slots)
+        /// Polled at every round boundary, in the serial section — same
+        /// contract as SamplerRun::Config::stopRequested.
+        std::function<bool()> stopRequested;
+        SamplerNumericGuard numeric;  ///< non-finite log-posterior guard
     };
 
     MultiLocusRun(std::vector<LocusSlot> slots, Config cfg);

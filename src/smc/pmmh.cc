@@ -1,10 +1,13 @@
 #include "smc/pmmh.h"
 
 #include <cmath>
+#include <limits>
 
+#include "core/numeric_guard.h"
 #include "mcmc/checkpoint.h"
 #include "rng/splitmix.h"
 #include "util/error.h"
+#include "util/failpoint.h"
 
 namespace mpcgs {
 
@@ -54,6 +57,8 @@ void PmmhSampler::stepChain(std::size_t c) {
         ch.logZ = 0.0;
         for (const SmcPassResult& p : passes) ch.logZ += p.logZ;
         ch.tree = passes.front().sampled;
+        ch.lastProposalLogZ = ch.logZ;
+        ch.lastProposalTheta = ch.theta;
         return;
     }
 
@@ -65,6 +70,8 @@ void PmmhSampler::stepChain(std::size_t c) {
     const auto passes = marginal_.passes(thetaNew, passSeed(c, ch.evals++), inner);
     double logZNew = 0.0;
     for (const SmcPassResult& p : passes) logZNew += p.logZ;
+    ch.lastProposalLogZ = logZNew;
+    ch.lastProposalTheta = thetaNew;
 
     // 1/theta prior + log-normal walk: prior ratio and proposal Jacobian
     // cancel, leaving the pseudo-marginal likelihood ratio.
@@ -101,6 +108,34 @@ void PmmhSampler::tick(SampleSink* sink) {
                 ch.trace.push_back(ch.theta);
             }
         }
+    }
+    // Serial guard after the parallel chain round: a non-finite logZhat is
+    // a numeric fault, not a silent rejection (the NaN-false acceptance
+    // comparison would otherwise swallow it without a trace). The
+    // pmmh.logz fail point poisons chain 0's diagnostic cell.
+    if (const auto hit = MPCGS_FAILPOINT("pmmh.logz"); hit.fired()) {
+        if (hit.action == failpoint::Action::Nan)
+            chains_.front().lastProposalLogZ = std::numeric_limits<double>::quiet_NaN();
+        else
+            throw InjectedFaultError("pmmh.logz");
+    }
+    for (std::size_t c = 0; c < chains_.size(); ++c) {
+        const Chain& ch = chains_[c];
+        if (std::isfinite(ch.lastProposalLogZ)) continue;
+        NumericFaultContext ctx;
+        ctx.where = "pmmh.logz";
+        ctx.value = ch.lastProposalLogZ;
+        ctx.theta = ch.lastProposalTheta;
+        ctx.seed = opts_.seed;
+        ctx.tick = sampleRounds_;
+        ctx.chain = static_cast<std::uint32_t>(c);
+        // The initialization block above always ran by this point, so
+        // every chain holds a valid genealogy.
+        ctx.genealogy = genealogySummary(ch.tree);
+        ctx.detail = "accepted theta: " + std::to_string(ch.theta) +
+                     "\naccepted logZ: " + std::to_string(ch.logZ) +
+                     "\nsmc passes run by this chain: " + std::to_string(ch.evals);
+        raiseNumericFault(ctx);
     }
     if (sink) ++sampleRounds_;
 }

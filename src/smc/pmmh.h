@@ -85,6 +85,14 @@ class PmmhSampler final : public Sampler {
         std::uint64_t steps = 0;     ///< MH transitions attempted
         std::uint64_t accepted = 0;
         std::vector<double> trace;
+        /// Last SMC marginal-likelihood estimate this chain computed (the
+        /// proposal's, whether or not it was accepted). Checked by the
+        /// numeric guard in the serial section after each tick — a NaN
+        /// logZhat would otherwise be silently rejected by the NaN-false
+        /// acceptance comparison and leave no trace. Transient diagnostic
+        /// state, not serialized.
+        double lastProposalLogZ = 0.0;
+        double lastProposalTheta = 0.0;
     };
 
     void stepChain(std::size_t c);

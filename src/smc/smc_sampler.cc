@@ -1,13 +1,16 @@
 #include "smc/smc_sampler.h"
 
 #include <cmath>
+#include <limits>
 #include <utility>
 
 #include "coalescent/prior.h"
+#include "core/numeric_guard.h"
 #include "par/kernel.h"
 #include "rng/splitmix.h"
 #include "smc/particle_cloud.h"
 #include "util/error.h"
+#include "util/failpoint.h"
 #include "util/logspace.h"
 
 namespace mpcgs {
@@ -101,8 +104,51 @@ SmcPassResult runSmcPass(const DataLikelihood& lik, double theta, const SmcOptio
 
         // Serial cloud-level bookkeeping: logZ += log(sum_i Wbar_i w_i).
         const std::span<double> logW = cloud.logWeights();
+        // Fail points live in this serial section only, so their
+        // evaluation counts (one per event) stay deterministic:
+        // smc.weight poisons one particle's increment, smc.collapse sinks
+        // the whole cloud (total degeneracy).
+        if (const auto hit = MPCGS_FAILPOINT("smc.weight"); hit.fired()) {
+            if (hit.action == failpoint::Action::Nan)
+                inc[0] = std::numeric_limits<double>::quiet_NaN();
+            else
+                throw InjectedFaultError("smc.weight");
+        }
+        if (const auto hit = MPCGS_FAILPOINT("smc.collapse"); hit.fired()) {
+            if (hit.action == failpoint::Action::Nan)
+                for (std::size_t p = 0; p < N; ++p)
+                    inc[p] = -std::numeric_limits<double>::infinity();
+            else
+                throw InjectedFaultError("smc.collapse");
+        }
         for (std::size_t p = 0; p < N; ++p) logW[p] += inc[p];
-        res.logZ += cloud.normalizeWeights();
+        const double stepLogZ = cloud.normalizeWeights();
+        res.logZ += stepLogZ;
+        if (!std::isfinite(stepLogZ)) {
+            // -inf = every weight collapsed to zero (total degeneracy);
+            // NaN = a non-finite importance weight. Either way the pass is
+            // unrecoverable — dump the cloud state and raise.
+            const bool collapse = stepLogZ == -std::numeric_limits<double>::infinity();
+            std::size_t finiteW = 0;
+            for (std::size_t p = 0; p < N; ++p)
+                if (std::isfinite(logW[p])) ++finiteW;
+            NumericFaultContext ctx;
+            ctx.where = collapse ? "smc.collapse" : "smc.weight";
+            ctx.value = stepLogZ;
+            ctx.theta = theta;
+            ctx.seed = passSeed;
+            ctx.tick = static_cast<std::uint64_t>(event);
+            ctx.detail =
+                "coalescence event: " + std::to_string(event) + " of " +
+                std::to_string(n - 1) + "\nparticles: " + std::to_string(N) +
+                "\nfinite weights after update: " + std::to_string(finiteW) +
+                "\nresamples so far: " + std::to_string(res.resamples) +
+                (collapse ? "\nhint: total ESS collapse — increase --particles or "
+                            "lower the ESS threshold"
+                          : "\nhint: a particle produced a non-finite importance "
+                            "weight — check the substitution model and theta");
+            raiseNumericFault(ctx);
+        }
 
         const double essFrac = cloud.ess() / static_cast<double>(N);
         if (essFrac < res.minEssFraction) res.minEssFraction = essFrac;

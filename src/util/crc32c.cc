@@ -1,0 +1,32 @@
+#include "util/crc32c.h"
+
+#include <array>
+
+namespace mpcgs {
+namespace {
+
+/// Byte-at-a-time table for the reflected Castagnoli polynomial
+/// (0x82F63B78 is 0x1EDC6F41 bit-reversed), built once at load.
+std::array<std::uint32_t, 256> makeTable() {
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t crc = i;
+        for (int bit = 0; bit < 8; ++bit)
+            crc = (crc >> 1) ^ ((crc & 1u) ? 0x82F63B78u : 0u);
+        table[i] = crc;
+    }
+    return table;
+}
+
+const std::array<std::uint32_t, 256> kTable = makeTable();
+
+}  // namespace
+
+std::uint32_t crc32c(const void* bytes, std::size_t n, std::uint32_t seed) {
+    const auto* p = static_cast<const unsigned char*>(bytes);
+    std::uint32_t crc = ~seed;
+    for (std::size_t i = 0; i < n; ++i) crc = (crc >> 8) ^ kTable[(crc ^ p[i]) & 0xFFu];
+    return ~crc;
+}
+
+}  // namespace mpcgs

@@ -1,0 +1,17 @@
+// CRC-32C (Castagnoli, polynomial 0x1EDC6F41) — the checksum guarding
+// checkpoint section payloads (format v5). Table-driven software
+// implementation: snapshot sections are small relative to the sampling
+// work between snapshots, so hardware CRC instructions are not worth a
+// runtime dispatch here.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mpcgs {
+
+/// CRC-32C of `bytes[0..n)`, continuing from `seed` (pass the previous
+/// call's result to checksum a buffer in pieces; start at 0).
+std::uint32_t crc32c(const void* bytes, std::size_t n, std::uint32_t seed = 0);
+
+}  // namespace mpcgs

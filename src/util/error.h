@@ -30,6 +30,16 @@ class ConfigError : public Error {
     explicit ConfigError(const std::string& what) : Error("config error: " + what) {}
 };
 
+/// Non-finite log-likelihood, importance weight, or degenerate particle
+/// cloud caught by a numeric guardrail (core/numeric_guard.h). The
+/// offending state is dumped to a diagnostic file before this is raised;
+/// the message names that file. Maps to the io/numeric exit-code taxonomy
+/// (kExitNumericFault) in the tools.
+class NumericError : public Error {
+  public:
+    explicit NumericError(const std::string& what) : Error("numeric fault: " + what) {}
+};
+
 /// Throw InvariantError when cond is false. Used for checks that must stay
 /// active in release builds (tree validity after proposals, etc.).
 inline void require(bool cond, const char* msg) {

@@ -1,0 +1,231 @@
+#include "util/failpoint.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <mutex>
+
+namespace mpcgs::failpoint {
+namespace {
+
+/// Every fail-point site compiled into the binary. configure() validates
+/// names against this list, and the fault-injection matrix test sweeps it,
+/// so adding a site without registering it here fails the tests.
+constexpr RegisteredPoint kRegistry[] = {
+    // Checkpoint writer I/O path.
+    {"checkpoint.open", Kind::Io},
+    {"checkpoint.write", Kind::Io},
+    {"checkpoint.fsync", Kind::Io},
+    {"checkpoint.rename", Kind::Io},
+    // Checkpoint reader path (resume).
+    {"checkpoint.read.open", Kind::Io},
+    {"checkpoint.read", Kind::Io},
+    // Numeric guardrail boundaries.
+    {"mcmc.logpost", Kind::Numeric},
+    {"smc.weight", Kind::Numeric},
+    {"smc.collapse", Kind::Numeric},
+    {"pmmh.logz", Kind::Numeric},
+    // Supervisor tick boundary: armed in tests to request a deterministic
+    // cooperative stop (stands in for a SIGTERM at that exact tick).
+    {"supervisor.stop", Kind::Io},
+};
+
+struct TriggerSpec {
+    enum class Mode : std::uint8_t { Off, Once, After, Every } mode = Mode::Off;
+    std::uint64_t param = 0;  ///< K for after(K), N for every(N)
+    Action action = Action::Off;
+    int errnum = 0;
+};
+
+struct PointState {
+    const RegisteredPoint* reg = nullptr;
+    TriggerSpec spec;
+    std::uint64_t evals = 0;
+};
+
+std::mutex gMutex;
+PointState gStates[std::size(kRegistry)];
+bool gInitialized = false;
+
+void initLocked() {
+    if (gInitialized) return;
+    for (std::size_t i = 0; i < std::size(kRegistry); ++i) gStates[i].reg = &kRegistry[i];
+    gInitialized = true;
+}
+
+PointState* findLocked(const std::string& name) {
+    initLocked();
+    for (PointState& s : gStates)
+        if (name == s.reg->name) return &s;
+    return nullptr;
+}
+
+void refreshArmedLocked() {
+    bool any = false;
+    for (const PointState& s : gStates) any |= s.spec.mode != TriggerSpec::Mode::Off;
+    detail::gAnyArmed.store(any, std::memory_order_relaxed);
+}
+
+int parseErrno(const std::string& text) {
+    if (text == "ENOSPC") return ENOSPC;
+    if (text == "EIO") return EIO;
+    if (text == "ENOENT") return ENOENT;
+    if (text == "EINTR") return EINTR;
+    if (text == "EACCES") return EACCES;
+    try {
+        return std::stoi(text);
+    } catch (...) {
+        throw ConfigError("failpoints: unknown errno '" + text + "'");
+    }
+}
+
+TriggerSpec parseClauseBody(const std::string& name, const std::string& body) {
+    // body = <trigger>[:<action>]
+    TriggerSpec spec;
+    const std::size_t colon = body.find(':');
+    const std::string trigger = body.substr(0, colon);
+    const std::string action =
+        colon == std::string::npos ? std::string("error") : body.substr(colon + 1);
+
+    const auto parseParam = [&](const std::string& t, const char* prefix) {
+        const std::size_t open = t.find('(');
+        const std::size_t close = t.rfind(')');
+        if (open == std::string::npos || close != t.size() - 1 || close <= open + 1)
+            throw ConfigError("failpoints: malformed trigger '" + t + "' for '" + name +
+                              "' (expected " + prefix + "(<count>))");
+        try {
+            return static_cast<std::uint64_t>(std::stoull(t.substr(open + 1, close - open - 1)));
+        } catch (...) {
+            throw ConfigError("failpoints: bad count in trigger '" + t + "' for '" + name + "'");
+        }
+    };
+
+    if (trigger == "off") {
+        spec.mode = TriggerSpec::Mode::Off;
+        return spec;
+    } else if (trigger == "once") {
+        spec.mode = TriggerSpec::Mode::Once;
+    } else if (trigger.rfind("after(", 0) == 0) {
+        spec.mode = TriggerSpec::Mode::After;
+        spec.param = parseParam(trigger, "after");
+    } else if (trigger.rfind("every(", 0) == 0) {
+        spec.mode = TriggerSpec::Mode::Every;
+        spec.param = parseParam(trigger, "every");
+        if (spec.param == 0)
+            throw ConfigError("failpoints: every(0) is meaningless for '" + name + "'");
+    } else {
+        throw ConfigError("failpoints: unknown trigger '" + trigger + "' for '" + name +
+                          "' (expected off | once | after(K) | every(N))");
+    }
+
+    if (action == "error") {
+        spec.action = Action::Error;
+    } else if (action.rfind("errno=", 0) == 0) {
+        spec.action = Action::Errno;
+        spec.errnum = parseErrno(action.substr(6));
+    } else if (action == "nan") {
+        spec.action = Action::Nan;
+    } else if (action == "abort") {
+        spec.action = Action::Abort;
+    } else {
+        throw ConfigError("failpoints: unknown action '" + action + "' for '" + name +
+                          "' (expected error | errno=<E> | nan | abort)");
+    }
+    return spec;
+}
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<bool> gAnyArmed{false};
+
+Hit evaluateSlow(const char* name) {
+    TriggerSpec firing;
+    {
+        std::lock_guard<std::mutex> lock(gMutex);
+        PointState* s = findLocked(name);
+        if (!s || s->spec.mode == TriggerSpec::Mode::Off) {
+            if (s) ++s->evals;
+            return Hit{};
+        }
+        const std::uint64_t n = ++s->evals;  // 1-based evaluation index
+        bool fire = false;
+        switch (s->spec.mode) {
+            case TriggerSpec::Mode::Off:
+                break;
+            case TriggerSpec::Mode::Once:
+                fire = n == 1;
+                break;
+            case TriggerSpec::Mode::After:
+                fire = n == s->spec.param + 1;
+                break;
+            case TriggerSpec::Mode::Every:
+                fire = n % s->spec.param == 0;
+                break;
+        }
+        if (!fire) return Hit{};
+        firing = s->spec;
+    }
+    if (firing.action == Action::Abort) std::abort();
+    return Hit{firing.action, firing.errnum};
+}
+
+}  // namespace detail
+
+void configure(const std::string& spec) {
+    std::lock_guard<std::mutex> lock(gMutex);
+    initLocked();
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t end = spec.find(';', pos);
+        if (end == std::string::npos) end = spec.size();
+        const std::string clause = spec.substr(pos, end - pos);
+        pos = end + 1;
+        if (clause.empty()) continue;
+        const std::size_t eq = clause.find('=');
+        // Careful: action errno=E also contains '='; the FIRST '=' splits
+        // name from body only when it precedes any ':'.
+        const std::size_t colon = clause.find(':');
+        if (eq == std::string::npos || (colon != std::string::npos && eq > colon))
+            throw ConfigError("failpoints: malformed clause '" + clause +
+                              "' (expected <name>=<trigger>[:<action>])");
+        const std::string name = clause.substr(0, eq);
+        PointState* s = findLocked(name);
+        if (!s) {
+            std::string known;
+            for (const RegisteredPoint& p : kRegistry)
+                known += std::string(known.empty() ? "" : ", ") + p.name;
+            throw ConfigError("failpoints: unknown fail point '" + name +
+                              "' (registered: " + known + ")");
+        }
+        s->spec = parseClauseBody(name, clause.substr(eq + 1));
+        s->evals = 0;
+    }
+    refreshArmedLocked();
+}
+
+void configureFromEnv() {
+    if (const char* env = std::getenv("MPCGS_FAILPOINTS"); env && *env) configure(env);
+}
+
+void reset() {
+    std::lock_guard<std::mutex> lock(gMutex);
+    initLocked();
+    for (PointState& s : gStates) {
+        s.spec = TriggerSpec{};
+        s.evals = 0;
+    }
+    refreshArmedLocked();
+}
+
+std::uint64_t evaluations(const std::string& name) {
+    std::lock_guard<std::mutex> lock(gMutex);
+    const PointState* s = findLocked(name);
+    return s ? s->evals : 0;
+}
+
+std::vector<RegisteredPoint> registeredPoints() {
+    return std::vector<RegisteredPoint>(std::begin(kRegistry), std::end(kRegistry));
+}
+
+}  // namespace mpcgs::failpoint

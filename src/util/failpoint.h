@@ -1,0 +1,119 @@
+// Deterministic fault-injection framework ("fail points").
+//
+// A fail point is a named site in the I/O or numeric hot path where a
+// fault can be injected on demand: an errno-style I/O failure, a thrown
+// error, a poisoned (NaN / -inf) numeric value, or a hard abort. Sites are
+// compiled into the binary permanently but cost a single relaxed atomic
+// load + branch when no fail point is armed, so production runs pay
+// nothing measurable.
+//
+// Activation comes from the MPCGS_FAILPOINTS environment variable or a
+// programmatic configure() call (the tools expose --failpoints). The spec
+// grammar, one clause per point, ';'-separated:
+//
+//   <name>=<trigger>[:<action>]
+//   trigger := off | once | after(K) | every(N)
+//   action  := error | errno=<ENOSPC|EIO|ENOENT|EINTR|number>
+//            | nan | abort
+//
+//   once      fire on the first evaluation only
+//   after(K)  fire exactly once, on evaluation K+1 (skip the first K)
+//   every(N)  fire on every Nth evaluation (N, 2N, ...)
+//
+// Evaluations are counted per point from process start (or the last
+// reset()), so an injected run is a deterministic function of the spec —
+// resumable and bisectable like any other run. Unknown point names are
+// rejected at configure time against the compile-time registry, so a typo
+// fails loudly instead of silently never firing.
+//
+// Site usage:
+//
+//   if (auto hit = MPCGS_FAILPOINT("checkpoint.write"); hit.fired())
+//       ...translate hit into the site's failure mode...
+//
+// I/O sites translate Action::Errno into the same typed error a real
+// syscall failure produces (message includes strerror); numeric sites
+// translate Action::Nan into a poisoned value that the numeric guardrails
+// must catch. Action::Abort calls std::abort() inside evaluate() itself —
+// the site never sees the hit.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace mpcgs {
+
+/// A fault injected through a fail point armed with action `error` (I/O
+/// sites may instead raise their own site-typed error, e.g.
+/// CheckpointError, so callers see the identical type a real fault
+/// produces).
+class InjectedFaultError : public Error {
+  public:
+    explicit InjectedFaultError(const std::string& what)
+        : Error("injected fault: " + what) {}
+};
+
+namespace failpoint {
+
+enum class Action : std::uint8_t { Off, Error, Errno, Nan, Abort };
+
+enum class Kind : std::uint8_t { Io, Numeric };
+
+/// Outcome of one fail-point evaluation.
+struct Hit {
+    Action action = Action::Off;
+    int errnum = 0;  ///< meaningful for Action::Errno
+
+    bool fired() const { return action != Action::Off; }
+};
+
+namespace detail {
+extern std::atomic<bool> gAnyArmed;
+Hit evaluateSlow(const char* name);
+}  // namespace detail
+
+/// Evaluate the fail point `name`: counts the evaluation and returns the
+/// armed action when the trigger fires. The fast path (nothing armed
+/// process-wide) is one relaxed load and a branch.
+inline Hit evaluate(const char* name) {
+    if (!detail::gAnyArmed.load(std::memory_order_relaxed)) return Hit{};
+    return detail::evaluateSlow(name);
+}
+
+/// Arm fail points from a spec string (see the grammar above). Clauses
+/// accumulate over earlier configure() calls; `name=off` disarms one
+/// point. Throws ConfigError on syntax errors or names missing from the
+/// registry.
+void configure(const std::string& spec);
+
+/// Arm from the MPCGS_FAILPOINTS environment variable (no-op when unset).
+/// Called once by the tools' mains before any estimator runs.
+void configureFromEnv();
+
+/// Disarm every point and zero all evaluation counters (tests).
+void reset();
+
+/// Number of times `name` has been evaluated since start/reset (tests).
+std::uint64_t evaluations(const std::string& name);
+
+/// One registry entry: the site's name and whether it is an I/O or a
+/// numeric injection point (the fault-injection matrix test derives the
+/// armed action from the kind).
+struct RegisteredPoint {
+    const char* name;
+    Kind kind;
+};
+
+/// The compile-time registry of every fail-point site in the binary.
+std::vector<RegisteredPoint> registeredPoints();
+
+}  // namespace failpoint
+}  // namespace mpcgs
+
+/// Site macro: evaluates to a failpoint::Hit. No-op branch when nothing is
+/// armed anywhere in the process.
+#define MPCGS_FAILPOINT(name) (::mpcgs::failpoint::evaluate(name))

@@ -143,6 +143,9 @@ TEST(CheckpointHardeningTest, ResumeFromTruncatedSnapshotRaisesResumeError) {
     dump(path, std::vector<char>(bytes.begin(),
                                  bytes.begin() + static_cast<std::ptrdiff_t>(
                                                      bytes.size() / 2)));
+    // Two-generation retention would rescue a truncated latest via .prev;
+    // remove it so this test exercises the no-generation-left path.
+    std::remove((path + ".prev").c_str());
     opts.resume = true;
     EXPECT_THROW(estimateTheta(aln, opts), ResumeError);
 
@@ -157,6 +160,132 @@ TEST(CheckpointHardeningTest, ResumeFromTruncatedSnapshotRaisesResumeError) {
         FAIL() << "config mismatch must stay fatal, not fall back";
     } catch (const ConfigError&) {
         // expected
+    }
+    std::remove(path.c_str());
+    std::remove((path + ".prev").c_str());
+}
+
+/// A realistic SECTIONED (v5) snapshot: two sections of mixed payloads.
+std::string writeSectionedSample(const std::string& name) {
+    const std::string path = tempPath(name);
+    Mt19937 rng(5);
+    const Genealogy g = simulateCoalescent(6, 1.0, rng);
+    CheckpointWriter w(path);
+    w.beginSection("alpha");
+    w.u64(42);
+    writeGenealogy(w, g);
+    w.beginSection("beta");
+    writeRng(w, rng);
+    w.f64(3.25);
+    w.commit();
+    return path;
+}
+
+/// Reload a writeSectionedSample snapshot through the full sectioned read
+/// path (header, frames, names, CRCs, payload parses).
+void readSectionedSample(const std::string& path) {
+    CheckpointReader r(path);
+    r.enterSection("alpha");
+    if (r.u64() != 42) throw CheckpointError("payload mismatch in 'alpha'");
+    readGenealogy(r);
+    r.enterSection("beta");
+    Mt19937 rng(1);
+    readRng(r, rng);
+    r.f64();
+}
+
+TEST(CheckpointHardeningTest, EverySingleByteFlipInAV5SnapshotIsDetected) {
+    const std::string path = writeSectionedSample("hardening_crc.mpck");
+    ASSERT_EQ(verifySnapshot(path), kCheckpointVersion);
+    EXPECT_NO_THROW(readSectionedSample(path));
+    const std::vector<char> bytes = slurp(path);
+
+    // Flip one byte at a time across the entire file. Wherever the flip
+    // lands — header, frame marker, section name, length word, stored CRC
+    // or payload — the sectioned reload must raise CheckpointError, never
+    // succeed silently and never crash.
+    for (std::size_t pos = 0; pos < bytes.size(); ++pos) {
+        std::vector<char> mutated = bytes;
+        mutated[pos] = static_cast<char>(mutated[pos] ^ 0x5A);
+        dump(path, mutated);
+        EXPECT_THROW(readSectionedSample(path), CheckpointError)
+            << "flip at byte " << pos << " went undetected";
+    }
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointHardeningTest, PayloadCorruptionIsReportedAsAChecksumMismatch) {
+    const std::string path = writeSectionedSample("hardening_crc_msg.mpck");
+    std::vector<char> bytes = slurp(path);
+    // Corrupt deep inside the first (largest) section's payload, well past
+    // the header and frame metadata.
+    const std::size_t pos = bytes.size() / 2;
+    bytes[pos] = static_cast<char>(bytes[pos] ^ 0xFF);
+    dump(path, bytes);
+    try {
+        verifySnapshot(path);
+        FAIL() << "payload corruption passed verification";
+    } catch (const CheckpointError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("checksum mismatch"), std::string::npos) << what;
+        EXPECT_NE(what.find("section '"), std::string::npos)
+            << "message should name the corrupt section: " << what;
+    }
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointHardeningTest, CorruptLatestFallsBackToThePrevGeneration) {
+    // Two commits to the same path leave the older generation at .prev.
+    const std::string path = writeSectionedSample("hardening_prev.mpck");
+    {
+        Mt19937 rng(5);
+        const Genealogy g = simulateCoalescent(6, 1.0, rng);
+        CheckpointWriter w(path);
+        w.beginSection("alpha");
+        w.u64(42);
+        writeGenealogy(w, g);
+        w.beginSection("beta");
+        writeRng(w, rng);
+        w.f64(3.25);
+        w.commit();
+    }
+    const std::string prev = path + ".prev";
+    ASSERT_TRUE(checkpointExists(prev)) << "second commit should rotate a .prev";
+    ASSERT_EQ(verifySnapshot(prev), kCheckpointVersion);
+
+    // Corrupt the LATEST generation only; selection must fall back to
+    // .prev with a warning on stderr, and the fallback must be readable.
+    std::vector<char> bytes = slurp(path);
+    bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0xFF);
+    dump(path, bytes);
+    ::testing::internal::CaptureStderr();
+    const std::string chosen = pickResumeSnapshot(path);
+    const std::string warning = ::testing::internal::GetCapturedStderr();
+    EXPECT_EQ(chosen, prev);
+    EXPECT_NE(warning.find("falling back"), std::string::npos) << warning;
+    EXPECT_NO_THROW(readSectionedSample(chosen));
+
+    // Both generations corrupt: ResumeError naming both failures.
+    std::vector<char> prevBytes = slurp(prev);
+    prevBytes[prevBytes.size() / 2] =
+        static_cast<char>(prevBytes[prevBytes.size() / 2] ^ 0xFF);
+    dump(prev, prevBytes);
+    EXPECT_THROW(pickResumeSnapshot(path), ResumeError);
+
+    std::remove(path.c_str());
+    std::remove(prev.c_str());
+}
+
+TEST(CheckpointHardeningTest, EmptySnapshotGetsADistinctMessage) {
+    // A 0-byte file is what an interrupted write or a full disk leaves
+    // behind; the message must say so rather than "not a snapshot".
+    const std::string path = tempPath("hardening_empty.mpck");
+    { std::ofstream out(path, std::ios::binary | std::ios::trunc); }
+    try {
+        CheckpointReader r(path);
+        FAIL() << "empty snapshot was accepted";
+    } catch (const CheckpointError& e) {
+        EXPECT_NE(std::string(e.what()).find("empty"), std::string::npos) << e.what();
     }
     std::remove(path.c_str());
 }

@@ -1,0 +1,143 @@
+// Fail-point framework semantics: spec grammar, trigger arithmetic
+// (once / after(K) / every(N)), errno actions, registry validation and
+// counter/reset behavior. These are the deterministic foundations the
+// fault-injection matrix test builds on.
+#include <cerrno>
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "util/failpoint.h"
+
+namespace mpcgs {
+namespace {
+
+using failpoint::Action;
+
+/// Every test arms and disarms through this fixture so a failing test
+/// cannot leak an armed point into the rest of the suite.
+class FailpointTest : public ::testing::Test {
+  protected:
+    void SetUp() override { failpoint::reset(); }
+    void TearDown() override { failpoint::reset(); }
+};
+
+TEST_F(FailpointTest, UnarmedPointNeverFires) {
+    for (int i = 0; i < 100; ++i) EXPECT_FALSE(MPCGS_FAILPOINT("checkpoint.write").fired());
+    // The fast path must not count evaluations (nothing is armed anywhere,
+    // so the slow path is never entered).
+    EXPECT_EQ(failpoint::evaluations("checkpoint.write"), 0u);
+}
+
+TEST_F(FailpointTest, OnceFiresExactlyOnFirstEvaluation) {
+    failpoint::configure("checkpoint.write=once");
+    EXPECT_TRUE(MPCGS_FAILPOINT("checkpoint.write").fired());
+    for (int i = 0; i < 10; ++i) EXPECT_FALSE(MPCGS_FAILPOINT("checkpoint.write").fired());
+    EXPECT_EQ(failpoint::evaluations("checkpoint.write"), 11u);
+}
+
+TEST_F(FailpointTest, AfterSkipsKThenFiresExactlyOnce) {
+    failpoint::configure("checkpoint.fsync=after(3)");
+    for (int i = 0; i < 3; ++i)
+        EXPECT_FALSE(MPCGS_FAILPOINT("checkpoint.fsync").fired()) << "evaluation " << i + 1;
+    EXPECT_TRUE(MPCGS_FAILPOINT("checkpoint.fsync").fired()) << "evaluation 4 must fire";
+    for (int i = 0; i < 10; ++i) EXPECT_FALSE(MPCGS_FAILPOINT("checkpoint.fsync").fired());
+}
+
+TEST_F(FailpointTest, EveryFiresOnEveryNthEvaluation) {
+    failpoint::configure("mcmc.logpost=every(3)");
+    int fires = 0;
+    for (int i = 1; i <= 12; ++i) {
+        const bool fired = MPCGS_FAILPOINT("mcmc.logpost").fired();
+        EXPECT_EQ(fired, i % 3 == 0) << "evaluation " << i;
+        fires += fired ? 1 : 0;
+    }
+    EXPECT_EQ(fires, 4);
+}
+
+TEST_F(FailpointTest, DefaultActionIsErrorAndErrnoCarriesTheNumber) {
+    failpoint::configure("checkpoint.write=once");
+    EXPECT_EQ(MPCGS_FAILPOINT("checkpoint.write").action, Action::Error);
+
+    failpoint::configure("checkpoint.fsync=once:errno=ENOSPC");
+    const auto hit = MPCGS_FAILPOINT("checkpoint.fsync");
+    EXPECT_EQ(hit.action, Action::Errno);
+    EXPECT_EQ(hit.errnum, ENOSPC);
+
+    failpoint::configure("checkpoint.rename=once:errno=13");
+    EXPECT_EQ(MPCGS_FAILPOINT("checkpoint.rename").errnum, 13);
+
+    failpoint::configure("smc.weight=once:nan");
+    EXPECT_EQ(MPCGS_FAILPOINT("smc.weight").action, Action::Nan);
+}
+
+TEST_F(FailpointTest, OffDisarmsASinglePoint) {
+    failpoint::configure("checkpoint.write=every(1);checkpoint.fsync=every(1)");
+    EXPECT_TRUE(MPCGS_FAILPOINT("checkpoint.write").fired());
+    failpoint::configure("checkpoint.write=off");
+    EXPECT_FALSE(MPCGS_FAILPOINT("checkpoint.write").fired());
+    // The other point stays armed: off is per-point, not global.
+    EXPECT_TRUE(MPCGS_FAILPOINT("checkpoint.fsync").fired());
+}
+
+TEST_F(FailpointTest, UnknownNameIsRejectedAtConfigureTime) {
+    EXPECT_THROW(failpoint::configure("no.such.point=once"), ConfigError);
+    // The message should list the registry so a typo is self-diagnosing.
+    try {
+        failpoint::configure("checkpoint.wrte=once");
+        FAIL() << "typo accepted";
+    } catch (const ConfigError& e) {
+        EXPECT_NE(std::string(e.what()).find("checkpoint.write"), std::string::npos)
+            << "registry listing missing from: " << e.what();
+    }
+}
+
+TEST_F(FailpointTest, SyntaxErrorsAreRejected) {
+    EXPECT_THROW(failpoint::configure("checkpoint.write"), ConfigError);
+    EXPECT_THROW(failpoint::configure("checkpoint.write=bogus"), ConfigError);
+    EXPECT_THROW(failpoint::configure("checkpoint.write=after()"), ConfigError);
+    EXPECT_THROW(failpoint::configure("checkpoint.write=every(0)"), ConfigError);
+    EXPECT_THROW(failpoint::configure("checkpoint.write=once:errno=EBOGUS"), ConfigError);
+}
+
+TEST_F(FailpointTest, ConfigureFromEnvArmsAndEmptyEnvIsANoop) {
+    ASSERT_EQ(setenv("MPCGS_FAILPOINTS", "checkpoint.read=once", 1), 0);
+    failpoint::configureFromEnv();
+    EXPECT_TRUE(MPCGS_FAILPOINT("checkpoint.read").fired());
+    ASSERT_EQ(unsetenv("MPCGS_FAILPOINTS"), 0);
+    failpoint::reset();
+    failpoint::configureFromEnv();
+    EXPECT_FALSE(MPCGS_FAILPOINT("checkpoint.read").fired());
+}
+
+TEST_F(FailpointTest, ResetZeroesCountersAndDisarms) {
+    failpoint::configure("checkpoint.write=after(2)");
+    (void)MPCGS_FAILPOINT("checkpoint.write");
+    (void)MPCGS_FAILPOINT("checkpoint.write");
+    failpoint::reset();
+    EXPECT_EQ(failpoint::evaluations("checkpoint.write"), 0u);
+    // Re-arming after reset starts the count from scratch: the third
+    // overall evaluation would have fired pre-reset.
+    failpoint::configure("checkpoint.write=after(2)");
+    EXPECT_FALSE(MPCGS_FAILPOINT("checkpoint.write").fired());
+}
+
+TEST_F(FailpointTest, RegistryCoversTheDocumentedSites) {
+    const auto points = failpoint::registeredPoints();
+    EXPECT_GE(points.size(), 10u);
+    const auto has = [&](const char* name) {
+        for (const auto& p : points)
+            if (std::string(p.name) == name) return true;
+        return false;
+    };
+    for (const char* name : {"checkpoint.open", "checkpoint.write", "checkpoint.fsync",
+                             "checkpoint.rename", "checkpoint.read.open", "checkpoint.read",
+                             "mcmc.logpost", "smc.weight", "smc.collapse", "pmmh.logz",
+                             "supervisor.stop"})
+        EXPECT_TRUE(has(name)) << "registry lost site " << name;
+}
+
+}  // namespace
+}  // namespace mpcgs

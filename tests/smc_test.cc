@@ -4,7 +4,7 @@
 // thread-count invariance of logZ and of a full PMMH run, kill+resume of
 // PMMH being bitwise-identical, scheme cross-agreement, the
 // SmcThetaLikelihood curve behaving as a likelihood (maximizer near the
-// data's information), and checkpoint format v4 with v1-v3 read-compat.
+// data's information), and checkpoint format v5 with v1-v4 read-compat.
 #include "smc/smc_sampler.h"
 
 #include <cmath>
@@ -391,10 +391,13 @@ TEST(PmmhTest, ResumeWithIncompatibleConfigurationIsRejected) {
     EXPECT_THROW(runPmmh(ds, other), ConfigError);
 
     // Unreadable snapshots raise ResumeError (fresh-run fallback signal).
+    // Two-generation retention would rescue a corrupt latest via .prev,
+    // so drop that generation first.
     {
         std::ofstream f(path, std::ios::binary | std::ios::trunc);
         f << "garbage";
     }
+    std::remove((path + ".prev").c_str());
     PmmhEstimateOptions broken = opts;
     broken.resume = true;
     EXPECT_THROW(runPmmh(ds, broken), ResumeError);
@@ -426,12 +429,12 @@ TEST(PmmhTest, MultiLocusPooledPosteriorCoversTheTruth) {
 
 // --- checkpoint format -------------------------------------------------
 
-TEST(SmcCheckpointTest, FormatIsV4AndOlderVersionsStillLoad) {
-    EXPECT_EQ(kCheckpointVersion, 4u);
+TEST(SmcCheckpointTest, FormatIsV5AndOlderVersionsStillLoad) {
+    EXPECT_EQ(kCheckpointVersion, 5u);
     EXPECT_EQ(kCheckpointMinVersion, 1u);
-    // v1-v3 files (as written by earlier releases) must still open and
-    // read; only v5+ is rejected.
-    for (const std::uint32_t v : {1u, 2u, 3u}) {
+    // v1-v4 files (as written by earlier releases) must still open and
+    // read; only v6+ is rejected.
+    for (const std::uint32_t v : {1u, 2u, 3u, 4u}) {
         const std::string path = tempPath("smc_v" + std::to_string(v) + ".mpck");
         {
             CheckpointWriter w(path, v);
@@ -469,7 +472,7 @@ TEST(SmcCheckpointTest, PmmhSnapshotSectionRoundTripsThroughTheSampler) {
     PmmhSampler b(pooled, 1.0, po);
     {
         CheckpointReader r(path);
-        EXPECT_EQ(r.version(), 4u);
+        EXPECT_EQ(r.version(), kCheckpointVersion);
         b.load(r);
     }
     // Continue both; the continuation must be bitwise identical.

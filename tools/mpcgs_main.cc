@@ -10,14 +10,17 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "core/driver.h"
 #include "core/smc_estimator.h"
 #include "core/structured_estimator.h"
+#include "core/supervisor.h"
 #include "core/support_interval.h"
 #include "mcmc/checkpoint.h"
 #include "seq/dataset.h"
 #include "util/build_info.h"
+#include "util/failpoint.h"
 #include "util/options.h"
 #include "util/timer.h"
 
@@ -51,8 +54,16 @@ void usage(const char* prog) {
                  "  --checkpoint-interval T  ticks between snapshots (default: auto)\n"
                  "  --resume           continue from the snapshot at --checkpoint FILE\n"
                  "                     (an unreadable snapshot falls back to a fresh run)\n"
+                 "  --resume-policy P  strict | fallback (default): strict exits with code 4\n"
+                 "                     instead of restarting when the snapshot is unreadable\n"
+                 "  --max-wall-time S  checkpoint and stop cleanly (exit 3) after S seconds\n"
+                 "  --failpoints SPEC  arm fault-injection points, e.g.\n"
+                 "                     'checkpoint.fsync=once:errno=ENOSPC;mcmc.logpost=after(3)'\n"
+                 "                     (also read from $MPCGS_FAILPOINTS)\n"
                  "  --print-config     print build type, SIMD width, git describe and the\n"
                  "                     thread default, then exit\n"
+                 "exit codes: 0 ok, 1 error, 2 usage, 3 interrupted (checkpointed),\n"
+                 "            4 resume failed (strict), 5 numeric fault, 6 checkpoint I/O\n"
                  "sequential Monte Carlo (--algo smc|pmmh):\n"
                  "  --particles N      particles per cloud (default 1024 smc, 256 pmmh)\n"
                  "  --resampling R     multinomial | stratified | systematic (default) |\n"
@@ -79,21 +90,32 @@ void usage(const char* prog) {
 /// fail loudly — silently discarding a healthy snapshot would be worse
 /// than stopping.
 template <class Run>
-auto withResumeFallback(bool& resumeFlag, Run&& run) {
+auto withResumeFallback(bool& resumeFlag, bool strict, Run&& run) {
     try {
         return run();
     } catch (const mpcgs::ResumeError& e) {
-        if (!resumeFlag) throw;
+        // --resume-policy strict: an unreadable snapshot is fatal (exit 4)
+        // instead of silently costing the whole run again.
+        if (!resumeFlag || strict) throw;
         std::fprintf(stderr, "mpcgs: cannot resume — %s; starting fresh\n", e.what());
         resumeFlag = false;
         return run();
     }
 }
 
+bool strictResumePolicy(const mpcgs::Options& opts) {
+    const std::string policy = opts.get("resume-policy", "fallback");
+    if (policy != "strict" && policy != "fallback")
+        throw mpcgs::ConfigError("unknown --resume-policy '" + policy +
+                                 "' (expected strict|fallback)");
+    return policy == "strict";
+}
+
 /// The structured (two-population) pipeline: locus 0's alignment with its
 /// per-sequence deme assignment, EM over (theta_1, theta_2, M_12, M_21).
 int runStructured(const mpcgs::Dataset& ds, const mpcgs::Options& opts, double theta0,
-                  mpcgs::ThreadPool& pool, unsigned threads) {
+                  mpcgs::ThreadPool& pool, unsigned threads,
+                  const mpcgs::RunSupervisor* supervisor) {
     using namespace mpcgs;
     const long long populations = opts.getInt("populations", 0);
     if (populations != 2) {
@@ -142,6 +164,7 @@ int runStructured(const mpcgs::Dataset& ds, const mpcgs::Options& opts, double t
     so.checkpointIntervalTicks =
         static_cast<std::size_t>(opts.getInt("checkpoint-interval", 0));
     so.resume = opts.getBool("resume", false);
+    so.supervisor = supervisor;
     validateStructuredOptions(so);
 
     int inDeme0 = 0;
@@ -153,7 +176,7 @@ int runStructured(const mpcgs::Dataset& ds, const mpcgs::Options& opts, double t
                 ds.populationNames()[1].c_str(), locus.populations.size() - inDeme0,
                 theta0, threads);
 
-    const StructuredResult res = withResumeFallback(so.resume, [&] {
+    const StructuredResult res = withResumeFallback(so.resume, strictResumePolicy(opts), [&] {
         return estimateStructured(locus.alignment, locus.populations, so, &pool);
     });
 
@@ -186,14 +209,15 @@ int runStructured(const mpcgs::Dataset& ds, const mpcgs::Options& opts, double t
 /// --algo smc: maximize the pooled SMC marginal likelihood log Zhat(theta)
 /// directly (no EM loop — the curve itself is the estimator).
 int runSmcAlgo(const mpcgs::Dataset& ds, const mpcgs::Options& opts, double theta0,
-               mpcgs::ThreadPool& pool, unsigned threads) {
+               mpcgs::ThreadPool& pool, unsigned threads,
+               const mpcgs::RunSupervisor* supervisor) {
     using namespace mpcgs;
-    // One-shot curve maximization: no chains, no EM loop, no snapshots.
-    // Flag silently-dropped options instead of letting the user believe
-    // they took effect (the structured path's convention).
+    // One-shot curve maximization: no chains, no EM loop. Flag
+    // silently-dropped options instead of letting the user believe they
+    // took effect (the structured path's convention).
     for (const char* flag : {"strategy", "samples", "em", "chains", "proposals",
                              "set-samples", "cached-baseline", "stop-rhat", "stop-ess",
-                             "checkpoint", "checkpoint-interval", "resume", "pmmh-sigma"})
+                             "pmmh-sigma"})
         if (opts.has(flag))
             std::fprintf(stderr, "mpcgs: note — --%s has no effect with --algo smc\n",
                          flag);
@@ -205,12 +229,18 @@ int runSmcAlgo(const mpcgs::Dataset& ds, const mpcgs::Options& opts, double thet
     so.seed = static_cast<std::uint64_t>(opts.getInt("seed", 20160408));
     so.substModel = opts.get("model", "F81");
     if (opts.has("curve")) so.curvePoints = 81;
+    so.checkpointPath = opts.get("checkpoint", "");
+    so.checkpointIntervalEvals =
+        static_cast<std::size_t>(opts.getInt("checkpoint-interval", 0));
+    so.resume = opts.getBool("resume", false);
+    so.supervisor = supervisor;
 
     std::printf("mpcgs smc: %zu loci, %zu particles, %s resampling, theta0=%.4g, "
                 "threads=%u\n",
                 ds.locusCount(), so.smc.particles,
                 resamplingSchemeName(so.smc.scheme).c_str(), theta0, threads);
-    const SmcEstimateResult res = estimateThetaSmc(ds, so, &pool);
+    const SmcEstimateResult res = withResumeFallback(
+        so.resume, strictResumePolicy(opts), [&] { return estimateThetaSmc(ds, so, &pool); });
     std::printf("SMC theta estimate: %.6g  (pooled log marginal likelihood %.4g, %s)\n",
                 res.theta, res.logZAtMax, formatDuration(res.totalSeconds).c_str());
     std::printf("approx. 95%% support interval: [%.6g, %.6g]%s\n", res.support.lower,
@@ -230,7 +260,8 @@ int runSmcAlgo(const mpcgs::Dataset& ds, const mpcgs::Options& opts, double thet
 /// unified sampler runtime (parallel chains, convergence stopping,
 /// checkpoint/resume).
 int runPmmhAlgo(const mpcgs::Dataset& ds, const mpcgs::Options& opts, double theta0,
-                mpcgs::ThreadPool& pool, unsigned threads) {
+                mpcgs::ThreadPool& pool, unsigned threads,
+                const mpcgs::RunSupervisor* supervisor) {
     using namespace mpcgs;
     for (const char* flag :
          {"strategy", "em", "proposals", "set-samples", "cached-baseline", "curve"})
@@ -253,13 +284,14 @@ int runPmmhAlgo(const mpcgs::Dataset& ds, const mpcgs::Options& opts, double the
     po.checkpointIntervalTicks =
         static_cast<std::size_t>(opts.getInt("checkpoint-interval", 0));
     po.resume = opts.getBool("resume", false);
+    po.supervisor = supervisor;
 
     std::printf("mpcgs pmmh: %zu loci, %zu chains x %zu particles, %s resampling, "
                 "theta0=%.4g, threads=%u\n",
                 ds.locusCount(), po.pmmh.chains, po.pmmh.smc.particles,
                 resamplingSchemeName(po.pmmh.smc.scheme).c_str(), theta0, threads);
-    const PmmhEstimateResult res =
-        withResumeFallback(po.resume, [&] { return runPmmh(ds, po, &pool); });
+    const PmmhEstimateResult res = withResumeFallback(
+        po.resume, strictResumePolicy(opts), [&] { return runPmmh(ds, po, &pool); });
     std::printf("PMMH posterior over theta (%zu samples, accept rate %.2f, %s)%s:\n",
                 res.samples, res.acceptRate, formatDuration(res.totalSeconds).c_str(),
                 res.stoppedEarly ? "  [converged early]" : "");
@@ -288,7 +320,13 @@ int main(int argc, char** argv) {
         return 2;
     }
 
+    std::unique_ptr<RunSupervisor> supervisor;
     try {
+        // Fault injection arms before anything can fail: the env var first,
+        // then --failpoints (later specs override earlier ones per point).
+        failpoint::configureFromEnv();
+        if (const auto spec = opts.get("failpoints")) failpoint::configure(*spec);
+
         MpcgsOptions mo;
         mo.theta0 = std::stod(opts.positional().back());
         mo.samplesPerIteration = static_cast<std::size_t>(opts.getInt("samples", 4000));
@@ -364,10 +402,20 @@ int main(int argc, char** argv) {
             static_cast<unsigned>(opts.getInt("threads", hardwareThreads()));
         ThreadPool pool(threads);
 
+        // One supervisor per run: SIGTERM/SIGINT and --max-wall-time feed
+        // the cooperative stop flag every estimator polls at tick and EM
+        // boundaries (checkpoint, then exit 3).
+        RunSupervisor::Config svCfg;
+        svCfg.maxWallSeconds = opts.getDouble("max-wall-time", 0.0);
+        supervisor = std::make_unique<RunSupervisor>(svCfg);
+        mo.supervisor = supervisor.get();
+
         if (opts.has("populations"))
-            return runStructured(ds, opts, mo.theta0, pool, threads);
-        if (algo == "smc") return runSmcAlgo(ds, opts, mo.theta0, pool, threads);
-        if (algo == "pmmh") return runPmmhAlgo(ds, opts, mo.theta0, pool, threads);
+            return runStructured(ds, opts, mo.theta0, pool, threads, supervisor.get());
+        if (algo == "smc")
+            return runSmcAlgo(ds, opts, mo.theta0, pool, threads, supervisor.get());
+        if (algo == "pmmh")
+            return runPmmhAlgo(ds, opts, mo.theta0, pool, threads, supervisor.get());
 
         std::printf("mpcgs: %zu loci, %zu total sites, theta0=%.4g, strategy=%s, threads=%u\n",
                     ds.locusCount(), ds.totalSites(), mo.theta0, strat.c_str(), threads);
@@ -381,8 +429,8 @@ int main(int argc, char** argv) {
                         rate.c_str());
         }
 
-        const MpcgsResult res =
-            withResumeFallback(mo.resume, [&] { return estimateTheta(ds, mo, &pool); });
+        const MpcgsResult res = withResumeFallback(
+            mo.resume, strictResumePolicy(opts), [&] { return estimateTheta(ds, mo, &pool); });
 
         for (std::size_t i = 0; i < res.history.size(); ++i) {
             const auto& h = res.history[i];
@@ -416,8 +464,17 @@ int main(int argc, char** argv) {
             std::printf("pooled likelihood curve written to %s\n", curveFile->c_str());
         }
         return 0;
+    } catch (const InterruptedError& e) {
+        const std::string reason = supervisor ? supervisor->stopReason() : "";
+        std::fprintf(stderr, "mpcgs: %s%s%s%s\n", e.what(), reason.empty() ? "" : " (",
+                     reason.c_str(), reason.empty() ? "" : ")");
+        if (e.checkpointWritten())
+            std::fprintf(stderr,
+                         "mpcgs: a final snapshot was written — rerun with --resume to "
+                         "continue from it\n");
+        return kExitInterrupted;
     } catch (const std::exception& e) {
         std::fprintf(stderr, "mpcgs: %s\n", e.what());
-        return 1;
+        return exitCodeFor(e);
     }
 }

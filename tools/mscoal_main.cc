@@ -7,9 +7,11 @@
 #include <iostream>
 
 #include "coalescent/simulator.h"
+#include "core/supervisor.h"
 #include "phylo/newick.h"
 #include "rng/mt19937.h"
 #include "util/build_info.h"
+#include "util/failpoint.h"
 #include "util/options.h"
 
 int main(int argc, char** argv) {
@@ -24,6 +26,7 @@ int main(int argc, char** argv) {
         return 2;
     }
     try {
+        failpoint::configureFromEnv();
         const int n = std::stoi(opts.positional()[0]);
         const double theta = opts.getDouble("theta", 1.0);
         const auto reps = opts.getInt("reps", 1);
@@ -35,6 +38,6 @@ int main(int argc, char** argv) {
         return 0;
     } catch (const std::exception& e) {
         std::fprintf(stderr, "mscoal: %s\n", e.what());
-        return 1;
+        return exitCodeFor(e);
     }
 }

@@ -37,8 +37,10 @@
 #include "seq/phylip.h"
 #include "seq/seqgen.h"
 #include "seq/subst_model.h"
+#include "core/supervisor.h"
 #include "util/build_info.h"
 #include "util/error.h"
+#include "util/failpoint.h"
 #include "util/options.h"
 
 namespace {
@@ -150,6 +152,7 @@ int main(int argc, char** argv) {
         return 0;
     }
     try {
+        failpoint::configureFromEnv();
         const std::string modelName = opts.get("model", "F84");
         const double kappa = opts.getDouble("kappa", 2.0);
         SeqGenOptions so;
@@ -224,6 +227,6 @@ int main(int argc, char** argv) {
         return 0;
     } catch (const std::exception& e) {
         std::fprintf(stderr, "seqgen: %s\n", e.what());
-        return 1;
+        return exitCodeFor(e);
     }
 }
