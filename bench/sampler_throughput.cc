@@ -3,14 +3,26 @@
 // BENCH_mcmc.json (snapshot committed under bench/) so successive PRs can
 // track the sampling-throughput trajectory next to BENCH_likelihood.json.
 //
+// Every row of a strategy's sweep runs the SAME workload (fixed ensemble
+// size), so the thread column is a true scaling curve. The earlier
+// revision coupled chains = threads for the ensemble strategies, which
+// made the 8-thread row an 8x-larger job and read as a slowdown.
+//
 //   $ ./sampler_throughput [--samples N] [--seqs n] [--length L] [--paper-scale]
+//                          [--require-scaling PCT]
+//
+// --require-scaling PCT exits 1 if any strategy's widest-pool rate falls
+// below PCT% of its 1-thread rate (the CI regression gate against nominal
+// parallelism).
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "bench/workload.h"
+#include "util/build_info.h"
 #include "util/table.h"
 #include "util/timer.h"
 
@@ -35,6 +47,7 @@ int main(int argc, char** argv) {
     const std::size_t length = static_cast<std::size_t>(cli.getInt("length", 300));
     const std::size_t samples =
         static_cast<std::size_t>(cli.getInt("samples", cfg.paperScale ? 24000 : 4000));
+    const long requireScaling = cli.getInt("require-scaling", 0);
 
     printHeader("sampler runtime throughput (samples/sec per strategy x threads)");
     const Alignment data = makeDataset(nSeq, length, 1.0, 17);
@@ -51,10 +64,6 @@ int main(int argc, char** argv) {
     std::vector<Row> rows;
     Table table({"strategy", "threads", "time (s)", "samples/sec"});
     for (const auto& [name, strategy] : strategies) {
-        // Pool widths beyond the hardware are oversubscribed but still
-        // measured; note that the multichain rows couple the ensemble size
-        // to the thread count (chains = P = threads, the §3 configuration),
-        // so those rows are different workloads, not replicas.
         for (const unsigned threads : {1u, 2u, 4u, 8u}) {
             // The serial baseline gains nothing from extra workers; its
             // sweep is collapsed to the single-thread row.
@@ -68,7 +77,10 @@ int main(int argc, char** argv) {
             opts.strategy = strategy;
             opts.gmhProposals = 32;
             opts.gmhSamplesPerSet = 32;
-            opts.chains = threads;
+            // Fixed ensemble sizes independent of the pool width: the
+            // multichain ensemble and the MC^3 ladder are part of the
+            // workload, not of the execution resources.
+            opts.chains = strategy == Strategy::HeatedMh ? 4 : 8;
 
             ThreadPool pool(threads);
             const MpcgsResult res = estimateTheta(data, opts, &pool);
@@ -83,8 +95,10 @@ int main(int argc, char** argv) {
 
     std::ofstream json("BENCH_mcmc.json");
     json << "{\n  \"benchmark\": \"sampler_throughput\",\n";
+    json << "  \"provenance\": " << buildProvenanceJson() << ",\n";
     json << "  \"config\": {\"sequences\": " << nSeq << ", \"length\": " << length
-         << ", \"samples\": " << samples << "},\n  \"results\": [\n";
+         << ", \"samples\": " << samples
+         << ", \"chains\": {\"multichain\": 8, \"heated\": 4}},\n  \"results\": [\n";
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const Row& r = rows[i];
         json << "    {\"strategy\": \"" << r.strategy << "\", \"threads\": " << r.threads
@@ -94,5 +108,32 @@ int main(int argc, char** argv) {
     }
     json << "  ]\n}\n";
     std::printf("\nwrote BENCH_mcmc.json (%zu rows)\n", rows.size());
+
+    if (requireScaling > 0) {
+        // Regression gate: the widest pool must reach at least PCT% of the
+        // 1-thread rate for every multi-row strategy (slack absorbs runner
+        // noise; anything below it means parallelism went nominal again).
+        std::map<std::string, double> rate1, rateMax;
+        std::map<std::string, unsigned> widest;
+        for (const Row& r : rows) {
+            if (r.threads == 1) rate1[r.strategy] = r.samplesPerSec;
+            if (r.threads >= widest[r.strategy]) {
+                widest[r.strategy] = r.threads;
+                rateMax[r.strategy] = r.samplesPerSec;
+            }
+        }
+        bool ok = true;
+        for (const auto& [name, r1] : rate1) {
+            if (widest[name] == 1) continue;
+            const double floor = r1 * static_cast<double>(requireScaling) / 100.0;
+            const bool pass = rateMax[name] >= floor;
+            std::printf("scaling gate: %-10s %u-thread %.0f/s vs 1-thread %.0f/s "
+                        "(floor %.0f/s) %s\n",
+                        name.c_str(), widest[name], rateMax[name], r1, floor,
+                        pass ? "PASS" : "FAIL");
+            ok = ok && pass;
+        }
+        if (!ok) return 1;
+    }
     return 0;
 }

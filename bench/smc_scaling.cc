@@ -8,6 +8,11 @@
 // under bench/) with build provenance.
 //
 //   $ ./smc_scaling [--particles N] [--seqs n] [--length L] [--paper]
+//                   [--require-scaling PCT]
+//
+// --require-scaling PCT exits 1 if the widest pool's throughput falls
+// below PCT% of the 1-thread rate for any particle count (the CI
+// regression gate against nominal parallelism).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -47,6 +52,7 @@ int main(int argc, char** argv) {
     const std::size_t length = static_cast<std::size_t>(cli.getInt("length", 300));
     const std::size_t maxParticles =
         static_cast<std::size_t>(cli.getInt("particles", paper ? 8192 : 2048));
+    const long requireScaling = cli.getInt("require-scaling", 0);
 
     printHeader("SMC scaling (one filter pass per particles x threads cell)");
     const Alignment data = makeDataset(nSeq, length, 1.0, 31);
@@ -105,5 +111,27 @@ int main(int argc, char** argv) {
     }
     json << "  ]\n}\n";
     std::printf("wrote BENCH_smc.json (%zu rows)\n", rows.size());
-    return bitwiseOk ? 0 : 1;
+
+    bool scalingOk = true;
+    if (requireScaling > 0) {
+        // Regression gate: for every particle count, the widest pool must
+        // reach at least PCT% of the 1-thread rate.
+        for (const Row& base : rows) {
+            if (base.threads != 1) continue;
+            const Row* widest = &base;
+            for (const Row& r : rows)
+                if (r.particles == base.particles && r.threads > widest->threads)
+                    widest = &r;
+            if (widest == &base) continue;
+            const double floor =
+                base.particlesPerSec * static_cast<double>(requireScaling) / 100.0;
+            const bool pass = widest->particlesPerSec >= floor;
+            std::printf("scaling gate: %zu particles, %u-thread %.0f/s vs 1-thread "
+                        "%.0f/s (floor %.0f/s) %s\n",
+                        base.particles, widest->threads, widest->particlesPerSec,
+                        base.particlesPerSec, floor, pass ? "PASS" : "FAIL");
+            scalingOk = scalingOk && pass;
+        }
+    }
+    return (bitwiseOk && scalingOk) ? 0 : 1;
 }

@@ -22,6 +22,32 @@ struct BlockScratch {
 
 thread_local BlockScratch tlScratch;
 
+/// Per-thread scratch for the evaluation driver (the thread that calls
+/// logLikelihood/evaluate/evaluateDirty, as opposed to the block workers):
+/// traversal order, rescale metadata, packed transition matrices and block
+/// sums. Warm after the first evaluation on a thread, so the steady-state
+/// sampling loop performs zero heap allocation here.
+struct EvalScratch {
+    std::vector<NodeId> order;           ///< postorder evaluation order
+    std::vector<NodeId> stack;           ///< traversal scratch
+    std::vector<std::uint16_t> level;    ///< per-node pruning level
+    LikelihoodEngine::Meta meta;
+    std::vector<TransMat> tmat;          ///< stateless path: C x nodes
+    std::vector<double> blockSums;       ///< chunk-indexed partial sums
+};
+
+thread_local EvalScratch tlEval;
+
+/// Per-thread scratch for dirty-closure recomputation.
+struct DirtyScratch {
+    std::vector<std::uint8_t> mark;
+    std::vector<NodeId> todo;
+    std::vector<NodeId> touchedChildren;
+    LikelihoodEngine::Meta meta;
+};
+
+thread_local DirtyScratch tlDirty;
+
 constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 
 }  // namespace
@@ -85,13 +111,12 @@ std::size_t LikelihoodEngine::blockSize() const {
     return b - b % 8;
 }
 
-LikelihoodEngine::Meta LikelihoodEngine::traversalMeta(const Genealogy& g,
-                                                       const std::vector<NodeId>& order) const {
+void LikelihoodEngine::traversalMeta(const Genealogy& g, const std::vector<NodeId>& order,
+                                     Meta& meta, std::vector<std::uint16_t>& level) const {
     const std::size_t nodes = static_cast<std::size_t>(g.nodeCount());
-    Meta meta;
     meta.rescale.assign(nodes, 0);
     meta.hasScale.assign(nodes, 0);
-    std::vector<std::uint16_t> level(nodes, 0);
+    level.assign(nodes, 0);
     for (const NodeId id : order) {
         if (g.isTip(id)) continue;
         const TreeNode& nd = g.node(id);
@@ -102,7 +127,6 @@ LikelihoodEngine::Meta LikelihoodEngine::traversalMeta(const Genealogy& g,
         meta.rescale[i] = level[i] % kRescaleInterval == 0;
         meta.hasScale[i] = meta.rescale[i] || meta.hasScale[c0] || meta.hasScale[c1];
     }
-    return meta;
 }
 
 void LikelihoodEngine::packMatrices(const Genealogy& g, TransMat* dst,
@@ -175,18 +199,23 @@ double LikelihoodEngine::foldCategory(const Genealogy& g, const Meta& meta, std:
 double LikelihoodEngine::logLikelihood(const Genealogy& g, ThreadPool* pool) const {
     require(static_cast<std::size_t>(g.tipCount()) == patterns_.sequenceCount(),
             "likelihood: tip count != sequence count");
-    const auto order = g.postorder();
-    const Meta meta = traversalMeta(g, order);
+    EvalScratch& es = tlEval;
+    g.postorderInto(es.order, es.stack);
+    const std::vector<NodeId>& order = es.order;
+    traversalMeta(g, order, es.meta, es.level);
+    const Meta& meta = es.meta;
     const std::size_t nodes = static_cast<std::size_t>(g.nodeCount());
     const std::size_t internals = nodes - static_cast<std::size_t>(g.tipCount());
     const std::size_t C = rates_.count();
     const std::size_t P = patterns_.patternCount();
     const std::size_t B = blockSize();
 
-    std::vector<TransMat> tmat(C * nodes);
-    packMatrices(g, tmat.data());
+    es.tmat.resize(C * nodes);
+    TransMat* tmatData = es.tmat.data();
+    packMatrices(g, tmatData);
 
-    std::vector<double> blockSums((P + B - 1) / B, 0.0);
+    std::vector<double>& blockSums = es.blockSums;
+    blockSums.assign((P + B - 1) / B, 0.0);
     launchBlocked(pool, P, B, [&](std::size_t bi, std::size_t lo, std::size_t hi) {
         const std::size_t n = hi - lo;
         BlockScratch& s = tlScratch;
@@ -201,7 +230,7 @@ double LikelihoodEngine::logLikelihood(const Genealogy& g, ThreadPool* pool) con
         double sum = 0.0;
         const StripView view{s.partials.data(), s.scale.data(), B * 4, B, 0, 0, lo * 4};
         for (std::size_t c = 0; c < C; ++c) {
-            pruneBlock(g, order, meta, tmat.data(), c, view, n);
+            pruneBlock(g, order, meta, tmatData, c, view, n);
             sum = foldCategory(g, meta, c, view, lo, n, s.site.data(), s.acc.data());
         }
         if (C > 1) sum = weightedSumStrip(s.acc.data(), patterns_.weightsData() + lo, n);
@@ -217,18 +246,19 @@ double LikelihoodEngine::evaluate(const Genealogy& g, PartialsBuffer& buf,
                                   ThreadPool* pool) const {
     require(static_cast<std::size_t>(g.tipCount()) == patterns_.sequenceCount(),
             "likelihood: tip count != sequence count");
-    const auto order = g.postorder();
-    const Meta meta = traversalMeta(g, order);
+    EvalScratch& es = tlEval;
+    g.postorderInto(es.order, es.stack);
+    traversalMeta(g, es.order, es.meta, es.level);
     const std::size_t tips = static_cast<std::size_t>(g.tipCount());
     const std::size_t internals = static_cast<std::size_t>(g.nodeCount()) - tips;
     const std::size_t C = rates_.count();
 
     buf.ensure(C, tips, internals, stride_);
-    buf.rescale = meta.rescale;
-    buf.hasScale = meta.hasScale;
+    buf.rescale = es.meta.rescale;
+    buf.hasScale = es.meta.hasScale;
     packMatrices(g, buf.tmat.data());
 
-    const double total = runBlocked(g, order, meta, buf, pool);
+    const double total = runBlocked(g, es.order, es.meta, buf, pool);
     buf.primed = true;
     return total;
 }
@@ -240,7 +270,9 @@ double LikelihoodEngine::evaluateDirty(const Genealogy& g, const std::vector<Nod
     const std::size_t nodes = static_cast<std::size_t>(g.nodeCount());
 
     // Dirty closure: every listed node and all of its ancestors.
-    std::vector<std::uint8_t> mark(nodes, 0);
+    DirtyScratch& ds = tlDirty;
+    std::vector<std::uint8_t>& mark = ds.mark;
+    mark.assign(nodes, 0);
     for (NodeId d : dirty) {
         NodeId cur = d;
         while (cur != kNoNode && !mark[static_cast<std::size_t>(cur)]) {
@@ -254,9 +286,13 @@ double LikelihoodEngine::evaluateDirty(const Genealogy& g, const std::vector<Nod
     // closure's children (a branch length is t(parent) - t(child), and only
     // closure members moved), so just those are re-packed — the seed
     // re-derived all 2n matrices every step.
-    std::vector<NodeId> todo;
-    std::vector<NodeId> touchedChildren;
-    for (const NodeId id : g.postorder()) {
+    std::vector<NodeId>& todo = ds.todo;
+    std::vector<NodeId>& touchedChildren = ds.touchedChildren;
+    todo.clear();
+    touchedChildren.clear();
+    EvalScratch& es = tlEval;
+    g.postorderInto(es.order, es.stack);
+    for (const NodeId id : es.order) {
         if (!mark[static_cast<std::size_t>(id)] || g.isTip(id)) continue;
         todo.push_back(id);
         const TreeNode& nd = g.node(id);
@@ -272,10 +308,9 @@ double LikelihoodEngine::evaluateDirty(const Genealogy& g, const std::vector<Nod
     }
     packMatrices(g, buf.tmat.data(), &touchedChildren);
 
-    Meta meta;
-    meta.rescale = buf.rescale;
-    meta.hasScale = buf.hasScale;
-    return runBlocked(g, todo, meta, buf, pool);
+    ds.meta.rescale = buf.rescale;
+    ds.meta.hasScale = buf.hasScale;
+    return runBlocked(g, todo, ds.meta, buf, pool);
 }
 
 double LikelihoodEngine::runBlocked(const Genealogy& g, const std::vector<NodeId>& order,
@@ -286,11 +321,8 @@ double LikelihoodEngine::runBlocked(const Genealogy& g, const std::vector<NodeId
     const std::size_t P = patterns_.patternCount();
     const std::size_t B = blockSize();
 
-    std::vector<double> blockSums((P + B - 1) / B, 0.0);
-    std::vector<StripView> baseViews(C);
-    for (std::size_t c = 0; c < C; ++c)
-        baseViews[c] = StripView{buf.partials(c, tips), buf.scale(c, tips), buf.patternStride * 4,
-                                 buf.patternStride, 0, 0, 0};
+    std::vector<double>& blockSums = tlEval.blockSums;
+    blockSums.assign((P + B - 1) / B, 0.0);
 
     launchBlocked(pool, P, B, [&](std::size_t bi, std::size_t lo, std::size_t hi) {
         const std::size_t n = hi - lo;
@@ -301,10 +333,9 @@ double LikelihoodEngine::runBlocked(const Genealogy& g, const std::vector<NodeId
 
         double sum = 0.0;
         for (std::size_t c = 0; c < C; ++c) {
-            StripView v = baseViews[c];
-            v.off4 = lo * 4;
-            v.off1 = lo;
-            v.tipOff4 = lo * 4;
+            const StripView v{buf.partials(c, tips), buf.scale(c, tips),
+                              buf.patternStride * 4, buf.patternStride,
+                              lo * 4, lo, lo * 4};
             pruneBlock(g, order, meta, buf.tmat.data(), c, v, n);
             sum = foldCategory(g, meta, c, v, lo, n, s.site.data(), s.acc.data());
         }

@@ -72,15 +72,19 @@ class LikelihoodEngine {
         return tipPartials_.data() + s * stride_ * 4;
     }
 
-  private:
-    /// Traversal metadata for one genealogy: per-node pruning level and the
-    /// derived rescale schedule.
+    /// Traversal metadata for one genealogy: the per-node rescale schedule
+    /// derived from pruning levels. Public so callers (and the engine's own
+    /// thread-local scratch) can keep one warm across evaluations.
     struct Meta {
         std::vector<std::uint8_t> rescale;
         std::vector<std::uint8_t> hasScale;
     };
 
-    Meta traversalMeta(const Genealogy& g, const std::vector<NodeId>& order) const;
+  private:
+    /// Fill `meta` for `order`; `level` is per-node scratch. Reuses the
+    /// vectors' capacity — no allocation once warm.
+    void traversalMeta(const Genealogy& g, const std::vector<NodeId>& order, Meta& meta,
+                       std::vector<std::uint16_t>& level) const;
 
     /// Pack transition matrices for all categories; `dst` is indexed
     /// [c * nodeCount + child]. `only` restricts to the given child ids

@@ -141,10 +141,15 @@ class GmhSampler {
         const std::size_t n = opts_.numProposals;
         const Region region = problem_.makeRegion(current, hostRng_);
 
-        // Proposal fan-out: slot n holds the generator itself.
-        std::vector<State> members(n + 1);
-        std::vector<double> logPost(n + 1);
-        std::vector<double> logW(n + 1);
+        // Proposal fan-out: slot n holds the generator itself. The fan-out
+        // buffers are sampler members, so their storage is reused across
+        // iterations instead of reallocated per step.
+        std::vector<State>& members = members_;
+        std::vector<double>& logPost = logPost_;
+        std::vector<double>& logW = logW_;
+        members.resize(n + 1);
+        logPost.resize(n + 1);
+        logW.resize(n + 1);
         const std::uint64_t iterBase = iteration_ * static_cast<std::uint64_t>(n + 1);
         forEachIndex(pool_, n, [&](std::size_t i) {
             Philox rng(opts_.seed, iterBase + i);
@@ -157,7 +162,7 @@ class GmhSampler {
         logW[n] = logPost[n] - problem_.logProposalDensity(region, members[n]);
 
         // Stationary distribution of the inner transition matrix A.
-        std::vector<double> probs;
+        std::vector<double>& probs = probs_;
         logNormalize(logW, probs);
 
         stats_.meanGeneratorWeight += (probs[n] - stats_.meanGeneratorWeight) /
@@ -185,6 +190,12 @@ class GmhSampler {
     std::uint64_t iteration_ = 0;
     State current_{};
     double currentLogPost_ = 0.0;
+    // Per-iteration fan-out buffers, reused across iterations (never part
+    // of checkpointed state — rebuilt from scratch by the next iterate()).
+    std::vector<State> members_;
+    std::vector<double> logPost_;
+    std::vector<double> logW_;
+    std::vector<double> probs_;
 };
 
 }  // namespace mpcgs

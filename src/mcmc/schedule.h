@@ -16,7 +16,6 @@
 #pragma once
 
 #include <cstddef>
-#include <functional>
 
 #include "par/kernel.h"
 #include "par/thread_pool.h"
@@ -34,17 +33,20 @@ class ChainScheduler {
 
     /// Parallel section: run step(c) once for every chain c. Each chain is
     /// one unit of work (no chunking), so a chain never migrates mid-step.
-    void stepChains(const std::function<void(std::size_t)>& step) const {
+    /// Templated so the callable reaches the pool's non-type-erased launch
+    /// path directly — no std::function construction per round.
+    template <class Step>
+    void stepChains(Step&& step) const {
         launchChains(pool_, chains_, step);
     }
 
     /// One synchronized round: the parallel section followed by a
     /// serialized barrier section on the calling thread (run even for a
-    /// single chain; pass an empty function to skip).
-    void round(const std::function<void(std::size_t)>& step,
-               const std::function<void()>& barrier) const {
+    /// single chain).
+    template <class Step, class Barrier>
+    void round(Step&& step, Barrier&& barrier) const {
         stepChains(step);
-        if (barrier) barrier();
+        barrier();
     }
 
   private:

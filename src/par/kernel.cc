@@ -1,24 +1,9 @@
 #include "par/kernel.h"
 
-#include <algorithm>
 #include <limits>
+#include <vector>
 
 namespace mpcgs {
-
-void launchKernel(ThreadPool* pool, LaunchConfig cfg,
-                  const std::function<void(const ThreadIdx&)>& kernel) {
-    const std::size_t blocks = cfg.gridDim;
-    auto runBlock = [&](std::size_t b) {
-        ThreadIdx idx;
-        idx.block = b;
-        for (std::size_t t = 0; t < cfg.blockDim; ++t) {
-            idx.thread = t;
-            idx.global = b * cfg.blockDim + t;
-            kernel(idx);
-        }
-    };
-    forEachIndex(pool, blocks, runBlock, /*grain=*/1);
-}
 
 namespace {
 
@@ -65,20 +50,6 @@ double blockReduceLogSumExp(ThreadPool* pool, std::span<const double> logValues,
     return logSumExp(partial);
 }
 
-void launchBlocked(ThreadPool* pool, std::size_t n, std::size_t blockSize,
-                   const std::function<void(std::size_t, std::size_t, std::size_t)>& f) {
-    if (n == 0) return;
-    blockSize = std::max<std::size_t>(1, blockSize);
-    const std::size_t blocks = numBlocks(n, blockSize);
-    forEachIndex(
-        pool, blocks,
-        [&](std::size_t b) {
-            const std::size_t lo = b * blockSize;
-            f(b, lo, std::min(lo + blockSize, n));
-        },
-        /*grain=*/1);
-}
-
 double blockReduceMax(ThreadPool* pool, std::span<const double> values, std::size_t blockDim) {
     if (values.empty()) return -std::numeric_limits<double>::infinity();
     blockDim = std::max<std::size_t>(1, blockDim);
@@ -97,11 +68,6 @@ double blockReduceMax(ThreadPool* pool, std::span<const double> values, std::siz
     double m = -std::numeric_limits<double>::infinity();
     for (double p : partial) m = std::max(m, p);
     return m;
-}
-
-void launchChains(ThreadPool* pool, std::size_t chains,
-                  const std::function<void(std::size_t)>& f) {
-    forEachIndex(pool, chains, f, /*grain=*/1);
 }
 
 }  // namespace mpcgs

@@ -7,12 +7,15 @@
 // function of (blockIdx, threadIdx), launched over a LaunchConfig, and
 // blockReduce* mirror the two-stage (intra-block, then cross-block)
 // reduction pattern of §5.2.1-5.2.3.
+//
+// The launch entry points are templates: the callable is compiled into the
+// pool's per-chunk trampoline (one indirect call per block), with no
+// std::function construction or allocation on the hot path.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
-#include <functional>
 #include <span>
-#include <vector>
 
 #include "par/thread_pool.h"
 #include "util/logspace.h"
@@ -38,8 +41,53 @@ struct ThreadIdx {
 /// the pool; within a block, threads run sequentially on one worker (the
 /// CPU analogue of a streaming multiprocessor executing a block).
 /// A null pool runs the whole grid serially.
-void launchKernel(ThreadPool* pool, LaunchConfig cfg,
-                  const std::function<void(const ThreadIdx&)>& kernel);
+template <class Kernel>
+void launchKernel(ThreadPool* pool, LaunchConfig cfg, Kernel&& kernel) {
+    forEachIndex(
+        pool, cfg.gridDim,
+        [&](std::size_t b) {
+            ThreadIdx idx;
+            idx.block = b;
+            for (std::size_t t = 0; t < cfg.blockDim; ++t) {
+                idx.thread = t;
+                idx.global = b * cfg.blockDim + t;
+                kernel(idx);
+            }
+        },
+        /*grain=*/1);
+}
+
+/// Launch `f(blockIndex, begin, end)` over [0, n) partitioned into
+/// contiguous blocks of `blockSize` indices (the last block may be short).
+/// Blocks are distributed dynamically across the pool; a null pool runs
+/// them in order on the calling thread. This is the grid geometry of the
+/// data-likelihood kernel (§5.2.2) with site-pattern blocks as CUDA blocks:
+/// each launch owns a contiguous, cache-resident slice of patterns, and the
+/// partition depends only on (n, blockSize), so results that reduce
+/// per-block are bitwise independent of thread count.
+template <class F>
+void launchBlocked(ThreadPool* pool, std::size_t n, std::size_t blockSize, F&& f) {
+    if (n == 0) return;
+    blockSize = std::max<std::size_t>(1, blockSize);
+    const std::size_t blocks = (n + blockSize - 1) / blockSize;
+    forEachIndex(
+        pool, blocks,
+        [&](std::size_t b) {
+            const std::size_t lo = b * blockSize;
+            f(b, lo, std::min(lo + blockSize, n));
+        },
+        /*grain=*/1);
+}
+
+/// Chain-affinity launch for the sampler runtime: run f(chain) once per
+/// chain in [0, chains) with a grain of one, so each chain's step is a
+/// single indivisible unit of pool work (a chain never splits across
+/// workers mid-step, and per-chain RNG/state stays thread-private for the
+/// duration). A null pool runs the chains in order on the calling thread.
+template <class F>
+void launchChains(ThreadPool* pool, std::size_t chains, F&& f) {
+    forEachIndex(pool, chains, f, /*grain=*/1);
+}
 
 /// Two-stage additive reduction in linear space: per-block partial sums
 /// (the warp-shuffle stage of §5.2.1) followed by a serial cross-block
@@ -58,24 +106,5 @@ double blockReduceLogSumExp(ThreadPool* pool, std::span<const double> logValues,
 /// exponentiation in the posterior kernel).
 double blockReduceMax(ThreadPool* pool, std::span<const double> values,
                       std::size_t blockDim);
-
-/// Launch `f(blockIndex, begin, end)` over [0, n) partitioned into
-/// contiguous blocks of `blockSize` indices (the last block may be short).
-/// Blocks are distributed dynamically across the pool; a null pool runs
-/// them in order on the calling thread. This is the grid geometry of the
-/// data-likelihood kernel (§5.2.2) with site-pattern blocks as CUDA blocks:
-/// each launch owns a contiguous, cache-resident slice of patterns, and the
-/// partition depends only on (n, blockSize), so results that reduce
-/// per-block are bitwise independent of thread count.
-void launchBlocked(ThreadPool* pool, std::size_t n, std::size_t blockSize,
-                   const std::function<void(std::size_t, std::size_t, std::size_t)>& f);
-
-/// Chain-affinity launch for the sampler runtime: run f(chain) once per
-/// chain in [0, chains) with a grain of one, so each chain's step is a
-/// single indivisible unit of pool work (a chain never splits across
-/// workers mid-step, and per-chain RNG/state stays thread-private for the
-/// duration). A null pool runs the chains in order on the calling thread.
-void launchChains(ThreadPool* pool, std::size_t chains,
-                  const std::function<void(std::size_t)>& f);
 
 }  // namespace mpcgs

@@ -9,168 +9,251 @@ unsigned hardwareThreads() {
     return n == 0 ? 1u : n;
 }
 
-// A Batch is one parallelFor invocation: a shared atomic cursor over the
-// index range plus completion bookkeeping. Workers grab chunks until the
-// cursor passes n.
-struct ThreadPool::Batch {
-    std::size_t n = 0;
-    std::size_t grain = 1;
-    const std::function<void(std::size_t, unsigned)>* fn = nullptr;
-    std::atomic<std::size_t> cursor{0};
-    std::atomic<int> active{0};
-    std::mutex emu;
-    std::exception_ptr error;  // first exception wins, guarded by emu
-    std::mutex dmu;
-    std::condition_variable done;
-    bool finished = false;  // guarded by dmu
+namespace {
+
+/// Pool whose launch the current thread is executing (nullptr outside any
+/// launch). Lets the launch entry points detect nesting and degrade to a
+/// serial inline loop instead of corrupting the in-flight launch slot.
+thread_local const ThreadPool* tlActivePool = nullptr;
+
+struct ScopedActive {
+    const ThreadPool* prev;
+    explicit ScopedActive(const ThreadPool* p) : prev(tlActivePool) { tlActivePool = p; }
+    ~ScopedActive() { tlActivePool = prev; }
 };
 
-ThreadPool::ThreadPool(unsigned nThreads) {
-    const unsigned extra = nThreads > 1 ? nThreads - 1 : 0;
-    workers_.reserve(extra);
-    for (unsigned i = 0; i < extra; ++i)
-        workers_.emplace_back([this, i] { workerLoop(i + 1); });
+inline std::uint64_t packRange(std::uint64_t begin, std::uint64_t end) {
+    return (begin << 32) | end;
+}
+inline std::uint32_t rangeBegin(std::uint64_t r) {
+    return static_cast<std::uint32_t>(r >> 32);
+}
+inline std::uint32_t rangeEnd(std::uint64_t r) { return static_cast<std::uint32_t>(r); }
+
+inline void cpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield" ::: "memory");
+#else
+    std::this_thread::yield();
+#endif
+}
+
+}  // namespace
+
+bool ThreadPool::insideLaunch() const { return tlActivePool == this; }
+
+ThreadPool::ThreadPool(unsigned nThreads)
+    : width_(nThreads == 0 ? 1u : nThreads), spans_(width_), reduceSlots_(width_) {
+    const unsigned hw = hardwareThreads();
+    oversubscribed_ = width_ > hw;
+    wakeCap_ = hw > 1 ? hw - 1 : 0;
+    workers_.reserve(width_ - 1);
+    for (unsigned s = 1; s < width_; ++s)
+        workers_.emplace_back([this, s] { workerLoop(s); });
 }
 
 ThreadPool::~ThreadPool() {
+    stop_.store(true, std::memory_order_seq_cst);
     {
-        std::lock_guard<std::mutex> lk(mu_);
-        stop_ = true;
+        // Empty critical section: a worker past its predicate check but not
+        // yet asleep re-checks after we hold the lock, so the notify below
+        // cannot be lost.
+        std::lock_guard<std::mutex> g(wakeMu_);
     }
-    cv_.notify_all();
+    wakeCv_.notify_all();
     for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::workerLoop(unsigned slot) {
-    constexpr int kSpinRounds = 20000;
-    std::uint64_t seen = 0;
-    for (;;) {
-        // Spin briefly on the epoch hint before sleeping: batches arrive in
-        // rapid succession during sampling and futex wakeups would dominate.
-        for (int spin = 0; spin < kSpinRounds; ++spin) {
-            if (epochHint_.load(std::memory_order_acquire) != seen) break;
-            std::this_thread::yield();
-        }
-        Batch* b = nullptr;
-        {
-            std::unique_lock<std::mutex> lk(mu_);
-            cv_.wait(lk, [&] { return stop_ || (current_ != nullptr && epoch_ != seen); });
-            if (stop_) return;
-            seen = epoch_;
-            b = current_;
-            b->active.fetch_add(1, std::memory_order_relaxed);
-        }
-        runBatch(*b, slot);
-        {
-            // Decrement under the completion mutex: the caller's wait
-            // predicate reads `active` under the same mutex, so it cannot
-            // observe 0 (and destroy the stack Batch) while this worker is
-            // still touching it.
-            std::lock_guard<std::mutex> lk(b->dmu);
-            if (b->active.fetch_sub(1, std::memory_order_acq_rel) == 1) b->done.notify_all();
-        }
-    }
-}
+void ThreadPool::launchImpl(std::size_t n, std::size_t grain, ChunkFn fn, void* ctx) {
+    std::lock_guard<std::mutex> launchGuard(launchMu_);
 
-void ThreadPool::runBatch(Batch& b, unsigned slot) {
-    for (;;) {
-        const std::size_t begin = b.cursor.fetch_add(b.grain, std::memory_order_relaxed);
-        if (begin >= b.n) return;
-        const std::size_t end = std::min(begin + b.grain, b.n);
-        try {
-            for (std::size_t i = begin; i < end; ++i) (*b.fn)(i, slot);
-        } catch (...) {
-            std::lock_guard<std::mutex> lk(b.emu);
-            if (!b.error) b.error = std::current_exception();
-            // Drain the rest of the range so everyone retires quickly.
-            b.cursor.store(b.n, std::memory_order_relaxed);
-            return;
-        }
+    if (grain == 0) {
+        // Aim for ~4 chunks per slot: slack for stealing to balance uneven
+        // work without per-chunk dispatch dominating small grids.
+        const std::size_t target = static_cast<std::size_t>(width_) * 4;
+        grain = (n + target - 1) / target;
+        if (grain == 0) grain = 1;
     }
-}
+    // Chunk ids are packed into 32-bit halves of the steal words.
+    while ((n + grain - 1) / grain > 0xffffffffull) grain *= 2;
+    const std::size_t chunks = (n + grain - 1) / grain;
 
-void ThreadPool::parallelForSlot(std::size_t n,
-                                 const std::function<void(std::size_t, unsigned)>& f,
-                                 std::size_t grain) {
-    if (n == 0) return;
-    if (workers_.empty() || n == 1) {
-        for (std::size_t i = 0; i < n; ++i) f(i, 0);
+    fn_ = fn;
+    ctx_ = ctx;
+    n_ = n;
+    grain_ = grain;
+
+    if (chunks == 1) {
+        ScopedActive active(this);
+        fn(ctx, 0, n, 0);
         return;
     }
-    if (grain == 0) {
-        // Aim for ~4 chunks per thread to balance scheduling overhead
-        // against tail imbalance.
-        grain = std::max<std::size_t>(1, n / (static_cast<std::size_t>(size()) * 4));
+
+    abort_.store(false, std::memory_order_relaxed);
+    chunksLeft_.store(chunks, std::memory_order_relaxed);
+    callerParked_.store(false, std::memory_order_relaxed);
+
+    // Deal chunk ids into one contiguous span per slot. The partition is a
+    // pure function of (chunks, width); execution assignment may then move
+    // via stealing, so callers needing bitwise thread invariance index
+    // their outputs by chunk, never by thread. The release stores publish
+    // fn_/ctx_/n_/grain_ to whichever thread later pops from a span.
+    for (unsigned s = 0; s < width_; ++s) {
+        const std::uint64_t b = static_cast<std::uint64_t>(chunks) * s / width_;
+        const std::uint64_t e = static_cast<std::uint64_t>(chunks) * (s + 1) / width_;
+        spans_[s].range.store(packRange(b, e), std::memory_order_release);
+    }
+    epoch_.fetch_add(1, std::memory_order_seq_cst);
+
+    // Wake at most wakeCap_ parked workers (and never more than there are
+    // chunks to share). On an oversubscribed pool wakeCap_ < width-1, so
+    // surplus workers stay parked and cost nothing; spinning workers
+    // self-serve off the epoch word without a wake.
+    const unsigned wake =
+        static_cast<unsigned>(std::min<std::size_t>(chunks - 1, wakeCap_));
+    if (wake > 0 && parked_.load(std::memory_order_seq_cst) > 0) {
+        std::lock_guard<std::mutex> g(wakeMu_);
+        const int parked = parked_.load(std::memory_order_seq_cst);
+        if (parked > 0 && wake >= static_cast<unsigned>(parked))
+            wakeCv_.notify_all();
+        else
+            for (unsigned i = 0; i < wake; ++i) wakeCv_.notify_one();
     }
 
-    Batch b;
-    b.n = n;
-    b.grain = grain;
-    b.fn = &f;
     {
-        std::lock_guard<std::mutex> lk(mu_);
-        current_ = &b;
-        ++epoch_;
-        epochHint_.store(epoch_, std::memory_order_release);
+        ScopedActive active(this);
+        runChunks(0);
     }
-    cv_.notify_all();
 
-    runBatch(b, 0);  // caller participates
-
-    {
-        std::lock_guard<std::mutex> lk(mu_);
-        current_ = nullptr;
+    // All chunks are popped; wait for stragglers still executing theirs.
+    if (chunksLeft_.load(std::memory_order_seq_cst) != 0) {
+        std::unique_lock<std::mutex> lk(doneMu_);
+        callerParked_.store(true, std::memory_order_seq_cst);
+        doneCv_.wait(lk,
+                     [&] { return chunksLeft_.load(std::memory_order_seq_cst) == 0; });
+        callerParked_.store(false, std::memory_order_relaxed);
     }
-    // Completion: spin first (workers retire within microseconds once the
-    // cursor drains), then fall back to the condition variable. In both
-    // paths, acquiring dmu after observing active == 0 is the barrier that
-    // guarantees the last worker has left the Batch's critical section
-    // before the stack object is destroyed.
-    bool drained = false;
-    for (int spin = 0; spin < 200000; ++spin) {
-        if (b.active.load(std::memory_order_acquire) == 0) {
-            drained = true;
-            break;
+
+    if (error_) {
+        std::exception_ptr e;
+        std::swap(e, error_);
+        std::rethrow_exception(e);
+    }
+}
+
+void ThreadPool::workerLoop(unsigned slot) {
+    std::uint64_t seen = 0;  // pool construction precedes the first launch
+    for (;;) {
+        if (stop_.load(std::memory_order_relaxed)) return;
+        const std::uint64_t cur = epoch_.load(std::memory_order_seq_cst);
+        if (cur != seen) {
+            seen = cur;
+            ScopedActive active(this);
+            runChunks(slot);
+            continue;
         }
-        std::this_thread::yield();
+        if (!oversubscribed_) {
+            bool woke = false;
+            for (int spin = 0; spin < 4096; ++spin) {
+                cpuRelax();
+                if (epoch_.load(std::memory_order_seq_cst) != seen ||
+                    stop_.load(std::memory_order_relaxed)) {
+                    woke = true;
+                    break;
+                }
+            }
+            if (woke) continue;
+        }
+        std::unique_lock<std::mutex> lk(wakeMu_);
+        parked_.fetch_add(1, std::memory_order_seq_cst);
+        wakeCv_.wait(lk, [&] {
+            return epoch_.load(std::memory_order_seq_cst) != seen ||
+                   stop_.load(std::memory_order_relaxed);
+        });
+        parked_.fetch_sub(1, std::memory_order_seq_cst);
     }
-    if (drained) {
-        std::lock_guard<std::mutex> lk(b.dmu);
-    } else {
-        std::unique_lock<std::mutex> lk(b.dmu);
-        b.done.wait(lk, [&] { return b.active.load(std::memory_order_acquire) == 0; });
+}
+
+void ThreadPool::runChunks(unsigned slot) {
+    std::size_t chunk;
+    for (;;) {
+        if (popOwn(slot, chunk)) {
+            executeChunk(chunk, slot);
+            continue;
+        }
+        if (stealChunk(slot, chunk)) {
+            executeChunk(chunk, slot);
+            continue;
+        }
+        return;
     }
-    if (b.error) std::rethrow_exception(b.error);
 }
 
-void ThreadPool::parallelFor(std::size_t n, const std::function<void(std::size_t)>& f,
-                             std::size_t grain) {
-    parallelForSlot(n, [&f](std::size_t i, unsigned) { f(i); }, grain);
+bool ThreadPool::popOwn(unsigned slot, std::size_t& chunk) {
+    auto& own = spans_[slot].range;
+    std::uint64_t r = own.load(std::memory_order_acquire);
+    for (;;) {
+        const std::uint32_t b = rangeBegin(r);
+        const std::uint32_t e = rangeEnd(r);
+        if (b >= e) return false;
+        if (own.compare_exchange_weak(r, packRange(b + 1ull, e),
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+            chunk = b;
+            return true;
+        }
+    }
 }
 
-double ThreadPool::parallelReduce(std::size_t n, double identity,
-                                  const std::function<double(std::size_t)>& map,
-                                  const std::function<double(double, double)>& combine,
-                                  std::size_t grain) {
-    std::vector<double> partial(size(), identity);
-    parallelForSlot(
-        n, [&](std::size_t i, unsigned slot) { partial[slot] = combine(partial[slot], map(i)); },
-        grain);
-    double acc = identity;
-    for (double p : partial) acc = combine(acc, p);
-    return acc;
+bool ThreadPool::stealChunk(unsigned slot, std::size_t& chunk) {
+    for (unsigned off = 1; off < width_; ++off) {
+        const unsigned v = (slot + off) % width_;
+        auto& victim = spans_[v].range;
+        std::uint64_t r = victim.load(std::memory_order_acquire);
+        for (;;) {
+            const std::uint32_t b = rangeBegin(r);
+            const std::uint32_t e = rangeEnd(r);
+            if (b >= e) break;
+            // Take one chunk off the back; the victim keeps popping the
+            // front. A thief must never WRITE its own span: a stale worker
+            // still scanning after its launch drained could otherwise
+            // clobber chunks the next launch just dealt to its slot,
+            // losing them and hanging that launch's completion wait.
+            if (victim.compare_exchange_weak(r, packRange(b, e - 1ull),
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_acquire)) {
+                chunk = e - 1ull;
+                return true;
+            }
+        }
+    }
+    return false;
 }
 
-void serialFor(std::size_t n, const std::function<void(std::size_t)>& f) {
-    for (std::size_t i = 0; i < n; ++i) f(i);
+void ThreadPool::executeChunk(std::size_t chunk, unsigned slot) {
+    if (!abort_.load(std::memory_order_relaxed)) {
+        const std::size_t begin = chunk * grain_;
+        const std::size_t end = std::min(begin + grain_, n_);
+        try {
+            fn_(ctx_, begin, end, slot);
+        } catch (...) {
+            std::lock_guard<std::mutex> g(errMu_);
+            if (!error_) error_ = std::current_exception();
+            abort_.store(true, std::memory_order_relaxed);
+        }
+    }
+    finishChunk();
 }
 
-void forEachIndex(ThreadPool* pool, std::size_t n, const std::function<void(std::size_t)>& f,
-                  std::size_t grain) {
-    if (pool)
-        pool->parallelFor(n, f, grain);
-    else
-        serialFor(n, f);
+void ThreadPool::finishChunk() {
+    if (chunksLeft_.fetch_sub(1, std::memory_order_seq_cst) == 1) {
+        if (callerParked_.load(std::memory_order_seq_cst)) {
+            std::lock_guard<std::mutex> g(doneMu_);
+            doneCv_.notify_one();
+        }
+    }
 }
 
 }  // namespace mpcgs

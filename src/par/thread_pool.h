@@ -1,20 +1,54 @@
-// CPU parallel-execution substrate.
+// CPU parallel-execution substrate: a persistent work-stealing runtime.
 //
 // Substitutes for the paper's CUDA device (§4.4): a fixed pool of worker
-// threads with dynamic work-stealing chunks. All parallel phases of the
-// sampler (proposal generation, per-site likelihood, posterior reduction)
-// run through this pool, so the speedup experiments sweep thread count the
-// way the paper sweeps GPU occupancy.
+// threads over which all parallel phases of the sampler (proposal
+// generation, per-site likelihood, particle propagation, posterior
+// reduction) run, so the speedup experiments sweep thread count the way
+// the paper sweeps GPU occupancy.
+//
+// Scheduling model. A launch partitions [0, n) into chunks of `grain`
+// indices; the chunk ids are dealt deterministically into one contiguous
+// span per worker slot. Each worker pops chunks from the front of its own
+// span and, when empty, steals chunks one at a time off the back of a
+// victim's remaining span (range stealing — one CAS per pop/steal, no
+// locks, no queues; a thief never writes its own span, so a stale scan
+// from a drained launch can never clobber the next launch's deal).
+// The chunk *partition* depends only on (n, grain); the *assignment* of
+// chunks to threads is dynamic. Components that must be bitwise invariant
+// to the thread count (the likelihood engine, SMC propagation) therefore
+// write per-chunk results into chunk-indexed slots and fold them in fixed
+// chunk order on the caller — never into per-thread accumulators.
+//
+// Launch overhead. The pool keeps one persistent launch slot: submitting
+// work writes a function pointer + context, deals the spans, and bumps an
+// epoch counter — no per-launch allocation, no mutex/condvar construction,
+// no std::function. The templated entry points compile the user callable
+// into a per-chunk trampoline, so indices dispatch through one indirect
+// call per *chunk*, not per index. Steady-state sampling performs zero
+// heap allocation in this layer (asserted by tests/zero_alloc_test.cc).
+//
+// Idle policy: spin-then-park. Idle workers spin briefly on the epoch word
+// (launches arrive back-to-back during sampling; futex latency would
+// dominate small grids), then park on a condition variable. When the pool
+// is wider than the hardware (oversubscription), workers skip the spin and
+// park immediately, and launches wake at most hardwareThreads()-1 workers
+// — surplus threads cost nothing, so an 8-thread pool on a 1-core host
+// runs at 1-thread speed instead of degrading.
+//
+// Nested launches: a parallelFor issued from inside a launch of the same
+// pool runs its loop serially inline on the issuing thread (detected via a
+// thread-local; see insideLaunch()). Concurrent launches from distinct
+// external threads serialize on an internal mutex.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
-#include <deque>
+#include <cstdint>
 #include <exception>
-#include <functional>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace mpcgs {
@@ -33,53 +67,154 @@ class ThreadPool {
     ThreadPool& operator=(const ThreadPool&) = delete;
 
     /// Total parallel width (workers + caller).
-    unsigned size() const { return static_cast<unsigned>(workers_.size()) + 1; }
+    unsigned size() const { return width_; }
+
+    /// True while the calling thread is executing work of one of this
+    /// pool's launches (a worker slot or the participating caller). Used
+    /// by the launch paths to run nested launches serially inline instead
+    /// of corrupting the in-flight launch.
+    bool insideLaunch() const;
 
     /// Parallel loop over [0, n): f(i) is invoked exactly once per index.
-    /// Indices are handed out in dynamic chunks of `grain` (0 = auto).
-    /// The calling thread participates. Exceptions from f propagate (the
-    /// first one thrown is rethrown after all chunks finish).
-    void parallelFor(std::size_t n, const std::function<void(std::size_t)>& f,
-                     std::size_t grain = 0);
+    /// Indices are handed out in chunks of `grain` (0 = auto); the calling
+    /// thread participates. Exceptions from f propagate (the first one
+    /// thrown wins; remaining chunks are skipped).
+    template <class F>
+    void parallelFor(std::size_t n, F&& f, std::size_t grain = 0) {
+        if (n == 0) return;
+        if (runsInline(n)) {
+            for (std::size_t i = 0; i < n; ++i) f(i);
+            return;
+        }
+        launchImpl(n, grain, &chunkTrampolineIndex<std::remove_reference_t<F>>,
+                   const_cast<void*>(static_cast<const void*>(&f)));
+    }
 
     /// Parallel loop receiving (index, workerSlot) where workerSlot is in
     /// [0, size()). Lets callers keep per-thread scratch without locking.
-    void parallelForSlot(std::size_t n,
-                         const std::function<void(std::size_t, unsigned)>& f,
-                         std::size_t grain = 0);
+    template <class F>
+    void parallelForSlot(std::size_t n, F&& f, std::size_t grain = 0) {
+        if (n == 0) return;
+        if (runsInline(n)) {
+            for (std::size_t i = 0; i < n; ++i) f(i, 0u);
+            return;
+        }
+        launchImpl(n, grain, &chunkTrampolineSlot<std::remove_reference_t<F>>,
+                   const_cast<void*>(static_cast<const void*>(&f)));
+    }
 
-    /// Map-reduce over [0, n): combine(acc, map(i)) folded per worker then
-    /// across workers. `combine` must be associative and commutative.
-    double parallelReduce(std::size_t n, double identity,
-                          const std::function<double(std::size_t)>& map,
-                          const std::function<double(double, double)>& combine,
-                          std::size_t grain = 0);
+    /// Map-reduce over [0, n): combine(acc, map(i)) folded per worker slot
+    /// then across slots in slot order. `combine` must be associative and
+    /// commutative: the index→slot assignment is dynamic (work-stealing),
+    /// so the result is NOT bitwise reproducible for non-exact combines —
+    /// bitwise-deterministic reductions go through chunk-indexed slots
+    /// instead (par/kernel.h blockReduce*). Per-slot partials live in
+    /// cache-line-padded persistent storage (no false sharing, no
+    /// per-call allocation).
+    template <class Map, class Combine>
+    double parallelReduce(std::size_t n, double identity, Map&& map, Combine&& combine,
+                          std::size_t grain = 0) {
+        for (unsigned s = 0; s < width_; ++s) reduceSlots_[s].value = identity;
+        parallelForSlot(
+            n,
+            [&](std::size_t i, unsigned slot) {
+                double& acc = reduceSlots_[slot].value;
+                acc = combine(acc, map(i));
+            },
+            grain);
+        double acc = identity;
+        for (unsigned s = 0; s < width_; ++s) acc = combine(acc, reduceSlots_[s].value);
+        return acc;
+    }
 
   private:
-    struct Batch;
+    /// One chunk of a launch, dispatched through a single indirect call:
+    /// (context, beginIndex, endIndex, workerSlot).
+    using ChunkFn = void (*)(void*, std::size_t, std::size_t, unsigned);
 
+    template <class F>
+    static void chunkTrampolineIndex(void* ctx, std::size_t begin, std::size_t end,
+                                     unsigned /*slot*/) {
+        F& f = *static_cast<F*>(ctx);
+        for (std::size_t i = begin; i < end; ++i) f(i);
+    }
+
+    template <class F>
+    static void chunkTrampolineSlot(void* ctx, std::size_t begin, std::size_t end,
+                                    unsigned slot) {
+        F& f = *static_cast<F*>(ctx);
+        for (std::size_t i = begin; i < end; ++i) f(i, slot);
+    }
+
+    /// Per-slot steal span: chunk ids [begin, end) packed into one 64-bit
+    /// word (begin in the high half) so pop/steal are single CAS ops. Own
+    /// cache line — the spans are the contended hot words of a launch.
+    struct alignas(64) StealSpan {
+        std::atomic<std::uint64_t> range{0};
+        char pad_[64 - sizeof(std::atomic<std::uint64_t>)];
+    };
+
+    /// Cache-line-padded per-slot reduction accumulator.
+    struct alignas(64) PaddedSlot {
+        double value = 0.0;
+        char pad_[64 - sizeof(double)];
+    };
+
+    bool runsInline(std::size_t n) const {
+        return workers_.empty() || n == 1 || insideLaunch();
+    }
+
+    void launchImpl(std::size_t n, std::size_t grain, ChunkFn fn, void* ctx);
     void workerLoop(unsigned slot);
-    void runBatch(Batch& b, unsigned slot);
+    void runChunks(unsigned slot);
+    void executeChunk(std::size_t chunk, unsigned slot);
+    bool popOwn(unsigned slot, std::size_t& chunk);
+    bool stealChunk(unsigned slot, std::size_t& chunk);
+    void finishChunk();
 
+    unsigned width_ = 1;
+    unsigned wakeCap_ = 0;      ///< max workers woken per launch (hw-aware)
+    bool oversubscribed_ = false;
     std::vector<std::thread> workers_;
-    std::mutex mu_;
-    std::condition_variable cv_;
-    Batch* current_ = nullptr;  // guarded by mu_
-    std::uint64_t epoch_ = 0;   // guarded by mu_
-    bool stop_ = false;         // guarded by mu_
-    // Lock-free mirror of epoch_ that workers spin on briefly before
-    // falling back to the condition variable; samplers issue thousands of
-    // small back-to-back batches, and futex sleep/wake latency would
-    // otherwise dominate them.
-    std::atomic<std::uint64_t> epochHint_{0};
+
+    // --- persistent launch slot (reused by every launch; no allocation) ---
+    std::mutex launchMu_;  ///< serializes external submitters
+    ChunkFn fn_ = nullptr;
+    void* ctx_ = nullptr;
+    std::size_t n_ = 0;
+    std::size_t grain_ = 1;
+    std::atomic<std::size_t> chunksLeft_{0};
+    std::atomic<bool> abort_{false};
+    std::exception_ptr error_;  ///< first exception wins, guarded by errMu_
+    std::mutex errMu_;
+    std::vector<StealSpan> spans_;        ///< width_ entries
+    std::vector<PaddedSlot> reduceSlots_; ///< width_ entries
+
+    // --- publication + idle/wake machinery ---
+    std::atomic<std::uint64_t> epoch_{0};
+    std::atomic<bool> stop_{false};
+    std::mutex wakeMu_;
+    std::condition_variable wakeCv_;
+    std::atomic<int> parked_{0};
+    std::atomic<bool> callerParked_{false};
+    std::mutex doneMu_;
+    std::condition_variable doneCv_;
 };
 
 /// Serial fallback used wherever a component accepts `ThreadPool*` and is
 /// handed nullptr.
-void serialFor(std::size_t n, const std::function<void(std::size_t)>& f);
+template <class F>
+void serialFor(std::size_t n, F&& f) {
+    for (std::size_t i = 0; i < n; ++i) f(i);
+}
 
 /// Run f(i) over [0,n) on `pool`, or serially when pool is nullptr.
-void forEachIndex(ThreadPool* pool, std::size_t n,
-                  const std::function<void(std::size_t)>& f, std::size_t grain = 0);
+template <class F>
+void forEachIndex(ThreadPool* pool, std::size_t n, F&& f, std::size_t grain = 0) {
+    if (pool)
+        pool->parallelFor(n, f, grain);
+    else
+        serialFor(n, f);
+}
 
 }  // namespace mpcgs

@@ -65,9 +65,17 @@ double Genealogy::branchLength(NodeId id) const {
 
 std::vector<NodeId> Genealogy::postorder() const {
     std::vector<NodeId> out;
+    std::vector<NodeId> stack;
+    postorderInto(out, stack);
+    return out;
+}
+
+void Genealogy::postorderInto(std::vector<NodeId>& out, std::vector<NodeId>& stack) const {
+    out.clear();
     out.reserve(nodes_.size());
-    // Iterative two-stack postorder.
-    std::vector<NodeId> stack{root_};
+    // Iterative two-stack postorder (reversed reverse-preorder).
+    stack.clear();
+    stack.push_back(root_);
     while (!stack.empty()) {
         const NodeId id = stack.back();
         stack.pop_back();
@@ -77,7 +85,6 @@ std::vector<NodeId> Genealogy::postorder() const {
         if (nd.child[1] != kNoNode) stack.push_back(nd.child[1]);
     }
     std::reverse(out.begin(), out.end());
-    return out;
 }
 
 std::vector<NodeId> Genealogy::preorder() const {

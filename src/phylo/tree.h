@@ -80,6 +80,10 @@ class Genealogy {
 
     /// Node ids in postorder (children before parents) from the root.
     std::vector<NodeId> postorder() const;
+    /// Postorder into caller-owned storage: `out` receives the ids and
+    /// `stack` is traversal scratch. Neither allocates once warm — the
+    /// allocation-free form used by the evaluation hot path.
+    void postorderInto(std::vector<NodeId>& out, std::vector<NodeId>& stack) const;
     /// Node ids in preorder.
     std::vector<NodeId> preorder() const;
 

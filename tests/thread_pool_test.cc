@@ -109,6 +109,129 @@ TEST(ForEachIndexTest, NullPoolRunsSerially) {
     for (const int h : hits) EXPECT_EQ(h, 1);
 }
 
+// --- stress & safety ---------------------------------------------------------
+
+TEST(ThreadPoolTest, NestedLaunchRunsSeriallyInline) {
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(64 * 32);
+    std::atomic<int> nestedInside{0};
+    pool.parallelFor(64, [&](std::size_t outer) {
+        EXPECT_TRUE(pool.insideLaunch());
+        // A launch from inside a launch must degrade to a serial inline
+        // loop instead of corrupting the in-flight launch slot.
+        pool.parallelFor(32, [&](std::size_t inner) {
+            nestedInside.fetch_add(1);
+            hits[outer * 32 + inner].fetch_add(1);
+        });
+    });
+    EXPECT_FALSE(pool.insideLaunch());
+    EXPECT_EQ(nestedInside.load(), 64 * 32);
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, NestedReduceInsideLaunch) {
+    ThreadPool pool(4);
+    std::vector<double> out(32, 0.0);
+    pool.parallelFor(out.size(), [&](std::size_t i) {
+        out[i] = pool.parallelReduce(
+            100, 0.0, [](std::size_t j) { return static_cast<double>(j); },
+            [](double a, double b) { return a + b; });
+    });
+    for (const double v : out) EXPECT_DOUBLE_EQ(v, 4950.0);
+}
+
+TEST(ThreadPoolTest, ExceptionUnderContention) {
+    // Every index throws: many workers race to record the error; exactly
+    // one exception must propagate and the pool must stay healthy.
+    ThreadPool pool(8);
+    for (int round = 0; round < 20; ++round) {
+        EXPECT_THROW(
+            pool.parallelFor(512, [](std::size_t i) {
+                throw std::runtime_error("boom " + std::to_string(i));
+            }),
+            std::runtime_error);
+        std::atomic<int> count{0};
+        pool.parallelFor(256, [&](std::size_t) { count.fetch_add(1); });
+        ASSERT_EQ(count.load(), 256);
+    }
+}
+
+TEST(ThreadPoolTest, RapidSmallLaunches) {
+    // Launch overhead path: thousands of tiny back-to-back grids, the shape
+    // of per-proposal and per-coalescence launches during sampling.
+    ThreadPool pool(4);
+    std::uint64_t checksum = 0;
+    for (int round = 0; round < 20000; ++round) {
+        const std::size_t n = 2 + static_cast<std::size_t>(round % 7);
+        std::atomic<std::uint64_t> sum{0};
+        pool.parallelFor(n, [&](std::size_t i) { sum.fetch_add(i + 1); }, 1);
+        checksum += sum.load();
+        ASSERT_EQ(sum.load(), n * (n + 1) / 2);
+    }
+    EXPECT_GT(checksum, 0u);
+}
+
+TEST(ThreadPoolTest, OversubscribedPoolIsCorrect) {
+    // Pool much wider than the hardware: surplus workers park; correctness
+    // and exception handling must be unaffected.
+    ThreadPool pool(4 * hardwareThreads());
+    std::vector<std::atomic<int>> hits(20000);
+    pool.parallelFor(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (const auto& h : hits) ASSERT_EQ(h.load(), 1);
+    const double sum = pool.parallelReduce(
+        1000, 0.0, [](std::size_t i) { return static_cast<double>(i); },
+        [](double a, double b) { return a + b; });
+    EXPECT_DOUBLE_EQ(sum, 999.0 * 1000.0 / 2.0);
+    EXPECT_THROW(pool.parallelFor(100,
+                                  [](std::size_t i) {
+                                      if (i == 50) throw std::runtime_error("x");
+                                  }),
+                 std::runtime_error);
+}
+
+// Bitwise thread-count invariance across launch shapes: chunk-indexed
+// outputs must be identical for any pool width, for every launch entry
+// point the stack uses.
+TEST(ThreadPoolTest, BitwiseInvarianceAcrossWidths) {
+    const std::size_t n = 4097;
+    const auto runAll = [n](unsigned width) {
+        ThreadPool pool(width);
+        std::vector<double> viaFor(n), viaSlot(n), viaBlocked(n), viaChains(8);
+        pool.parallelFor(n, [&](std::size_t i) {
+            viaFor[i] = std::sin(static_cast<double>(i) * 0.7) * 3.0;
+        });
+        pool.parallelForSlot(n, [&](std::size_t i, unsigned) {
+            viaSlot[i] = std::cos(static_cast<double>(i) * 1.3);
+        });
+        launchBlocked(&pool, n, 64, [&](std::size_t, std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i)
+                viaBlocked[i] = std::sin(static_cast<double>(i)) * 0.5 + 1.0;
+        });
+        launchChains(&pool, viaChains.size(), [&](std::size_t c) {
+            double acc = static_cast<double>(c) + 0.5;
+            for (int k = 0; k < 100; ++k) acc = acc * 0.99 + std::cos(acc);
+            viaChains[c] = acc;
+        });
+        std::vector<double> blockRed;
+        for (const std::size_t bd : {1u, 3u, 64u, 1024u}) {
+            blockRed.push_back(blockReduceAdd(&pool, viaFor, bd));
+            blockRed.push_back(blockReduceLogSumExp(&pool, viaBlocked, bd));
+            blockRed.push_back(blockReduceMax(&pool, viaSlot, bd));
+        }
+        std::vector<double> all;
+        for (const auto* v : {&viaFor, &viaSlot, &viaBlocked, &viaChains, &blockRed})
+            all.insert(all.end(), v->begin(), v->end());
+        return all;
+    };
+    const auto ref = runAll(1);
+    for (const unsigned width : {2u, 4u, 8u}) {
+        const auto got = runAll(width);
+        ASSERT_EQ(got.size(), ref.size());
+        for (std::size_t i = 0; i < ref.size(); ++i)
+            ASSERT_EQ(got[i], ref[i]) << "width " << width << " index " << i;
+    }
+}
+
 // --- kernel facade -----------------------------------------------------------
 
 TEST(KernelTest, LaunchCoversGrid) {
