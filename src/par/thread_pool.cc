@@ -68,7 +68,10 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::launchImpl(std::size_t n, std::size_t grain, ChunkFn fn, void* ctx) {
     std::lock_guard<std::mutex> launchGuard(launchMu_);
+    launchLocked(n, grain, fn, ctx);
+}
 
+void ThreadPool::launchLocked(std::size_t n, std::size_t grain, ChunkFn fn, void* ctx) {
     if (grain == 0) {
         // Aim for ~4 chunks per slot: slack for stealing to balance uneven
         // work without per-chunk dispatch dominating small grids.

@@ -108,20 +108,38 @@ class ThreadPool {
     /// commutative: the index→slot assignment is dynamic (work-stealing),
     /// so the result is NOT bitwise reproducible for non-exact combines —
     /// bitwise-deterministic reductions go through chunk-indexed slots
-    /// instead (par/kernel.h blockReduce*). Per-slot partials live in
-    /// cache-line-padded persistent storage (no false sharing, no
-    /// per-call allocation).
+    /// instead (par/kernel.h blockReduce*). A top-level reduce folds into
+    /// cache-line-padded persistent per-slot storage (no false sharing,
+    /// no per-call allocation) and holds the launch mutex across the
+    /// whole reset/launch/fold sequence, so reduces from distinct
+    /// external threads serialize safely. Serial and nested reduces fold
+    /// into a function-local accumulator and never touch the shared
+    /// slots.
     template <class Map, class Combine>
     double parallelReduce(std::size_t n, double identity, Map&& map, Combine&& combine,
                           std::size_t grain = 0) {
+        if (n == 0) return identity;
+        if (runsInline(n)) {
+            // Serial / nested path: fold into a function-local accumulator.
+            // reduceSlots_ belongs to the (at most one) top-level reduce in
+            // flight; a nested reduce touching it would race with every
+            // other worker of the outer launch.
+            double acc = identity;
+            for (std::size_t i = 0; i < n; ++i) acc = combine(acc, map(i));
+            return acc;
+        }
+        // Top-level path: hold the launch mutex across the whole
+        // reset/launch/fold sequence so reduces submitted concurrently from
+        // distinct external threads cannot interleave on the shared
+        // per-slot partial storage.
+        std::lock_guard<std::mutex> launchGuard(launchMu_);
         for (unsigned s = 0; s < width_; ++s) reduceSlots_[s].value = identity;
-        parallelForSlot(
-            n,
-            [&](std::size_t i, unsigned slot) {
-                double& acc = reduceSlots_[slot].value;
-                acc = combine(acc, map(i));
-            },
-            grain);
+        auto body = [&](std::size_t i, unsigned slot) {
+            double& acc = reduceSlots_[slot].value;
+            acc = combine(acc, map(i));
+        };
+        launchLocked(n, grain, &chunkTrampolineSlot<decltype(body)>,
+                     const_cast<void*>(static_cast<const void*>(&body)));
         double acc = identity;
         for (unsigned s = 0; s < width_; ++s) acc = combine(acc, reduceSlots_[s].value);
         return acc;
@@ -165,6 +183,9 @@ class ThreadPool {
     }
 
     void launchImpl(std::size_t n, std::size_t grain, ChunkFn fn, void* ctx);
+    /// Launch body; caller must hold launchMu_. Lets parallelReduce keep
+    /// the mutex across its reset/launch/fold sequence.
+    void launchLocked(std::size_t n, std::size_t grain, ChunkFn fn, void* ctx);
     void workerLoop(unsigned slot);
     void runChunks(unsigned slot);
     void executeChunk(std::size_t chunk, unsigned slot);

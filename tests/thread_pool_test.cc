@@ -3,6 +3,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -130,14 +131,42 @@ TEST(ThreadPoolTest, NestedLaunchRunsSeriallyInline) {
 }
 
 TEST(ThreadPoolTest, NestedReduceInsideLaunch) {
+    // Nested reduces fold into function-local accumulators: many outer
+    // indices reduce concurrently, and every one must see an exact result
+    // (a regression here means the shared per-slot partials leaked into
+    // the nested path — a data race TSAN flags deterministically).
     ThreadPool pool(4);
-    std::vector<double> out(32, 0.0);
+    std::vector<double> out(256, 0.0);
     pool.parallelFor(out.size(), [&](std::size_t i) {
         out[i] = pool.parallelReduce(
             100, 0.0, [](std::size_t j) { return static_cast<double>(j); },
             [](double a, double b) { return a + b; });
     });
     for (const double v : out) EXPECT_DOUBLE_EQ(v, 4950.0);
+}
+
+TEST(ThreadPoolTest, ConcurrentExternalReduces) {
+    // Reduces submitted from distinct external threads serialize on the
+    // launch mutex for the full reset/launch/fold sequence; neither may
+    // corrupt the other's per-slot partials.
+    ThreadPool pool(4);
+    std::atomic<bool> go{false};
+    std::vector<double> results(4, 0.0);
+    std::vector<std::thread> callers;
+    for (std::size_t t = 0; t < results.size(); ++t) {
+        callers.emplace_back([&, t] {
+            while (!go.load()) std::this_thread::yield();
+            for (int round = 0; round < 50; ++round) {
+                results[t] = pool.parallelReduce(
+                    1000, 0.0, [](std::size_t j) { return static_cast<double>(j); },
+                    [](double a, double b) { return a + b; });
+                EXPECT_DOUBLE_EQ(results[t], 999.0 * 1000.0 / 2.0);
+            }
+        });
+    }
+    go.store(true);
+    for (auto& c : callers) c.join();
+    for (const double v : results) EXPECT_DOUBLE_EQ(v, 999.0 * 1000.0 / 2.0);
 }
 
 TEST(ThreadPoolTest, ExceptionUnderContention) {
