@@ -19,6 +19,7 @@
 #include "core/recoalesce.h"
 #include "lik/felsenstein.h"
 #include "par/kernel.h"
+#include "util/build_info.h"
 #include "phylo/upgma.h"
 #include "rng/mt19937.h"
 #include "rng/philox.h"
@@ -237,6 +238,7 @@ int main(int argc, char** argv) {
     if (!hasOut) {
         args.push_back(outFlag.data());
         args.push_back(fmtFlag.data());
+        mpcgs::warnIfDirtyProvenance("BENCH_likelihood.json");
     }
     int n = static_cast<int>(args.size());
     benchmark::Initialize(&n, args.data());

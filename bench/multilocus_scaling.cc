@@ -21,6 +21,7 @@
 #include "bench/workload.h"
 #include "rng/splitmix.h"
 #include "seq/dataset.h"
+#include "util/build_info.h"
 #include "util/table.h"
 #include "util/timer.h"
 
@@ -89,6 +90,7 @@ int main(int argc, char** argv) {
     }
     table.print(std::cout);
 
+    warnIfDirtyProvenance("BENCH_multilocus.json");
     std::ofstream json("BENCH_multilocus.json");
     json << "{\n  \"benchmark\": \"multilocus_scaling\",\n";
     json << "  \"config\": {\"sequences\": " << nSeq << ", \"length\": " << length

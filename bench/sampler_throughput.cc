@@ -93,6 +93,7 @@ int main(int argc, char** argv) {
     }
     table.print(std::cout);
 
+    warnIfDirtyProvenance("BENCH_mcmc.json");
     std::ofstream json("BENCH_mcmc.json");
     json << "{\n  \"benchmark\": \"sampler_throughput\",\n";
     json << "  \"provenance\": " << buildProvenanceJson() << ",\n";

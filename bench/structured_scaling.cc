@@ -22,6 +22,7 @@
 #include "rng/mt19937.h"
 #include "seq/seqgen.h"
 #include "seq/subst_model.h"
+#include "util/build_info.h"
 #include "util/options.h"
 #include "util/table.h"
 
@@ -101,6 +102,7 @@ int main(int argc, char** argv) {
     }
     table.print(std::cout);
 
+    warnIfDirtyProvenance("BENCH_structured.json");
     std::ofstream json("BENCH_structured.json");
     json << "{\n  \"benchmark\": \"structured_scaling\",\n";
     json << "  \"config\": {\"sequences_per_deme\": " << nPerDeme

@@ -1,0 +1,71 @@
+// ArenaBackend — eager reference execution of the likelihood operation
+// queue. Every operation runs at enqueue time through the shared
+// forest_kernels, serially on the enqueueing thread; flush() is a no-op
+// barrier. This wraps the pre-backend SIMD pattern-major arena execution
+// exactly (same kernels, same order), so it is the bitwise reference the
+// batched backend is gated against — and it stays the simplest thing to
+// read when debugging a numerical question.
+#include "lik/forest_kernels.h"
+#include "lik/lik_backend.h"
+
+namespace mpcgs {
+namespace detail {
+namespace {
+
+class ArenaBackend final : public SlotArenaBackend {
+  public:
+    using SlotArenaBackend::SlotArenaBackend;
+
+    LikBackendKind kind() const override { return LikBackendKind::Arena; }
+
+    void tipInit(Slot dst, int tip) override {
+        const std::size_t P = patterns_.patternCount();
+        forestTipInitRange(patterns_, tip, dataPtr(dst), scalePtr(dst), P,
+                           rates_.count(), 0, P);
+    }
+
+    void combine(Slot parent, Slot childA, double lenA, Slot childB,
+                 double lenB) override {
+        const std::size_t P = patterns_.patternCount();
+        const std::size_t C = rates_.count();
+        const double* va = dataPtr(childA);
+        const double* vb = dataPtr(childB);
+        double* vo = dataPtr(parent);
+        for (std::size_t c = 0; c < C; ++c) {
+            const double rate = rates_.rates[c];
+            const Matrix4 pa = model_.transition(lenA * rate);
+            const Matrix4 pb = model_.transition(lenB * rate);
+            forestCombineRange(pa, pb, va + c * P * 4, vb + c * P * 4,
+                               vo + c * P * 4, 0, P);
+        }
+        forestRescaleRange(vo, scalePtr(parent), scalePtr(childA),
+                           scalePtr(childB), P, C, 0, P);
+        ++stats_.combineOps;
+        ++pendingCombines_;
+        stats_.matricesComputed += 2 * C;
+    }
+
+    void rootLogLik(Slot slot, double* out) override {
+        *out = forestRootLogLik(dataPtr(slot), scalePtr(slot), patterns_, pi_,
+                                rates_);
+    }
+
+    void flush(ThreadPool* /*pool*/) override {
+        ++stats_.flushes;
+        if (pendingCombines_ > stats_.maxBatchCombines)
+            stats_.maxBatchCombines = pendingCombines_;
+        pendingCombines_ = 0;
+    }
+
+  private:
+    std::size_t pendingCombines_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<LikelihoodBackend> makeArenaBackend(const DataLikelihood& lik) {
+    return std::make_unique<ArenaBackend>(lik);
+}
+
+}  // namespace detail
+}  // namespace mpcgs

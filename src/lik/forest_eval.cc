@@ -1,7 +1,6 @@
 #include "lik/forest_eval.h"
 
-#include <cmath>
-#include <limits>
+#include "lik/forest_kernels.h"
 
 namespace mpcgs {
 
@@ -15,19 +14,9 @@ SubtreePartials ForestEvaluator::tipPartials(int tip) const {
     const std::size_t P = patterns_.patternCount();
     const std::size_t C = rates_.count();
     SubtreePartials s;
-    s.data.assign(C * P * 4, 0.0);
-    s.scaleLog.assign(P, 0.0);
-    for (std::size_t p = 0; p < P; ++p) {
-        const NucCode code = patterns_.code(p, static_cast<std::size_t>(tip));
-        for (std::size_t c = 0; c < C; ++c) {
-            double* v = &s.data[(c * P + p) * 4];
-            if (code == kNucUnknown) {
-                v[0] = v[1] = v[2] = v[3] = 1.0;
-            } else {
-                v[code] = 1.0;
-            }
-        }
-    }
+    s.data.resize(C * P * 4);
+    s.scaleLog.resize(P);
+    forestTipInitRange(patterns_, tip, s.data.data(), s.scaleLog.data(), P, C, 0, P);
     return s;
 }
 
@@ -43,61 +32,15 @@ void ForestEvaluator::combine(const SubtreePartials& a, double lenA,
         const double rate = rates_.rates[c];
         const Matrix4 pa = model_.transition(lenA * rate);
         const Matrix4 pb = model_.transition(lenB * rate);
-        for (std::size_t p = 0; p < P; ++p) {
-            const double* va = &a.data[(c * P + p) * 4];
-            const double* vb = &b.data[(c * P + p) * 4];
-            double* vo = &out.data[(c * P + p) * 4];
-            for (std::size_t x = 0; x < 4; ++x) {
-                double sa = 0.0, sb = 0.0;
-                for (std::size_t y = 0; y < 4; ++y) {
-                    sa += pa(x, y) * va[y];
-                    sb += pb(x, y) * vb[y];
-                }
-                vo[x] = sa * sb;
-            }
-        }
+        forestCombineRange(pa, pb, &a.data[c * P * 4], &b.data[c * P * 4],
+                           &out.data[c * P * 4], 0, P);
     }
-    // Per-pattern max rescale (common factor across categories so the
-    // category average at the root stays exact).
-    for (std::size_t p = 0; p < P; ++p) {
-        double m = 0.0;
-        for (std::size_t c = 0; c < C; ++c) {
-            const double* vo = &out.data[(c * P + p) * 4];
-            for (std::size_t x = 0; x < 4; ++x)
-                if (vo[x] > m) m = vo[x];
-        }
-        const double carried = a.scaleLog[p] + b.scaleLog[p];
-        if (m > 0.0) {
-            const double inv = 1.0 / m;
-            for (std::size_t c = 0; c < C; ++c) {
-                double* vo = &out.data[(c * P + p) * 4];
-                for (std::size_t x = 0; x < 4; ++x) vo[x] *= inv;
-            }
-            out.scaleLog[p] = carried + std::log(m);
-        } else {
-            out.scaleLog[p] = carried;
-        }
-    }
+    forestRescaleRange(out.data.data(), out.scaleLog.data(), a.scaleLog.data(),
+                       b.scaleLog.data(), P, C, 0, P);
 }
 
 double ForestEvaluator::rootLogLikelihood(const SubtreePartials& s) const {
-    const std::size_t P = patterns_.patternCount();
-    const std::size_t C = rates_.count();
-    double total = 0.0;
-    for (std::size_t p = 0; p < P; ++p) {
-        double site = 0.0;
-        for (std::size_t c = 0; c < C; ++c) {
-            const double* v = &s.data[(c * P + p) * 4];
-            double root = 0.0;
-            for (std::size_t x = 0; x < 4; ++x) root += pi_[x] * v[x];
-            site += rates_.weights[c] * root;
-        }
-        const double logSite = site > 0.0
-                                   ? std::log(site) + s.scaleLog[p]
-                                   : -std::numeric_limits<double>::infinity();
-        total += patterns_.weight(p) * logSite;
-    }
-    return total;
+    return forestRootLogLik(s.data.data(), s.scaleLog.data(), patterns_, pi_, rates_);
 }
 
 }  // namespace mpcgs

@@ -1,0 +1,89 @@
+#include "lik/forest_kernels.h"
+
+#include <cmath>
+#include <limits>
+
+namespace mpcgs {
+
+void forestTipInitRange(const SitePatterns& patterns, int tip, double* data,
+                        double* scaleLog, std::size_t P, std::size_t C,
+                        std::size_t p0, std::size_t n) {
+    for (std::size_t p = p0; p < p0 + n; ++p) {
+        const NucCode code = patterns.code(p, static_cast<std::size_t>(tip));
+        for (std::size_t c = 0; c < C; ++c) {
+            double* v = data + (c * P + p) * 4;
+            if (code == kNucUnknown) {
+                v[0] = v[1] = v[2] = v[3] = 1.0;
+            } else {
+                v[0] = v[1] = v[2] = v[3] = 0.0;
+                v[code] = 1.0;
+            }
+        }
+        scaleLog[p] = 0.0;
+    }
+}
+
+void forestCombineRange(const Matrix4& pa, const Matrix4& pb, const double* va,
+                        const double* vb, double* vo, std::size_t p0, std::size_t n) {
+    for (std::size_t p = p0; p < p0 + n; ++p) {
+        const double* a = va + p * 4;
+        const double* b = vb + p * 4;
+        double* o = vo + p * 4;
+        for (std::size_t x = 0; x < 4; ++x) {
+            double sa = 0.0, sb = 0.0;
+            for (std::size_t y = 0; y < 4; ++y) {
+                sa += pa(x, y) * a[y];
+                sb += pb(x, y) * b[y];
+            }
+            o[x] = sa * sb;
+        }
+    }
+}
+
+void forestRescaleRange(double* data, double* scaleLog, const double* scaleA,
+                        const double* scaleB, std::size_t P, std::size_t C,
+                        std::size_t p0, std::size_t n) {
+    for (std::size_t p = p0; p < p0 + n; ++p) {
+        double m = 0.0;
+        for (std::size_t c = 0; c < C; ++c) {
+            const double* vo = data + (c * P + p) * 4;
+            for (std::size_t x = 0; x < 4; ++x)
+                if (vo[x] > m) m = vo[x];
+        }
+        const double carried = scaleA[p] + scaleB[p];
+        if (m > 0.0) {
+            const double inv = 1.0 / m;
+            for (std::size_t c = 0; c < C; ++c) {
+                double* vo = data + (c * P + p) * 4;
+                for (std::size_t x = 0; x < 4; ++x) vo[x] *= inv;
+            }
+            scaleLog[p] = carried + std::log(m);
+        } else {
+            scaleLog[p] = carried;
+        }
+    }
+}
+
+double forestRootLogLik(const double* data, const double* scaleLog,
+                        const SitePatterns& patterns, const BaseFreqs& pi,
+                        const RateCategories& rates) {
+    const std::size_t P = patterns.patternCount();
+    const std::size_t C = rates.count();
+    double total = 0.0;
+    for (std::size_t p = 0; p < P; ++p) {
+        double site = 0.0;
+        for (std::size_t c = 0; c < C; ++c) {
+            const double* v = data + (c * P + p) * 4;
+            double root = 0.0;
+            for (std::size_t x = 0; x < 4; ++x) root += pi[x] * v[x];
+            site += rates.weights[c] * root;
+        }
+        const double logSite = site > 0.0
+                                   ? std::log(site) + scaleLog[p]
+                                   : -std::numeric_limits<double>::infinity();
+        total += patterns.weight(p) * logSite;
+    }
+    return total;
+}
+
+}  // namespace mpcgs

@@ -1,0 +1,162 @@
+// Pluggable likelihood backend — BEAGLE-style batched operation execution
+// for the partial-forest (SMC) likelihood path.
+//
+// Callers never evaluate partials directly: they allocate backend-owned
+// PARTIALS SLOTS, enqueue operations against them —
+//
+//   tipInit(slot, tip)                         fill tip indicator vectors
+//   combine(parent, childA, lenA, childB, lenB) Eq. 19 merge of two roots
+//   rootLogLik(slot, &out)                     forest root factor -> out
+//
+// — and then flush() once. The contract: operation RESULTS are guaranteed
+// visible only after flush(); a backend is free to execute eagerly at
+// enqueue time (ArenaBackend) or to buffer a whole generation of
+// operations from every particle and execute them as one flat launch
+// (BatchedBackend). Backends affect SCHEDULING only, never values: all
+// backends run the identical per-pattern machine code (lik/forest_kernels)
+// and fold in the identical order, so results are bitwise identical across
+// backends and thread counts. This is the seam where a GPU or distributed
+// backend plugs in later without touching sampler code.
+//
+// Enqueue thread-safety: tipInit/combine/rootLogLik may be called
+// concurrently from inside a parallel launch (the SMC propagation phase),
+// provided no two concurrent operations write the same parent slot and a
+// batch never chains dependent combines (a combine's parent must not be
+// another queued combine's child). flush(), resizeSlots() and copySlot()
+// are serial-context only.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "lik/felsenstein.h"
+#include "par/thread_pool.h"
+#include "util/aligned.h"
+
+namespace mpcgs {
+
+enum class LikBackendKind { Arena, Batched };
+
+/// Backends are scheduling-neutral, so the faster batched execution is the
+/// default; `--lik-backend arena` selects the eager reference execution.
+inline constexpr LikBackendKind kDefaultLikBackend = LikBackendKind::Batched;
+
+const char* likBackendName(LikBackendKind kind);
+
+/// Parse "arena" | "batched"; throws ConfigError listing the choices.
+LikBackendKind parseLikBackend(const std::string& name);
+
+/// Execution counters (diagnostics + the bench backend column). A "batch"
+/// is the set of operations executed by one flush; distinct transition
+/// matrices are counted per (branch length, rate category) pair actually
+/// exponentiated.
+struct LikBatchStats {
+    std::size_t flushes = 0;
+    std::size_t combineOps = 0;        ///< lifetime combine operations
+    std::size_t maxBatchCombines = 0;  ///< largest single-flush combine batch
+    std::size_t matricesComputed = 0;  ///< transition matrices exponentiated
+};
+
+class LikelihoodBackend {
+  public:
+    /// Opaque handle to one backend-owned partials buffer (conditional
+    /// likelihood vectors of one live subtree root).
+    using Slot = std::uint32_t;
+
+    virtual ~LikelihoodBackend() = default;
+
+    virtual LikBackendKind kind() const = 0;
+    const char* name() const { return likBackendName(kind()); }
+
+    // --- problem shape (from the wrapped DataLikelihood) -------------------
+    virtual std::size_t patternCount() const = 0;
+    virtual std::size_t categoryCount() const = 0;
+    virtual const std::vector<std::string>& tipNames() const = 0;
+
+    // --- slot pool ---------------------------------------------------------
+    /// Make `n` slots available (contents unspecified; grow-only storage,
+    /// so shrinking or re-requesting a fitting size never reallocates).
+    virtual void resizeSlots(std::size_t n) = 0;
+    virtual std::size_t slotCount() const = 0;
+
+    // --- operation queue ---------------------------------------------------
+    virtual void tipInit(Slot dst, int tip) = 0;
+    virtual void combine(Slot parent, Slot childA, double lenA, Slot childB,
+                         double lenB) = 0;
+    virtual void rootLogLik(Slot slot, double* out) = 0;
+    /// Execute everything queued since the last flush; on return all
+    /// enqueued results are visible. Uses `pool` for the batch launches
+    /// (nullptr = serial).
+    virtual void flush(ThreadPool* pool) = 0;
+
+    // --- state management (resampling, diagnostics, tests) -----------------
+    /// Copy one slot's content onto another (no-op when dst == src).
+    virtual void copySlot(Slot dst, Slot src) = 0;
+    /// Raw views of a slot's conditional vectors / per-pattern log scale
+    /// (valid until the next resizeSlots). CPU backends expose their arena
+    /// directly; a device backend would stage through a host mirror.
+    virtual std::span<const double> slotData(Slot slot) const = 0;
+    virtual std::span<const double> slotScale(Slot slot) const = 0;
+
+    virtual const LikBatchStats& stats() const = 0;
+};
+
+/// Construct a backend of `kind` over the pattern data / substitution
+/// model / rate categories of `lik` (which must outlive the backend).
+std::unique_ptr<LikelihoodBackend> makeLikelihoodBackend(LikBackendKind kind,
+                                                         const DataLikelihood& lik);
+
+namespace detail {
+
+/// Shared CPU slot storage: one 64-byte-aligned grow-only slab of
+/// conditional vectors plus one of per-pattern log scales, slot-strided.
+/// Both CPU backends derive from this; the slot layout is identical, so a
+/// cloud can switch backends without re-learning slot geometry.
+class SlotArenaBackend : public LikelihoodBackend {
+  public:
+    explicit SlotArenaBackend(const DataLikelihood& lik);
+
+    std::size_t patternCount() const final { return patterns_.patternCount(); }
+    std::size_t categoryCount() const final { return rates_.count(); }
+    const std::vector<std::string>& tipNames() const final {
+        return patterns_.sequenceNames();
+    }
+
+    void resizeSlots(std::size_t n) override;
+    std::size_t slotCount() const final { return slots_; }
+
+    void copySlot(Slot dst, Slot src) final;
+    std::span<const double> slotData(Slot slot) const final {
+        return {dataPtr(slot), dataLen_};
+    }
+    std::span<const double> slotScale(Slot slot) const final {
+        return {scalePtr(slot), patterns_.patternCount()};
+    }
+
+    const LikBatchStats& stats() const final { return stats_; }
+
+  protected:
+    double* dataPtr(Slot s) { return data_.data() + s * dataStride_; }
+    const double* dataPtr(Slot s) const { return data_.data() + s * dataStride_; }
+    double* scalePtr(Slot s) { return scale_.data() + s * scaleStride_; }
+    const double* scalePtr(Slot s) const { return scale_.data() + s * scaleStride_; }
+
+    const SitePatterns& patterns_;
+    const SubstModel& model_;
+    const BaseFreqs& pi_;
+    const RateCategories& rates_;
+    std::size_t dataLen_ = 0;     ///< doubles of one slot's vectors (C*P*4)
+    std::size_t dataStride_ = 0;  ///< dataLen_ rounded up to the cache line
+    std::size_t scaleStride_ = 0;
+    std::size_t slots_ = 0;
+    AlignedDoubles data_;
+    AlignedDoubles scale_;
+    LikBatchStats stats_;
+};
+
+}  // namespace detail
+
+}  // namespace mpcgs

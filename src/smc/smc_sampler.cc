@@ -8,7 +8,6 @@
 #include "core/numeric_guard.h"
 #include "par/kernel.h"
 #include "rng/splitmix.h"
-#include "smc/particle_cloud.h"
 #include "util/error.h"
 #include "util/failpoint.h"
 #include "util/logspace.h"
@@ -22,151 +21,183 @@ void validateSmcOptions(const SmcOptions& opts) {
     if (opts.blockSize == 0) throw ConfigError("smc: particle block size must be >= 1");
 }
 
-namespace {
-
-/// Advance one particle by one coalescence: prior-rate waiting time,
-/// uniform pair, one combine(); returns the incremental log-weight
-/// (partial-likelihood ratio). `eventIndex` is the arena id of the new
-/// internal node.
-double propagateParticle(Particle& pt, Mt19937& rng, const ForestEvaluator& eval,
-                         double theta, NodeId newNode) {
-    const int k = pt.lineageCount();
-    // Waiting time of the NEXT coalescence among k lineages: total rate
-    // k(k-1)/theta (Eq. 17 summed over the k(k-1)/2 pairs).
-    const double rate = static_cast<double>(k) * static_cast<double>(k - 1) / theta;
-    const double t = pt.lastEventTime + rng.exponential(rate);
-
-    // Uniform unordered pair (i, j), i < j.
-    const std::size_t i = static_cast<std::size_t>(rng.below(static_cast<std::uint64_t>(k)));
-    std::size_t j = static_cast<std::size_t>(rng.below(static_cast<std::uint64_t>(k - 1)));
-    if (j >= i) ++j;
-    const std::size_t a = i < j ? i : j;
-    const std::size_t b = i < j ? j : i;
-
-    const NodeId ra = pt.roots[a];
-    const NodeId rb = pt.roots[b];
-    const double lenA = t - pt.tree.node(ra).time;
-    const double lenB = t - pt.tree.node(rb).time;
-
-    pt.tree.node(newNode).time = t;
-    pt.tree.link(newNode, ra);
-    pt.tree.link(newNode, rb);
-
-    SubtreePartials merged;
-    eval.combine(pt.partials[a], lenA, pt.partials[b], lenB, merged);
-    const double mergedLogL = eval.rootLogLikelihood(merged);
-    const double inc = mergedLogL - pt.rootLogL[a] - pt.rootLogL[b];
-
-    // Replace root a with the merged subtree, drop root b (swap-with-back
-    // keeps the arrays dense; order within a particle is slot-local state,
-    // so this stays deterministic).
-    pt.roots[a] = newNode;
-    pt.partials[a] = std::move(merged);
-    pt.rootLogL[a] = mergedLogL;
-    pt.roots[b] = pt.roots.back();
-    pt.roots.pop_back();
-    pt.partials[b] = std::move(pt.partials.back());
-    pt.partials.pop_back();
-    pt.rootLogL[b] = pt.rootLogL.back();
-    pt.rootLogL.pop_back();
-    pt.lastEventTime = t;
-    return inc;
+SmcFilter::SmcFilter(LikelihoodBackend& backend, double theta, const SmcOptions& opts,
+                     std::uint64_t passSeed, ThreadPool* pool)
+    : backend_(backend),
+      theta_(theta),
+      opts_(opts),
+      passSeed_(passSeed),
+      pool_(pool),
+      totalEvents_([&] {
+          validateSmcOptions(opts);
+          if (theta <= 0.0) throw ConfigError("smc: theta must be positive");
+          const int n = static_cast<int>(backend.tipNames().size());
+          if (n < 2) throw ConfigError("smc: need at least 2 sequences");
+          return n - 1;
+      }()),
+      cloud_(opts.particles, backend, totalEvents_ + 1, passSeed, pool) {
+    const std::size_t N = cloud_.size();
+    res_.logZ = cloud_.initialLogForestLikelihood();
+    inc_.resize(N);
+    oldA_.resize(N);
+    oldB_.resize(N);
+    mergedLogL_.resize(N);
+    mergedPos_.resize(N);
 }
 
-}  // namespace
+void SmcFilter::step() {
+    const std::size_t N = cloud_.size();
+    const int n = totalEvents_ + 1;
+    const int event = event_;
+    const NodeId newNode = n + event;
+
+    // Phase one — parallel over particle blocks: each slot draws its own
+    // event with its own stream, updates slot-local topology, and enqueues
+    // the generation's likelihood work (one combine + one root fold per
+    // particle) against pass-static backend slots. The block partition
+    // depends only on (N, blockSize).
+    launchBlocked(pool_, N, opts_.blockSize,
+                  [&](std::size_t, std::size_t begin, std::size_t end) {
+                      for (std::size_t p = begin; p < end; ++p) {
+                          Particle& pt = cloud_.particle(p);
+                          Mt19937& rng = cloud_.slotRng(p);
+                          const int k = pt.lineageCount();
+                          // Waiting time of the NEXT coalescence among k
+                          // lineages: total rate k(k-1)/theta (Eq. 17
+                          // summed over the k(k-1)/2 pairs).
+                          const double rate = static_cast<double>(k) *
+                                              static_cast<double>(k - 1) / theta_;
+                          const double t = pt.lastEventTime + rng.exponential(rate);
+
+                          // Uniform unordered pair (i, j), i < j.
+                          const std::size_t i = static_cast<std::size_t>(
+                              rng.below(static_cast<std::uint64_t>(k)));
+                          std::size_t j = static_cast<std::size_t>(
+                              rng.below(static_cast<std::uint64_t>(k - 1)));
+                          if (j >= i) ++j;
+                          const std::size_t a = i < j ? i : j;
+                          const std::size_t b = i < j ? j : i;
+
+                          const NodeId ra = pt.roots[a];
+                          const NodeId rb = pt.roots[b];
+                          const double lenA = t - pt.tree.node(ra).time;
+                          const double lenB = t - pt.tree.node(rb).time;
+
+                          pt.tree.node(newNode).time = t;
+                          pt.tree.link(newNode, ra);
+                          pt.tree.link(newNode, rb);
+
+                          const ParticleCloud::Slot parent =
+                              cloud_.internalSlot(p, event);
+                          backend_.combine(parent, pt.slots[a], lenA, pt.slots[b],
+                                           lenB);
+                          backend_.rootLogLik(parent, &mergedLogL_[p]);
+                          oldA_[p] = pt.rootLogL[a];
+                          oldB_[p] = pt.rootLogL[b];
+                          mergedPos_[p] = static_cast<std::uint32_t>(a);
+
+                          // Replace root a with the merged subtree, drop
+                          // root b (swap-with-back keeps the arrays dense;
+                          // a < b, so position a survives the swap). The
+                          // merged logL lands after the flush.
+                          pt.roots[a] = newNode;
+                          pt.slots[a] = parent;
+                          pt.roots[b] = pt.roots.back();
+                          pt.roots.pop_back();
+                          pt.slots[b] = pt.slots.back();
+                          pt.slots.pop_back();
+                          pt.rootLogL[b] = pt.rootLogL.back();
+                          pt.rootLogL.pop_back();
+                          pt.lastEventTime = t;
+                      }
+                  });
+
+    // Phase two — execute the generation's likelihood batch.
+    backend_.flush(pool_);
+    for (std::size_t p = 0; p < N; ++p) {
+        cloud_.particle(p).rootLogL[mergedPos_[p]] = mergedLogL_[p];
+        // Incremental log-weight: the partial-likelihood ratio.
+        inc_[p] = mergedLogL_[p] - oldA_[p] - oldB_[p];
+    }
+
+    // Serial cloud-level bookkeeping: logZ += log(sum_i Wbar_i w_i).
+    const std::span<double> logW = cloud_.logWeights();
+    // Fail points live in this serial section only, so their evaluation
+    // counts (one per event) stay deterministic: smc.weight poisons one
+    // particle's increment, smc.collapse sinks the whole cloud (total
+    // degeneracy).
+    if (const auto hit = MPCGS_FAILPOINT("smc.weight"); hit.fired()) {
+        if (hit.action == failpoint::Action::Nan)
+            inc_[0] = std::numeric_limits<double>::quiet_NaN();
+        else
+            throw InjectedFaultError("smc.weight");
+    }
+    if (const auto hit = MPCGS_FAILPOINT("smc.collapse"); hit.fired()) {
+        if (hit.action == failpoint::Action::Nan)
+            for (std::size_t p = 0; p < N; ++p)
+                inc_[p] = -std::numeric_limits<double>::infinity();
+        else
+            throw InjectedFaultError("smc.collapse");
+    }
+    for (std::size_t p = 0; p < N; ++p) logW[p] += inc_[p];
+    const double stepLogZ = cloud_.normalizeWeights();
+    res_.logZ += stepLogZ;
+    if (!std::isfinite(stepLogZ)) {
+        // -inf = every weight collapsed to zero (total degeneracy);
+        // NaN = a non-finite importance weight. Either way the pass is
+        // unrecoverable — dump the cloud state and raise.
+        const bool collapse = stepLogZ == -std::numeric_limits<double>::infinity();
+        std::size_t finiteW = 0;
+        for (std::size_t p = 0; p < N; ++p)
+            if (std::isfinite(logW[p])) ++finiteW;
+        NumericFaultContext ctx;
+        ctx.where = collapse ? "smc.collapse" : "smc.weight";
+        ctx.value = stepLogZ;
+        ctx.theta = theta_;
+        ctx.seed = passSeed_;
+        ctx.tick = static_cast<std::uint64_t>(event);
+        ctx.detail =
+            "coalescence event: " + std::to_string(event) + " of " +
+            std::to_string(n - 1) + "\nparticles: " + std::to_string(N) +
+            "\nfinite weights after update: " + std::to_string(finiteW) +
+            "\nresamples so far: " + std::to_string(res_.resamples) +
+            (collapse ? "\nhint: total ESS collapse — increase --particles or "
+                        "lower the ESS threshold"
+                      : "\nhint: a particle produced a non-finite importance "
+                        "weight — check the substitution model and theta");
+        raiseNumericFault(ctx);
+    }
+
+    const double essFrac = cloud_.ess() / static_cast<double>(N);
+    if (essFrac < res_.minEssFraction) res_.minEssFraction = essFrac;
+    const bool lastEvent = event == totalEvents_ - 1;
+    if (!lastEvent && cloud_.ess() < opts_.essThreshold * static_cast<double>(N)) {
+        cloud_.resample(opts_.scheme);
+        ++res_.resamples;
+    }
+    ++event_;
+}
+
+SmcPassResult SmcFilter::finish() {
+    // Draw one genealogy from the final weighted cloud (host stream).
+    const std::size_t pick = cloud_.hostRng().categorical(cloud_.probabilities());
+    Particle& chosen = cloud_.particle(pick);
+    chosen.tree.setRoot(chosen.roots.front());
+    res_.sampled = std::move(chosen.tree);
+    res_.sampledLogPosterior =
+        chosen.rootLogL.front() + logCoalescentPrior(res_.sampled, theta_);
+    res_.backend = backend_.name();
+    res_.likStats = backend_.stats();
+    return std::move(res_);
+}
 
 SmcPassResult runSmcPass(const DataLikelihood& lik, double theta, const SmcOptions& opts,
                          std::uint64_t passSeed, ThreadPool* pool) {
-    validateSmcOptions(opts);
-    if (theta <= 0.0) throw ConfigError("smc: theta must be positive");
-    const int n = static_cast<int>(lik.patterns().sequenceCount());
-    if (n < 2) throw ConfigError("smc: need at least 2 sequences");
-
-    const ForestEvaluator eval(lik);
-    ParticleCloud cloud(opts.particles, eval, n, passSeed);
-    const std::size_t N = cloud.size();
-
-    SmcPassResult res;
-    res.logZ = cloud.initialLogForestLikelihood();
-
-    std::vector<double> inc(N, 0.0);
-    for (int event = 0; event < n - 1; ++event) {
-        const NodeId newNode = n + event;
-        // Parallel section: each slot propagates its own particle with its
-        // own stream; the block partition depends only on (N, blockSize).
-        launchBlocked(pool, N, opts.blockSize,
-                      [&](std::size_t, std::size_t begin, std::size_t end) {
-                          for (std::size_t p = begin; p < end; ++p)
-                              inc[p] = propagateParticle(cloud.particle(p),
-                                                         cloud.slotRng(p), eval, theta,
-                                                         newNode);
-                      });
-
-        // Serial cloud-level bookkeeping: logZ += log(sum_i Wbar_i w_i).
-        const std::span<double> logW = cloud.logWeights();
-        // Fail points live in this serial section only, so their
-        // evaluation counts (one per event) stay deterministic:
-        // smc.weight poisons one particle's increment, smc.collapse sinks
-        // the whole cloud (total degeneracy).
-        if (const auto hit = MPCGS_FAILPOINT("smc.weight"); hit.fired()) {
-            if (hit.action == failpoint::Action::Nan)
-                inc[0] = std::numeric_limits<double>::quiet_NaN();
-            else
-                throw InjectedFaultError("smc.weight");
-        }
-        if (const auto hit = MPCGS_FAILPOINT("smc.collapse"); hit.fired()) {
-            if (hit.action == failpoint::Action::Nan)
-                for (std::size_t p = 0; p < N; ++p)
-                    inc[p] = -std::numeric_limits<double>::infinity();
-            else
-                throw InjectedFaultError("smc.collapse");
-        }
-        for (std::size_t p = 0; p < N; ++p) logW[p] += inc[p];
-        const double stepLogZ = cloud.normalizeWeights();
-        res.logZ += stepLogZ;
-        if (!std::isfinite(stepLogZ)) {
-            // -inf = every weight collapsed to zero (total degeneracy);
-            // NaN = a non-finite importance weight. Either way the pass is
-            // unrecoverable — dump the cloud state and raise.
-            const bool collapse = stepLogZ == -std::numeric_limits<double>::infinity();
-            std::size_t finiteW = 0;
-            for (std::size_t p = 0; p < N; ++p)
-                if (std::isfinite(logW[p])) ++finiteW;
-            NumericFaultContext ctx;
-            ctx.where = collapse ? "smc.collapse" : "smc.weight";
-            ctx.value = stepLogZ;
-            ctx.theta = theta;
-            ctx.seed = passSeed;
-            ctx.tick = static_cast<std::uint64_t>(event);
-            ctx.detail =
-                "coalescence event: " + std::to_string(event) + " of " +
-                std::to_string(n - 1) + "\nparticles: " + std::to_string(N) +
-                "\nfinite weights after update: " + std::to_string(finiteW) +
-                "\nresamples so far: " + std::to_string(res.resamples) +
-                (collapse ? "\nhint: total ESS collapse — increase --particles or "
-                            "lower the ESS threshold"
-                          : "\nhint: a particle produced a non-finite importance "
-                            "weight — check the substitution model and theta");
-            raiseNumericFault(ctx);
-        }
-
-        const double essFrac = cloud.ess() / static_cast<double>(N);
-        if (essFrac < res.minEssFraction) res.minEssFraction = essFrac;
-        const bool lastEvent = event == n - 2;
-        if (!lastEvent && cloud.ess() < opts.essThreshold * static_cast<double>(N)) {
-            cloud.resample(opts.scheme);
-            ++res.resamples;
-        }
-    }
-
-    // Draw one genealogy from the final weighted cloud (host stream).
-    const std::size_t pick = cloud.hostRng().categorical(cloud.probabilities());
-    Particle& chosen = cloud.particle(pick);
-    chosen.tree.setRoot(chosen.roots.front());
-    res.sampled = std::move(chosen.tree);
-    res.sampledLogPosterior =
-        chosen.rootLogL.front() + logCoalescentPrior(res.sampled, theta);
-    return res;
+    const std::unique_ptr<LikelihoodBackend> backend =
+        makeLikelihoodBackend(opts.backend, lik);
+    SmcFilter filter(*backend, theta, opts, passSeed, pool);
+    while (!filter.done()) filter.step();
+    return filter.finish();
 }
 
 double SmcThetaLikelihood::logL(double theta, ThreadPool* pool) const {

@@ -12,8 +12,9 @@
 //   w_t = L(forest_t) / L(forest_{t-1})
 //       = L_root(new node) / (L_root(child a) * L_root(child b)),
 //
-// the data-lookahead term computed incrementally by lik/forest_eval.h.
-// With intermediate targets pi_t = Prior_t x L_t, the SMC identity
+// the data-lookahead term computed incrementally by the likelihood backend
+// (lik/lik_backend.h). With intermediate targets pi_t = Prior_t x L_t, the
+// SMC identity
 //
 //   log Zhat = log L(forest_0) + sum_t log( sum_i Wbar_{t-1,i} w_t,i )
 //
@@ -21,20 +22,27 @@
 // quantity MCMC-EM can only maximize, never report. ESS-triggered adaptive
 // resampling (any scheme in smc/resampling.h) keeps the cloud balanced.
 //
-// Parallelism: particle propagation + weighting run thread-parallel over
-// fixed-size particle blocks via launchBlocked, with per-slot RNG streams,
-// so logZ is bitwise invariant to the thread count (asserted in
-// bench/smc_scaling.cc and tests/smc_test.cc).
+// Parallelism: each generation is propagated in two phases. Phase one runs
+// thread-parallel over fixed-size particle blocks (launchBlocked) with
+// per-slot RNG streams, drawing every particle's event and ENQUEUEING its
+// likelihood operations against the backend; phase two is one
+// backend.flush() that executes the whole generation's batch. Backends
+// affect scheduling only, so logZ is bitwise invariant to both the thread
+// count and the backend choice (asserted in bench/smc_scaling.cc and
+// tests/lik_backend_test.cc).
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/posterior.h"
 #include "lik/felsenstein.h"
+#include "lik/lik_backend.h"
 #include "par/thread_pool.h"
 #include "phylo/tree.h"
+#include "smc/particle_cloud.h"
 #include "smc/resampling.h"
 
 namespace mpcgs {
@@ -48,6 +56,9 @@ struct SmcOptions {
     /// Particle-block grain of the parallel launches; fixed so the block
     /// partition (and thus the result) is independent of the thread count.
     std::size_t blockSize = 16;
+    /// Likelihood execution backend. Scheduling-only: every backend
+    /// produces bitwise-identical samples, weights and logZ.
+    LikBackendKind backend = kDefaultLikBackend;
 };
 
 /// Throws ConfigError on nonsensical options (no particles, threshold
@@ -61,11 +72,58 @@ struct SmcPassResult {
     double minEssFraction = 1.0;    ///< smallest ESS/N seen across steps
     Genealogy sampled;              ///< one genealogy drawn from the final cloud
     double sampledLogPosterior = 0.0;  ///< log P(D|G) + log P(G|theta) of it
+    std::string backend;            ///< likelihood backend that ran the pass
+    LikBatchStats likStats;         ///< backend execution counters
 };
 
-/// Run one SMC pass. Everything random derives from `passSeed` (slot
-/// streams + cloud-level draws), so the result is a deterministic function
-/// of (lik, theta, opts, passSeed) for ANY pool width.
+/// The genealogy particle filter, stepped one coalescence generation at a
+/// time. Owns the particle cloud; borrows the likelihood backend. After
+/// construction the steady state allocates nothing per step (asserted in
+/// tests/zero_alloc_test.cc): partials live in pass-static backend slots,
+/// per-generation scratch is persistent, and resampling reuses its
+/// buffers. runSmcPass is the one-shot convenience wrapper.
+class SmcFilter {
+  public:
+    /// Throws ConfigError on bad options, non-positive theta or fewer than
+    /// two sequences. `backend` must outlive the filter; `pool` (optional)
+    /// parallelizes both propagation and batch execution.
+    SmcFilter(LikelihoodBackend& backend, double theta, const SmcOptions& opts,
+              std::uint64_t passSeed, ThreadPool* pool = nullptr);
+
+    bool done() const { return event_ == totalEvents_; }
+    /// Advance every particle by one coalescence: propagate + enqueue
+    /// (parallel over particle blocks), flush the generation's likelihood
+    /// batch, update weights, adaptively resample.
+    void step();
+    /// Draw one genealogy from the final cloud and assemble the pass
+    /// result. Call exactly once, after done(); the filter is spent.
+    SmcPassResult finish();
+
+    ParticleCloud& cloud() { return cloud_; }
+
+  private:
+    LikelihoodBackend& backend_;
+    double theta_;
+    SmcOptions opts_;
+    std::uint64_t passSeed_;
+    ThreadPool* pool_;
+    int totalEvents_;
+    int event_ = 0;
+    ParticleCloud cloud_;
+    SmcPassResult res_;
+    // Per-generation scratch, sized once (parallel phase writes, serial
+    // phase reads).
+    std::vector<double> inc_;         ///< incremental log-weights
+    std::vector<double> oldA_;        ///< merged children's cached logL
+    std::vector<double> oldB_;
+    std::vector<double> mergedLogL_;  ///< batch output of the root folds
+    std::vector<std::uint32_t> mergedPos_;  ///< root-array position of the merge
+};
+
+/// Run one SMC pass under opts.backend. Everything random derives from
+/// `passSeed` (slot streams + cloud-level draws), so the result is a
+/// deterministic function of (lik, theta, opts, passSeed) for ANY pool
+/// width and ANY backend.
 SmcPassResult runSmcPass(const DataLikelihood& lik, double theta, const SmcOptions& opts,
                          std::uint64_t passSeed, ThreadPool* pool = nullptr);
 

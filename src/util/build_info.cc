@@ -1,5 +1,6 @@
 #include "util/build_info.h"
 
+#include <cstdio>
 #include <sstream>
 
 #include "par/thread_pool.h"
@@ -36,6 +37,20 @@ std::string buildConfigSummary() {
        << "git describe:    " << gitDescribe() << '\n'
        << "default threads: " << hardwareThreads() << '\n';
     return os.str();
+}
+
+bool warnIfDirtyProvenance(const char* path) {
+    const std::string git = gitDescribe();
+    const bool dirty =
+        git == "unknown" ||
+        (git.size() >= 6 && git.compare(git.size() - 6, 6, "-dirty") == 0);
+    if (dirty)
+        std::fprintf(stderr,
+                     "WARNING: writing %s with provenance git=\"%s\" — this build "
+                     "does not correspond to a commit; do NOT commit this snapshot "
+                     "(rebuild from a clean checkout and rerun)\n",
+                     path, git.c_str());
+    return dirty;
 }
 
 std::string buildProvenanceJson() {

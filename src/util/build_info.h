@@ -30,4 +30,10 @@ std::string buildConfigSummary();
 ///  "default_threads": 8} — embedded under "provenance" in BENCH_*.json.
 std::string buildProvenanceJson();
 
+/// Print a loud stderr warning when the configure-time git describe is
+/// "-dirty" (or unknown): a committed BENCH snapshot stamped from an
+/// unclean tree can't be reproduced from any commit. Bench harnesses call
+/// this right before writing `path`. Returns true when the warning fired.
+bool warnIfDirtyProvenance(const char* path);
+
 }  // namespace mpcgs

@@ -60,8 +60,9 @@ void usage(const char* prog) {
                  "  --failpoints SPEC  arm fault-injection points, e.g.\n"
                  "                     'checkpoint.fsync=once:errno=ENOSPC;mcmc.logpost=after(3)'\n"
                  "                     (also read from $MPCGS_FAILPOINTS)\n"
-                 "  --print-config     print build type, SIMD width, git describe and the\n"
-                 "                     thread default, then exit\n"
+                 "  --print-config     print build type, SIMD width, git describe, the\n"
+                 "                     thread default and the likelihood backends, then\n"
+                 "                     exit\n"
                  "exit codes: 0 ok, 1 error, 2 usage, 3 interrupted (checkpointed),\n"
                  "            4 resume failed (strict), 5 numeric fault, 6 checkpoint I/O\n"
                  "sequential Monte Carlo (--algo smc|pmmh):\n"
@@ -69,6 +70,9 @@ void usage(const char* prog) {
                  "  --resampling R     multinomial | stratified | systematic (default) |\n"
                  "                     residual\n"
                  "  --ess-threshold F  resample when ESS < F * particles (default 0.5)\n"
+                 "  --lik-backend B    likelihood execution backend: batched (default) |\n"
+                 "                     arena; scheduling only — samples and logZ are\n"
+                 "                     bitwise identical across backends\n"
                  "  --pmmh-sigma S     log-normal random-walk sd over theta (default 0.4)\n"
                  "                     (pmmh reuses --samples, --chains, --stop-*,\n"
                  "                     --checkpoint/--resume)\n"
@@ -226,6 +230,8 @@ int runSmcAlgo(const mpcgs::Dataset& ds, const mpcgs::Options& opts, double thet
     so.smc.particles = static_cast<std::size_t>(opts.getInt("particles", 1024));
     so.smc.scheme = parseResamplingScheme(opts.get("resampling", "systematic"));
     so.smc.essThreshold = opts.getDouble("ess-threshold", 0.5);
+    so.smc.backend =
+        parseLikBackend(opts.get("lik-backend", likBackendName(kDefaultLikBackend)));
     so.seed = static_cast<std::uint64_t>(opts.getInt("seed", 20160408));
     so.substModel = opts.get("model", "F81");
     if (opts.has("curve")) so.curvePoints = 81;
@@ -235,10 +241,11 @@ int runSmcAlgo(const mpcgs::Dataset& ds, const mpcgs::Options& opts, double thet
     so.resume = opts.getBool("resume", false);
     so.supervisor = supervisor;
 
-    std::printf("mpcgs smc: %zu loci, %zu particles, %s resampling, theta0=%.4g, "
-                "threads=%u\n",
+    std::printf("mpcgs smc: %zu loci, %zu particles, %s resampling, %s likelihood "
+                "backend, theta0=%.4g, threads=%u\n",
                 ds.locusCount(), so.smc.particles,
-                resamplingSchemeName(so.smc.scheme).c_str(), theta0, threads);
+                resamplingSchemeName(so.smc.scheme).c_str(),
+                likBackendName(so.smc.backend), theta0, threads);
     const SmcEstimateResult res = withResumeFallback(
         so.resume, strictResumePolicy(opts), [&] { return estimateThetaSmc(ds, so, &pool); });
     std::printf("SMC theta estimate: %.6g  (pooled log marginal likelihood %.4g, %s)\n",
@@ -277,6 +284,8 @@ int runPmmhAlgo(const mpcgs::Dataset& ds, const mpcgs::Options& opts, double the
     po.pmmh.smc.particles = static_cast<std::size_t>(opts.getInt("particles", 256));
     po.pmmh.smc.scheme = parseResamplingScheme(opts.get("resampling", "systematic"));
     po.pmmh.smc.essThreshold = opts.getDouble("ess-threshold", 0.5);
+    po.pmmh.smc.backend =
+        parseLikBackend(opts.get("lik-backend", likBackendName(kDefaultLikBackend)));
     po.substModel = opts.get("model", "F81");
     po.stopRhat = opts.getDouble("stop-rhat", 0.0);
     po.stopEss = opts.getDouble("stop-ess", 0.0);
@@ -287,9 +296,10 @@ int runPmmhAlgo(const mpcgs::Dataset& ds, const mpcgs::Options& opts, double the
     po.supervisor = supervisor;
 
     std::printf("mpcgs pmmh: %zu loci, %zu chains x %zu particles, %s resampling, "
-                "theta0=%.4g, threads=%u\n",
+                "%s likelihood backend, theta0=%.4g, threads=%u\n",
                 ds.locusCount(), po.pmmh.chains, po.pmmh.smc.particles,
-                resamplingSchemeName(po.pmmh.smc.scheme).c_str(), theta0, threads);
+                resamplingSchemeName(po.pmmh.smc.scheme).c_str(),
+                likBackendName(po.pmmh.smc.backend), theta0, threads);
     const PmmhEstimateResult res = withResumeFallback(
         po.resume, strictResumePolicy(opts), [&] { return runPmmh(ds, po, &pool); });
     std::printf("PMMH posterior over theta (%zu samples, accept rate %.2f, %s)%s:\n",
@@ -310,6 +320,8 @@ int main(int argc, char** argv) {
     const Options opts = Options::parse(argc, argv);
     if (opts.has("print-config")) {
         std::fputs(buildConfigSummary().c_str(), stdout);
+        std::printf("lik backends:    arena, batched (default %s; --lik-backend)\n",
+                    likBackendName(kDefaultLikBackend));
         return 0;
     }
     const bool haveManifest = opts.has("loci-manifest");
