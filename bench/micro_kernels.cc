@@ -10,6 +10,8 @@
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -245,5 +247,25 @@ int main(int argc, char** argv) {
     if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
+    // google-benchmark owns the JSON layout, so graft the provenance block
+    // in after the fact: re-open the default artifact and splice
+    // buildProvenanceJson() in right behind the opening brace, matching
+    // the hand-rolled BENCH_* emitters.
+    if (!hasOut) {
+        std::ifstream in("BENCH_likelihood.json");
+        if (in) {
+            std::stringstream buf;
+            buf << in.rdbuf();
+            in.close();
+            std::string doc = buf.str();
+            const std::size_t brace = doc.find('{');
+            if (brace != std::string::npos) {
+                doc.insert(brace + 1,
+                           "\n  \"provenance\": " + mpcgs::buildProvenanceJson() + ",");
+                std::ofstream out("BENCH_likelihood.json");
+                out << doc;
+            }
+        }
+    }
     return 0;
 }

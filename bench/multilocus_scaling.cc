@@ -93,6 +93,7 @@ int main(int argc, char** argv) {
     warnIfDirtyProvenance("BENCH_multilocus.json");
     std::ofstream json("BENCH_multilocus.json");
     json << "{\n  \"benchmark\": \"multilocus_scaling\",\n";
+    json << "  \"provenance\": " << buildProvenanceJson() << ",\n";
     json << "  \"config\": {\"sequences\": " << nSeq << ", \"length\": " << length
          << ", \"samples_per_locus\": " << samplesPerLocus
          << ", \"strategy\": \"gmh\"},\n  \"results\": [\n";

@@ -105,6 +105,7 @@ int main(int argc, char** argv) {
     warnIfDirtyProvenance("BENCH_structured.json");
     std::ofstream json("BENCH_structured.json");
     json << "{\n  \"benchmark\": \"structured_scaling\",\n";
+    json << "  \"provenance\": " << buildProvenanceJson() << ",\n";
     json << "  \"config\": {\"sequences_per_deme\": " << nPerDeme
          << ", \"length\": " << length << ", \"samples\": " << samples
          << ", \"true_theta\": [1.0, 1.0], \"true_mig\": 0.5},\n  \"results\": [\n";

@@ -190,6 +190,65 @@ void validateOptions(const MpcgsOptions& opts) {
         throw ConfigError("options: resume requires a checkpointPath");
 }
 
+namespace {
+
+/// Which run mode(s) each mode-specific CLI flag belongs to. Flags absent
+/// from this table (threads, seed, model, checkpoint/resume, failpoints,
+/// ...) apply everywhere and are never rejected.
+struct AlgoFlag {
+    const char* flag;
+    const char* modes;  ///< space-separated applicable modes
+};
+
+constexpr AlgoFlag kAlgoFlags[] = {
+    {"particles", "smc pmmh"},
+    {"resampling", "smc pmmh"},
+    {"ess-threshold", "smc pmmh"},
+    {"lik-backend", "smc pmmh"},
+    {"pmmh-sigma", "pmmh"},
+    {"strategy", "mcmc"},
+    {"proposals", "mcmc"},
+    {"set-samples", "mcmc"},
+    {"cached-baseline", "mcmc"},
+    {"em", "mcmc structured"},
+    {"samples", "mcmc pmmh structured"},
+    {"chains", "mcmc pmmh structured"},
+    {"curve", "mcmc smc"},
+    {"stop-rhat", "mcmc pmmh structured"},
+    {"stop-ess", "mcmc pmmh structured"},
+    {"mig-init", "structured"},
+    {"path-refresh", "structured"},
+    {"pop-map", "structured"},
+};
+
+bool modeListed(const char* modes, const std::string& mode) {
+    const std::string all(modes);
+    std::size_t pos = 0;
+    while (pos < all.size()) {
+        std::size_t end = all.find(' ', pos);
+        if (end == std::string::npos) end = all.size();
+        if (all.compare(pos, end - pos, mode) == 0) return true;
+        pos = end + 1;
+    }
+    return false;
+}
+
+}  // namespace
+
+void validateAlgoFlags(const Options& opts, const std::string& mode) {
+    for (const AlgoFlag& af : kAlgoFlags) {
+        if (!opts.has(af.flag) || modeListed(af.modes, mode)) continue;
+        std::string applicable(af.modes);
+        for (std::size_t i = 0; i < applicable.size(); ++i) {
+            if (applicable[i] != ' ') continue;
+            applicable.replace(i, 1, " | ");
+            i += 2;  // step past the insertion so its space isn't re-expanded
+        }
+        throw ConfigError("--" + std::string(af.flag) + " does not apply to a " + mode +
+                          " run (applicable: " + applicable + ")");
+    }
+}
+
 Genealogy initialGenealogy(const Alignment& aln, double theta0) {
     if (theta0 <= 0.0) throw ConfigError("initialGenealogy: theta0 must be positive");
     Genealogy g = upgmaTree(hammingMatrix(aln));

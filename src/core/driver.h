@@ -29,6 +29,7 @@
 #include "par/thread_pool.h"
 #include "seq/alignment.h"
 #include "seq/dataset.h"
+#include "util/options.h"
 
 namespace mpcgs {
 
@@ -90,6 +91,14 @@ struct MpcgsOptions {
 /// estimateTheta and by the CLI right after parsing, so misconfiguration
 /// fails loudly before any sampling starts.
 void validateOptions(const MpcgsOptions& opts);
+
+/// Hard-reject mode-specific CLI flags passed to a run mode they do not
+/// apply to (e.g. --ess-threshold with --algo mcmc, --strategy with --algo
+/// smc). `mode` is one of "mcmc" | "smc" | "pmmh" | "structured"
+/// (--populations). Throws ConfigError naming the flag and the modes it
+/// applies to — the tools map that onto exit code 2. A silently ignored
+/// flag is worse than a loud rejection: the user believes it took effect.
+void validateAlgoFlags(const Options& opts, const std::string& mode);
 
 struct EmIterationRecord {
     double thetaBefore = 0.0;

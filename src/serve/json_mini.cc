@@ -1,0 +1,182 @@
+#include "serve/json_mini.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mpcgs::json_mini {
+namespace {
+
+class Cursor {
+  public:
+    explicit Cursor(const std::string& text) : text_(text) {}
+
+    void skipWs() {
+        while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+    bool done() const { return pos_ >= text_.size(); }
+    char peek() const { return text_[pos_]; }
+    char take() { return text_[pos_++]; }
+
+    void expect(char c) {
+        skipWs();
+        if (done() || text_[pos_] != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    [[noreturn]] void fail(const std::string& what) const {
+        throw ParseError("json: " + what + " at position " + std::to_string(pos_));
+    }
+
+    std::string string() {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (done()) fail("unterminated string");
+            char c = take();
+            if (c == '"') return out;
+            if (c == '\\') {
+                if (done()) fail("unterminated escape");
+                const char e = take();
+                switch (e) {
+                    case '"': out += '"'; break;
+                    case '\\': out += '\\'; break;
+                    case '/': out += '/'; break;
+                    case 'b': out += '\b'; break;
+                    case 'f': out += '\f'; break;
+                    case 'n': out += '\n'; break;
+                    case 'r': out += '\r'; break;
+                    case 't': out += '\t'; break;
+                    default: fail(std::string("unsupported escape '\\") + e + "'");
+                }
+            } else {
+                out += c;
+            }
+        }
+    }
+
+    Value value() {
+        skipWs();
+        if (done()) fail("expected a value");
+        const char c = peek();
+        Value v;
+        if (c == '"') {
+            v.kind = Value::Kind::String;
+            v.str = string();
+            return v;
+        }
+        if (c == 't' || c == 'f') {
+            const std::string word = c == 't' ? "true" : "false";
+            for (char w : word) {
+                if (done() || take() != w) fail("malformed literal");
+            }
+            v.kind = Value::Kind::Bool;
+            v.boolean = c == 't';
+            return v;
+        }
+        if (c == '{' || c == '[') fail("nested objects/arrays are not supported");
+        if (c == 'n') fail("null is not supported");
+        // Number via strtod over the remaining text.
+        const char* start = text_.c_str() + pos_;
+        char* end = nullptr;
+        const double num = std::strtod(start, &end);
+        if (end == start) fail("expected a number");
+        pos_ += static_cast<std::size_t>(end - start);
+        v.kind = Value::Kind::Number;
+        v.num = num;
+        return v;
+    }
+
+  private:
+    const std::string& text_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Object parse(const std::string& text) {
+    Cursor cur(text);
+    Object obj;
+    cur.expect('{');
+    cur.skipWs();
+    if (!cur.done() && cur.peek() == '}') {
+        cur.take();
+        return obj;
+    }
+    while (true) {
+        cur.skipWs();
+        const std::string key = cur.string();
+        cur.expect(':');
+        obj[key] = cur.value();
+        cur.skipWs();
+        if (cur.done()) cur.fail("unterminated object");
+        const char c = cur.take();
+        if (c == '}') break;
+        if (c != ',') cur.fail("expected ',' or '}'");
+    }
+    cur.skipWs();
+    if (!cur.done()) cur.fail("trailing content after object");
+    return obj;
+}
+
+const std::string& getString(const Object& o, const std::string& key) {
+    const auto it = o.find(key);
+    if (it == o.end()) throw ParseError("json: missing field \"" + key + "\"");
+    if (it->second.kind != Value::Kind::String)
+        throw ParseError("json: field \"" + key + "\" must be a string");
+    return it->second.str;
+}
+
+double getNumber(const Object& o, const std::string& key) {
+    const auto it = o.find(key);
+    if (it == o.end()) throw ParseError("json: missing field \"" + key + "\"");
+    if (it->second.kind != Value::Kind::Number)
+        throw ParseError("json: field \"" + key + "\" must be a number");
+    return it->second.num;
+}
+
+bool has(const Object& o, const std::string& key) { return o.find(key) != o.end(); }
+
+std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\b': out += "\\b"; break;
+            case '\f': out += "\\f"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default: out += c;
+        }
+    }
+    out += '"';
+    return out;
+}
+
+Writer& Writer::str(const std::string& key, const std::string& value) {
+    if (!body_.empty()) body_ += ',';
+    body_ += quote(key) + ':' + quote(value);
+    return *this;
+}
+
+Writer& Writer::num(const std::string& key, double value) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+    if (!body_.empty()) body_ += ',';
+    body_ += quote(key) + ':' + buf;
+    return *this;
+}
+
+Writer& Writer::boolean(const std::string& key, bool value) {
+    if (!body_.empty()) body_ += ',';
+    body_ += quote(key) + ':' + (value ? "true" : "false");
+    return *this;
+}
+
+std::string Writer::finish() const { return "{" + body_ + "}"; }
+
+}  // namespace mpcgs::json_mini

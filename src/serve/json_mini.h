@@ -1,0 +1,60 @@
+// Minimal flat-JSON codec for the serve job protocol (src/serve/serve.h).
+//
+// The protocol is newline-delimited single-level objects — {"job":
+// "add_sequence", "name": "t9", "sequence": "ACGT..."} — so this codec
+// supports exactly that: one object per line, string / number / boolean
+// values, no nesting, no arrays. Hand-rolled rather than a vendored
+// library because the serving path must not grow a dependency the
+// container lacks; anything outside the supported grammar raises
+// ParseError naming the offending position.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "util/error.h"
+
+namespace mpcgs::json_mini {
+
+struct Value {
+    enum class Kind { String, Number, Bool };
+    Kind kind = Kind::String;
+    std::string str;     ///< Kind::String payload
+    double num = 0.0;    ///< Kind::Number payload
+    bool boolean = false;  ///< Kind::Bool payload
+};
+
+/// One flat object; std::map keeps emission deterministic (sorted keys).
+using Object = std::map<std::string, Value>;
+
+/// Parse one flat JSON object. Throws ParseError on malformed input,
+/// nesting, arrays, or null.
+Object parse(const std::string& text);
+
+/// Required typed field accessors; throw ParseError naming the field when
+/// it is missing or has the wrong type.
+const std::string& getString(const Object& o, const std::string& key);
+double getNumber(const Object& o, const std::string& key);
+
+/// True when `key` is present (any type).
+bool has(const Object& o, const std::string& key);
+
+/// Incremental writer for one reply line. Numbers are emitted with
+/// round-trip (%.17g) precision so logZ values survive a
+/// serialize/parse cycle exactly.
+class Writer {
+  public:
+    Writer& str(const std::string& key, const std::string& value);
+    Writer& num(const std::string& key, double value);
+    Writer& boolean(const std::string& key, bool value);
+    /// The assembled single-line object, e.g. {"ok":true,"theta":0.05}.
+    std::string finish() const;
+
+  private:
+    std::string body_;
+};
+
+/// JSON string escaping (quotes included).
+std::string quote(const std::string& s);
+
+}  // namespace mpcgs::json_mini

@@ -1,0 +1,343 @@
+#include "serve/serve.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <iostream>
+#include <utility>
+
+#include "coalescent/prior.h"
+#include "mcmc/checkpoint.h"
+#include "serve/json_mini.h"
+#include "util/failpoint.h"
+
+namespace mpcgs {
+namespace {
+
+std::string errorReply(const std::string& kind, const std::string& what) {
+    json_mini::Writer w;
+    w.boolean("ok", false).str("kind", kind).str("error", what);
+    return w.finish();
+}
+
+/// Close-on-destruction file descriptor.
+struct Fd {
+    int fd = -1;
+    Fd() = default;
+    explicit Fd(int f) : fd(f) {}
+    Fd(const Fd&) = delete;
+    Fd& operator=(const Fd&) = delete;
+    Fd(Fd&& o) noexcept : fd(std::exchange(o.fd, -1)) {}
+    Fd& operator=(Fd&& o) noexcept {
+        if (this != &o) {
+            reset();
+            fd = std::exchange(o.fd, -1);
+        }
+        return *this;
+    }
+    ~Fd() { reset(); }
+    void reset() {
+        if (fd >= 0) ::close(fd);
+        fd = -1;
+    }
+    explicit operator bool() const { return fd >= 0; }
+};
+
+[[noreturn]] void sockFail(const std::string& op) {
+    throw Error("serve: " + op + ": " + std::strerror(errno));
+}
+
+Fd bindEndpoint(const ServeEndpoint& ep, std::string& announce) {
+    if (!ep.unixPath.empty()) {
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        if (ep.unixPath.size() >= sizeof(addr.sun_path))
+            throw ConfigError("serve: socket path too long: " + ep.unixPath);
+        std::strncpy(addr.sun_path, ep.unixPath.c_str(), sizeof(addr.sun_path) - 1);
+        Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+        if (!fd) sockFail("socket");
+        ::unlink(ep.unixPath.c_str());  // stale socket from a previous run
+        if (::bind(fd.fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0)
+            sockFail("bind " + ep.unixPath);
+        if (::listen(fd.fd, 4) != 0) sockFail("listen");
+        announce = "unix:" + ep.unixPath;
+        return fd;
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(ep.port));
+    if (::inet_pton(AF_INET, ep.host.c_str(), &addr.sin_addr) != 1)
+        throw ConfigError("serve: bad host address: " + ep.host);
+    Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd) sockFail("socket");
+    const int one = 1;
+    ::setsockopt(fd.fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    if (::bind(fd.fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0)
+        sockFail("bind " + ep.host + ":" + std::to_string(ep.port));
+    if (::listen(fd.fd, 4) != 0) sockFail("listen");
+    socklen_t len = sizeof(addr);
+    ::getsockname(fd.fd, reinterpret_cast<sockaddr*>(&addr), &len);
+    announce = "tcp:" + ep.host + ":" + std::to_string(ntohs(addr.sin_port));
+    return fd;
+}
+
+Fd connectEndpoint(const ServeEndpoint& ep) {
+    if (!ep.unixPath.empty()) {
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        if (ep.unixPath.size() >= sizeof(addr.sun_path))
+            throw ConfigError("serve: socket path too long: " + ep.unixPath);
+        std::strncpy(addr.sun_path, ep.unixPath.c_str(), sizeof(addr.sun_path) - 1);
+        Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+        if (!fd) sockFail("socket");
+        if (::connect(fd.fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0)
+            sockFail("connect " + ep.unixPath);
+        return fd;
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(ep.port));
+    if (::inet_pton(AF_INET, ep.host.c_str(), &addr.sin_addr) != 1)
+        throw ConfigError("serve: bad host address: " + ep.host);
+    Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd) sockFail("socket");
+    if (::connect(fd.fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0)
+        sockFail("connect " + ep.host + ":" + std::to_string(ep.port));
+    return fd;
+}
+
+void writeAll(int fd, const std::string& data) {
+    std::size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            sockFail("write");
+        }
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+}  // namespace
+
+ServeSession::ServeSession(OnlineState state, std::string statePath,
+                           const OnlineOptions& opts, ThreadPool* pool,
+                           const RunSupervisor* supervisor, SampleSink* sink)
+    : state_(std::move(state)),
+      statePath_(std::move(statePath)),
+      opts_(opts),
+      pool_(pool),
+      supervisor_(supervisor),
+      sink_(sink) {
+    // Validate state/options up front (throws ConfigError) so a broken
+    // deployment fails at startup, not on the first job.
+    OnlineSmcUpdater probe(state_, opts_, pool_);
+    (void)probe;
+    if (sink_) sink_->beginRun(1);
+}
+
+std::string ServeSession::handleLine(const std::string& line) {
+    ++jobs_;
+    // The accept fail point fires once per job, BEFORE dispatch, so fault
+    // tests can kill the daemon at a job boundary with a typed error.
+    if (const auto hit = MPCGS_FAILPOINT("serve.accept"); hit.fired()) {
+        if (hit.action == failpoint::Action::Errno)
+            throw InjectedFaultError("serve.accept: " +
+                                     std::string(std::strerror(hit.errnum)));
+        throw InjectedFaultError("serve.accept");
+    }
+    // Cooperative stop at the job boundary (never mid-update): snapshot,
+    // then surface the stop through the shared taxonomy (exit 3).
+    handleIdle();
+    return dispatch(line);
+}
+
+std::string ServeSession::dispatch(const std::string& line) {
+    json_mini::Object job;
+    try {
+        job = json_mini::parse(line);
+    } catch (const ParseError& e) {
+        return errorReply("parse", e.what());
+    }
+    try {
+        const std::string& kind = json_mini::getString(job, "job");
+        if (kind == "add_sequence") {
+            const Sequence seq = Sequence::fromString(
+                json_mini::getString(job, "name"), json_mini::getString(job, "sequence"));
+            OnlineSmcUpdater updater(state_, opts_, pool_);
+            const OnlineUpdateResult res = updater.addSequence(seq);
+            snapshot();  // durable after every accepted update
+            if (sink_) {
+                // Stream the MAP-weight particle (deterministic: first
+                // index on ties, no extra RNG draws).
+                std::size_t best = 0;
+                for (std::size_t p = 1; p < state_.particles.size(); ++p)
+                    if (state_.particles[p].logW > state_.particles[best].logW) best = p;
+                const OnlineParticle& top = state_.particles[best];
+                SampleTag tag;
+                tag.chain = 0;
+                tag.index = state_.updates - 1;
+                tag.logPosterior =
+                    top.logL + logCoalescentPrior(top.tree, state_.theta);
+                sink_->consume(top.tree, tag);
+            }
+            json_mini::Writer w;
+            w.boolean("ok", true)
+                .str("job", kind)
+                .num("logz_increment", res.logZIncrement)
+                .num("ess", res.essFraction)
+                .boolean("refreshed", res.refreshed)
+                .num("rejuvenation_accepts",
+                     static_cast<double>(res.rejuvenationAccepts))
+                .num("updates", static_cast<double>(state_.updates))
+                .num("sequences", static_cast<double>(state_.alignment.sequenceCount()));
+            return w.finish();
+        }
+        if (kind == "estimate") {
+            json_mini::Writer w;
+            w.boolean("ok", true)
+                .str("job", kind)
+                .num("theta", onlineThetaEstimate(state_))
+                .num("ess", onlineEssFraction(state_))
+                .num("updates", static_cast<double>(state_.updates))
+                .num("sequences", static_cast<double>(state_.alignment.sequenceCount()));
+            return w.finish();
+        }
+        if (kind == "logz") {
+            json_mini::Writer w;
+            w.boolean("ok", true).str("job", kind).num("logz", state_.logZ);
+            return w.finish();
+        }
+        if (kind == "snapshot") {
+            snapshot();
+            json_mini::Writer w;
+            w.boolean("ok", true).str("job", kind).str("path", statePath_);
+            return w.finish();
+        }
+        if (kind == "shutdown") {
+            snapshot();
+            shutdown_ = true;
+            json_mini::Writer w;
+            w.boolean("ok", true).str("job", kind);
+            return w.finish();
+        }
+        return errorReply("config", "unknown job '" + kind +
+                                        "' (add_sequence | estimate | logz | "
+                                        "snapshot | shutdown)");
+    } catch (const ParseError& e) {
+        return errorReply("parse", e.what());
+    } catch (const ConfigError& e) {
+        return errorReply("config", e.what());
+    }
+    // NumericError, CheckpointError, InjectedFaultError, InterruptedError
+    // propagate: those are daemon-fatal by the shared taxonomy.
+}
+
+void ServeSession::snapshot() {
+    if (statePath_.empty()) return;
+    withCheckpointRetry(supervisor_, [&] { saveOnlineState(statePath_, state_); });
+}
+
+void ServeSession::handleIdle() {
+    if (!supervisor_ || !supervisor_->stopRequested()) return;
+    bool written = false;
+    try {
+        snapshot();
+        written = !statePath_.empty();
+    } catch (const CheckpointError&) {
+        // Best-effort final snapshot; the stop still wins.
+    }
+    throw InterruptedError(supervisor_->stopReason(), written);
+}
+
+void runServeLoop(ServeSession& session, const ServeEndpoint& endpoint) {
+    std::string announce;
+    Fd listener = bindEndpoint(endpoint, announce);
+    std::cout << "mpcgs serve: listening on " << announce << std::endl;
+
+    constexpr int kPollMs = 200;
+    std::string buf;
+    while (!session.shutdownRequested()) {
+        pollfd pfd{listener.fd, POLLIN, 0};
+        const int r = ::poll(&pfd, 1, kPollMs);
+        if (r < 0) {
+            if (errno == EINTR) {
+                session.handleIdle();  // a signal is exactly what we poll for
+                continue;
+            }
+            sockFail("poll");
+        }
+        if (r == 0) {
+            // Idle tick: let the session surface a pending supervisor stop
+            // (snapshot + InterruptedError) without waiting for a client.
+            session.handleIdle();
+            continue;
+        }
+        Fd conn(::accept(listener.fd, nullptr, nullptr));
+        if (!conn) {
+            if (errno == EINTR) continue;
+            sockFail("accept");
+        }
+        buf.clear();
+        bool open = true;
+        while (open && !session.shutdownRequested()) {
+            pollfd cfd{conn.fd, POLLIN, 0};
+            const int cr = ::poll(&cfd, 1, kPollMs);
+            if (cr < 0) {
+                if (errno == EINTR) {
+                    session.handleIdle();
+                    continue;
+                }
+                sockFail("poll");
+            }
+            if (cr == 0) {
+                session.handleIdle();
+                continue;
+            }
+            char chunk[4096];
+            const ssize_t n = ::read(conn.fd, chunk, sizeof chunk);
+            if (n < 0) {
+                if (errno == EINTR) continue;
+                sockFail("read");
+            }
+            if (n == 0) break;  // client hung up; back to accept
+            buf.append(chunk, static_cast<std::size_t>(n));
+            std::size_t nl;
+            while (open && (nl = buf.find('\n')) != std::string::npos) {
+                const std::string line = buf.substr(0, nl);
+                buf.erase(0, nl + 1);
+                if (line.empty()) continue;
+                const std::string reply = session.handleLine(line);
+                writeAll(conn.fd, reply + "\n");
+                if (session.shutdownRequested()) open = false;
+            }
+        }
+    }
+    if (!endpoint.unixPath.empty()) ::unlink(endpoint.unixPath.c_str());
+}
+
+std::string serveSendLine(const ServeEndpoint& endpoint, const std::string& line) {
+    Fd fd = connectEndpoint(endpoint);
+    writeAll(fd.fd, line + "\n");
+    std::string buf;
+    char chunk[4096];
+    while (buf.find('\n') == std::string::npos) {
+        const ssize_t n = ::read(fd.fd, chunk, sizeof chunk);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            sockFail("read");
+        }
+        if (n == 0) break;
+        buf.append(chunk, static_cast<std::size_t>(n));
+    }
+    const std::size_t nl = buf.find('\n');
+    return nl == std::string::npos ? buf : buf.substr(0, nl);
+}
+
+}  // namespace mpcgs

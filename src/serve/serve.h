@@ -1,0 +1,111 @@
+// mpcgs serve — a long-running daemon over warm online posterior state.
+//
+// The batch tools are one-shot: load data, infer, exit. Serving traffic
+// inverts that: the posterior (an OnlineState, src/smc/online_update.h)
+// stays warm in memory, and clients submit jobs as newline-delimited flat
+// JSON over a Unix-domain or loopback TCP socket:
+//
+//   {"job":"add_sequence","name":"t9","sequence":"ACGT..."}
+//       -> graft the sequence into every particle (one online SMC update),
+//          checkpoint the new state, reply with the logZ increment / ESS /
+//          refresh diagnostics
+//   {"job":"estimate"}   -> current weighted theta estimate + ESS
+//   {"job":"logz"}       -> accumulated log marginal-likelihood estimate
+//   {"job":"snapshot"}   -> write a checkpoint now
+//   {"job":"shutdown"}   -> final checkpoint, clean exit
+//
+// Every reply is one JSON line with an "ok" field. Job-level problems
+// (malformed JSON, unknown job, duplicate sequence name, length mismatch)
+// are REPLIES ({"ok":false,"kind":...,"error":...}) — a bad client must
+// not kill the daemon. Runtime faults keep the shared taxonomy: a numeric
+// fault in the update raises NumericError (exit 5), checkpoint write
+// failure CheckpointError (exit 6), supervisor stop (SIGTERM / deadline)
+// snapshots and raises InterruptedError (exit 3) so a restarted daemon
+// resumes bitwise-identically from --state.
+//
+// ServeSession is the transport-free core (job line in, reply line out) —
+// tests and the fault-injection matrix drive it in-process; the socket
+// loop is a thin poll()-based accept/readline wrapper that handles one
+// client at a time (updates mutate the one shared posterior state, so job
+// execution is inherently serial; the thread pool parallelizes INSIDE an
+// update instead).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/supervisor.h"
+#include "mcmc/sampler.h"
+#include "par/thread_pool.h"
+#include "smc/online_update.h"
+
+namespace mpcgs {
+
+class ServeSession {
+  public:
+    /// Takes ownership of the warm state. `statePath` is where checkpoints
+    /// land (after every accepted update, on snapshot/shutdown jobs and on
+    /// supervisor stop); empty disables checkpointing. `sink` (optional)
+    /// receives the highest-weight particle's genealogy after every
+    /// accepted update — the streaming surface monitors already consume.
+    ServeSession(OnlineState state, std::string statePath, const OnlineOptions& opts,
+                 ThreadPool* pool = nullptr, const RunSupervisor* supervisor = nullptr,
+                 SampleSink* sink = nullptr);
+
+    /// Execute one job line and return the reply line (no trailing
+    /// newline). Job-level errors become {"ok":false,...} replies; the
+    /// serve.accept fail point (fired per job, before dispatch) raises
+    /// InjectedFaultError, and NumericError / CheckpointError /
+    /// InterruptedError propagate per the shared exit-code taxonomy.
+    std::string handleLine(const std::string& line);
+
+    /// True once a shutdown job was accepted; the socket loop drains and
+    /// returns cleanly.
+    bool shutdownRequested() const { return shutdown_; }
+
+    /// Surface a pending supervisor stop: final snapshot, then
+    /// InterruptedError. No-op otherwise. The socket loop calls this on
+    /// idle poll ticks so SIGTERM lands within ~200ms even with no client
+    /// connected; handleLine runs the same check before each job.
+    void handleIdle();
+
+    /// Write a checkpoint of the current state now (supervisor retry
+    /// policy applies); no-op without a state path.
+    void snapshot();
+
+    const OnlineState& state() const { return state_; }
+    std::uint64_t jobsHandled() const { return jobs_; }
+
+  private:
+    std::string dispatch(const std::string& line);
+
+    OnlineState state_;
+    std::string statePath_;
+    OnlineOptions opts_;
+    ThreadPool* pool_;
+    const RunSupervisor* supervisor_;
+    SampleSink* sink_;
+    bool shutdown_ = false;
+    std::uint64_t jobs_ = 0;
+};
+
+/// Where the daemon listens: a Unix-domain socket path, or TCP on
+/// host:port when `unixPath` is empty.
+struct ServeEndpoint {
+    std::string unixPath;
+    std::string host = "127.0.0.1";
+    int port = 0;
+};
+
+/// Bind, announce "listening on <addr>" on stdout, and serve one client
+/// at a time until a shutdown job lands (returns after a final snapshot)
+/// or the session's supervisor requests a stop (final snapshot, then
+/// InterruptedError). Socket-level failures raise ConfigError (bad
+/// endpoint) or Error (I/O).
+void runServeLoop(ServeSession& session, const ServeEndpoint& endpoint);
+
+/// Client side of the protocol for tooling/CI: connect, send `line`,
+/// return the first reply line. Throws Error on connect/IO failure.
+std::string serveSendLine(const ServeEndpoint& endpoint, const std::string& line);
+
+}  // namespace mpcgs

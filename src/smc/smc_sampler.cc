@@ -171,7 +171,13 @@ void SmcFilter::step() {
     const double essFrac = cloud_.ess() / static_cast<double>(N);
     if (essFrac < res_.minEssFraction) res_.minEssFraction = essFrac;
     const bool lastEvent = event == totalEvents_ - 1;
-    if (!lastEvent && cloud_.ess() < opts_.essThreshold * static_cast<double>(N)) {
+    // Threshold 1.0 means "resample every step" (the documented contract):
+    // a strict ESS < N comparison alone would skip exactly-uniform clouds
+    // (ESS == N, e.g. the step right after a resample with equal
+    // incremental weights), so the boundary is forced unconditionally.
+    const bool forceResample = opts_.essThreshold >= 1.0;
+    if (!lastEvent &&
+        (forceResample || cloud_.ess() < opts_.essThreshold * static_cast<double>(N))) {
         cloud_.resample(opts_.scheme);
         ++res_.resamples;
     }

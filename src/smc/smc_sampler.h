@@ -50,8 +50,9 @@ namespace mpcgs {
 struct SmcOptions {
     std::size_t particles = 512;
     ResamplingScheme scheme = ResamplingScheme::Systematic;
-    /// Resample when ESS < essThreshold * particles (1.0 = every step,
-    /// 0.0 = never).
+    /// Resample when ESS < essThreshold * particles. The boundaries are
+    /// contractual: 1.0 resamples on EVERY step (unconditionally — not
+    /// just when ESS happens to dip below N), 0.0 never resamples.
     double essThreshold = 0.5;
     /// Particle-block grain of the parallel launches; fixed so the block
     /// partition (and thus the result) is independent of the thread count.
@@ -100,6 +101,12 @@ class SmcFilter {
     SmcPassResult finish();
 
     ParticleCloud& cloud() { return cloud_; }
+
+    /// log marginal-likelihood estimate accumulated so far (the final
+    /// pass value once done()). Read by the online updater, which harvests
+    /// a finished filter's cloud without consuming it through finish().
+    double logZ() const { return res_.logZ; }
+    double theta() const { return theta_; }
 
   private:
     LikelihoodBackend& backend_;

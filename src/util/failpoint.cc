@@ -27,6 +27,10 @@ constexpr RegisteredPoint kRegistry[] = {
     // Supervisor tick boundary: armed in tests to request a deterministic
     // cooperative stop (stands in for a SIGTERM at that exact tick).
     {"supervisor.stop", Kind::Io},
+    // Serve daemon: fires per accepted job, before dispatch (src/serve/).
+    {"serve.accept", Kind::Io},
+    // Online SMC add-sequence reweight boundary (src/smc/online_update.cc).
+    {"online.reweight", Kind::Numeric},
 };
 
 struct TriggerSpec {

@@ -21,6 +21,8 @@
 #include "rng/mt19937.h"
 #include "seq/dataset.h"
 #include "seq/seqgen.h"
+#include "serve/serve.h"
+#include "smc/online_update.h"
 #include "util/error.h"
 #include "util/failpoint.h"
 
@@ -149,6 +151,27 @@ TEST_F(FaultInjectionTest, EveryRegisteredPointFiresItsDocumentedTypedError) {
         Scenario{"smc.collapse=once:nan", Expect::Numeric, [] { runSmc(); }};
     scenarios["pmmh.logz"] =
         Scenario{"pmmh.logz=once:nan", Expect::Numeric, [] { runPmmhSmall(); }};
+    // Online/serve sites run against a small warm posterior built from the
+    // first 5 sequences; the 6th is the grafted arrival.
+    const auto onlineState = [] {
+        const Alignment full = smallAlignment();
+        const std::vector<Sequence> head(full.sequences().begin(),
+                                         full.sequences().end() - 1);
+        SmcOptions smc;
+        smc.particles = 16;
+        return initOnlineState(Alignment(head), 1.0, smc, "F81", 5);
+    };
+    scenarios["online.reweight"] =
+        Scenario{"online.reweight=once:nan", Expect::Numeric, [&] {
+                     OnlineState st = onlineState();
+                     OnlineSmcUpdater updater(st, OnlineOptions{});
+                     updater.addSequence(smallAlignment().sequences().back());
+                 }};
+    scenarios["serve.accept"] = Scenario{"serve.accept=once", Expect::Injected, [&] {
+                                             ServeSession session(onlineState(), "",
+                                                                  OnlineOptions{});
+                                             session.handleLine("{\"job\":\"logz\"}");
+                                         }};
     scenarios["supervisor.stop"] = Scenario{"supervisor.stop=once", Expect::Interrupted, [&] {
                                                 RunSupervisor::Config cfg;
                                                 cfg.handleSignals = false;

@@ -462,6 +462,43 @@ TEST(OptionValidationTest, InvalidOptionsAreRejectedUpFront) {
     EXPECT_THROW(validateOptions(o), ConfigError);
 }
 
+TEST(OptionValidationTest, AlgoMismatchedFlagsAreHardRejected) {
+    const auto parse = [](std::vector<const char*> argv) {
+        argv.insert(argv.begin(), "mpcgs");
+        return Options::parse(static_cast<int>(argv.size()), argv.data());
+    };
+
+    // Matched flags pass for every mode.
+    EXPECT_NO_THROW(validateAlgoFlags(parse({"--strategy", "gmh", "--samples", "10"}), "mcmc"));
+    EXPECT_NO_THROW(
+        validateAlgoFlags(parse({"--particles", "64", "--ess-threshold", "1.0"}), "smc"));
+    EXPECT_NO_THROW(validateAlgoFlags(
+        parse({"--pmmh-sigma", "0.3", "--chains", "2", "--particles", "32"}), "pmmh"));
+    EXPECT_NO_THROW(
+        validateAlgoFlags(parse({"--mig-init", "1.5", "--em", "2"}), "structured"));
+    // Mode-agnostic flags are never rejected.
+    EXPECT_NO_THROW(validateAlgoFlags(
+        parse({"--threads", "4", "--seed", "1", "--checkpoint", "x.mpck"}), "smc"));
+
+    // Mismatches throw ConfigError naming the flag and applicable modes.
+    EXPECT_THROW(validateAlgoFlags(parse({"--ess-threshold", "1.0"}), "mcmc"), ConfigError);
+    EXPECT_THROW(validateAlgoFlags(parse({"--strategy", "gmh"}), "smc"), ConfigError);
+    EXPECT_THROW(validateAlgoFlags(parse({"--samples", "100"}), "smc"), ConfigError);
+    EXPECT_THROW(validateAlgoFlags(parse({"--pmmh-sigma", "0.3"}), "smc"), ConfigError);
+    EXPECT_THROW(validateAlgoFlags(parse({"--curve", "c.csv"}), "pmmh"), ConfigError);
+    EXPECT_THROW(validateAlgoFlags(parse({"--mig-init", "1.5"}), "mcmc"), ConfigError);
+    EXPECT_THROW(validateAlgoFlags(parse({"--cached-baseline"}), "structured"), ConfigError);
+    try {
+        validateAlgoFlags(parse({"--ess-threshold", "1.0"}), "mcmc");
+        FAIL() << "mismatched flag was not rejected";
+    } catch (const ConfigError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("--ess-threshold"), std::string::npos) << what;
+        EXPECT_NE(what.find("smc"), std::string::npos) << what;
+        EXPECT_NE(what.find("pmmh"), std::string::npos) << what;
+    }
+}
+
 TEST(OptionValidationTest, EstimateThetaValidatesEvenForUnaffectedStrategies) {
     // The checks are unconditional: a SerialMh run with a broken ladder
     // or zero chains is rejected rather than silently ignored.

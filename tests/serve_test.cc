@@ -1,0 +1,256 @@
+// The serve subsystem (src/serve/serve.h): state checkpoint round-trip,
+// kill+resume bitwise equality, the job protocol's reply contract
+// (job-level errors reply, runtime faults propagate), and a live
+// socket-loop smoke against a real Unix-domain socket.
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "coalescent/simulator.h"
+#include "mcmc/checkpoint.h"
+#include "rng/mt19937.h"
+#include "seq/seqgen.h"
+#include "serve/json_mini.h"
+#include "serve/serve.h"
+#include "smc/online_update.h"
+#include "util/failpoint.h"
+
+namespace mpcgs {
+namespace {
+
+Alignment simAlignment(int tips, std::uint64_t seed) {
+    Mt19937 rng(seed);
+    const Genealogy g = simulateCoalescent(tips, 1.0, rng);
+    SeqGenOptions so;
+    so.length = 100;
+    const auto model = makeF84(2.0, kUniformFreqs);
+    return simulateSequences(g, *model, so, rng);
+}
+
+Alignment dropLast(const Alignment& full) {
+    return Alignment(std::vector<Sequence>(full.sequences().begin(),
+                                           full.sequences().end() - 1));
+}
+
+OnlineState smallState(const Alignment& head, std::uint64_t seed) {
+    SmcOptions smc;
+    smc.particles = 24;
+    return initOnlineState(head, 1.0, smc, "F81", seed);
+}
+
+std::string tempPath(const std::string& name) { return ::testing::TempDir() + name; }
+
+void expectStatesEqual(const OnlineState& a, const OnlineState& b) {
+    EXPECT_EQ(a.substModel, b.substModel);
+    EXPECT_EQ(a.theta, b.theta);
+    EXPECT_EQ(a.seed, b.seed);
+    EXPECT_EQ(a.updates, b.updates);
+    EXPECT_EQ(a.logZ, b.logZ);
+    ASSERT_EQ(a.alignment.sequenceCount(), b.alignment.sequenceCount());
+    for (std::size_t s = 0; s < a.alignment.sequenceCount(); ++s) {
+        EXPECT_EQ(a.alignment.sequences()[s].name(), b.alignment.sequences()[s].name());
+        EXPECT_EQ(a.alignment.sequences()[s].toString(),
+                  b.alignment.sequences()[s].toString());
+    }
+    ASSERT_EQ(a.particles.size(), b.particles.size());
+    for (std::size_t p = 0; p < a.particles.size(); ++p) {
+        EXPECT_EQ(a.particles[p].logW, b.particles[p].logW);
+        EXPECT_EQ(a.particles[p].logL, b.particles[p].logL);
+        EXPECT_EQ(a.particles[p].tree, b.particles[p].tree);
+    }
+}
+
+TEST(OnlineStateCheckpointTest, SaveLoadRoundTripsEveryField) {
+    const std::string path = tempPath("online_roundtrip.mpck");
+    const Alignment full = simAlignment(6, 51);
+    const OnlineState st = smallState(dropLast(full), 13);
+    saveOnlineState(path, st);
+    const OnlineState back = loadOnlineState(path);
+    expectStatesEqual(st, back);
+
+    // RNG streams restored exactly: identical draws afterwards.
+    Mt19937 h1 = st.hostRng, h2 = back.hostRng;
+    for (int i = 0; i < 8; ++i) EXPECT_EQ(h1.uniform01(), h2.uniform01());
+    ASSERT_EQ(st.slotRngs.size(), back.slotRngs.size());
+    Mt19937 s1 = st.slotRngs.front(), s2 = back.slotRngs.front();
+    for (int i = 0; i < 8; ++i) EXPECT_EQ(s1.uniform01(), s2.uniform01());
+
+    std::remove(path.c_str());
+    std::remove((path + ".prev").c_str());
+}
+
+TEST(OnlineStateCheckpointTest, LoadRejectsMissingAndCorruptFiles) {
+    EXPECT_THROW(loadOnlineState(tempPath("no_such_state.mpck")), ResumeError);
+    const std::string path = tempPath("corrupt_state.mpck");
+    {
+        std::FILE* f = std::fopen(path.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        std::fputs("garbage", f);
+        std::fclose(f);
+    }
+    EXPECT_THROW(loadOnlineState(path), ResumeError);
+    std::remove(path.c_str());
+}
+
+TEST(OnlineStateCheckpointTest, KillAndResumeContinuesBitwiseIdentically) {
+    const std::string path = tempPath("online_resume.mpck");
+    const Alignment full = simAlignment(6, 57);
+    const Sequence& arrival = full.sequences().back();
+    const OnlineOptions oo;
+
+    // Uninterrupted: init -> update.
+    OnlineState live = smallState(dropLast(full), 21);
+    saveOnlineState(path, live);  // the "kill point" snapshot
+    OnlineSmcUpdater liveUpdater(live, oo);
+    liveUpdater.addSequence(arrival);
+
+    // Killed + resumed: reload the snapshot, apply the same update.
+    OnlineState resumed = loadOnlineState(path);
+    OnlineSmcUpdater resumedUpdater(resumed, oo);
+    resumedUpdater.addSequence(arrival);
+
+    expectStatesEqual(live, resumed);
+
+    std::remove(path.c_str());
+    std::remove((path + ".prev").c_str());
+}
+
+TEST(ServeSessionTest, JobProtocolRepliesAndJobLevelErrorsDoNotKillTheSession) {
+    const std::string path = tempPath("serve_session.mpck");
+    std::remove(path.c_str());
+    const Alignment full = simAlignment(6, 61);
+    ServeSession session(smallState(dropLast(full), 33), path, OnlineOptions{});
+
+    // Query jobs.
+    std::string reply = session.handleLine("{\"job\":\"estimate\"}");
+    EXPECT_NE(reply.find("\"ok\":true"), std::string::npos) << reply;
+    EXPECT_NE(reply.find("\"theta\":"), std::string::npos) << reply;
+    reply = session.handleLine("{\"job\":\"logz\"}");
+    EXPECT_NE(reply.find("\"logz\":"), std::string::npos) << reply;
+
+    // Job-level errors become {"ok":false,...} replies with a kind.
+    reply = session.handleLine("not json at all");
+    EXPECT_NE(reply.find("\"ok\":false"), std::string::npos) << reply;
+    EXPECT_NE(reply.find("\"kind\":\"parse\""), std::string::npos) << reply;
+    reply = session.handleLine("{\"job\":\"frobnicate\"}");
+    EXPECT_NE(reply.find("\"kind\":\"config\""), std::string::npos) << reply;
+    reply = session.handleLine("{\"job\":\"add_sequence\",\"name\":\"x\",\"sequence\":\"ACGT\"}");
+    EXPECT_NE(reply.find("\"kind\":\"config\""), std::string::npos) << reply;  // length
+    const std::string dupName = full.sequences().front().name();
+    reply = session.handleLine("{\"job\":\"add_sequence\",\"name\":\"" + dupName +
+                               "\",\"sequence\":\"" +
+                               full.sequences().back().toString() + "\"}");
+    EXPECT_NE(reply.find("\"kind\":\"config\""), std::string::npos) << reply;  // duplicate
+    EXPECT_EQ(session.state().updates, 0u);  // nothing above mutated the cloud
+
+    // A real update: reply carries diagnostics and the checkpoint lands.
+    reply = session.handleLine("{\"job\":\"add_sequence\",\"name\":\"" +
+                               full.sequences().back().name() + "\",\"sequence\":\"" +
+                               full.sequences().back().toString() + "\"}");
+    EXPECT_NE(reply.find("\"ok\":true"), std::string::npos) << reply;
+    EXPECT_NE(reply.find("\"logz_increment\":"), std::string::npos) << reply;
+    EXPECT_EQ(session.state().updates, 1u);
+    EXPECT_EQ(session.state().alignment.sequenceCount(), 6u);
+    EXPECT_TRUE(checkpointExists(path));
+
+    // The snapshot is immediately resumable.
+    const OnlineState back = loadOnlineState(path);
+    expectStatesEqual(session.state(), back);
+
+    // Shutdown latches the flag (the socket loop exits on it).
+    reply = session.handleLine("{\"job\":\"shutdown\"}");
+    EXPECT_NE(reply.find("\"ok\":true"), std::string::npos) << reply;
+    EXPECT_TRUE(session.shutdownRequested());
+    EXPECT_EQ(session.jobsHandled(), 8u);
+
+    std::remove(path.c_str());
+    std::remove((path + ".prev").c_str());
+}
+
+TEST(ServeSessionTest, SupervisorStopSnapshotsAndRaisesInterrupted) {
+    failpoint::reset();
+    const std::string path = tempPath("serve_stop.mpck");
+    std::remove(path.c_str());
+    const Alignment full = simAlignment(5, 67);
+    RunSupervisor::Config cfg;
+    cfg.handleSignals = false;
+    RunSupervisor sv(cfg);
+    ServeSession session(smallState(full, 71), path, OnlineOptions{}, nullptr, &sv);
+
+    failpoint::configure("supervisor.stop=once");
+    try {
+        session.handleLine("{\"job\":\"estimate\"}");
+        FAIL() << "supervisor stop did not raise";
+    } catch (const InterruptedError& e) {
+        EXPECT_TRUE(e.checkpointWritten());
+    }
+    failpoint::reset();
+    // The final snapshot is loadable — the daemon restart path.
+    const OnlineState back = loadOnlineState(path);
+    expectStatesEqual(session.state(), back);
+
+    std::remove(path.c_str());
+    std::remove((path + ".prev").c_str());
+}
+
+TEST(ServeLoopTest, UnixSocketSmokeServesJobsAndShutsDownCleanly) {
+    const std::string sock = tempPath("serve_smoke.sock");
+    const Alignment full = simAlignment(6, 73);
+    ServeSession session(smallState(dropLast(full), 77), "", OnlineOptions{});
+    ServeEndpoint ep;
+    ep.unixPath = sock;
+
+    std::thread daemon([&] { runServeLoop(session, ep); });
+    // Wait for the listener to come up (bind is fast; connect retries).
+    std::string reply;
+    for (int attempt = 0; attempt < 100; ++attempt) {
+        try {
+            reply = serveSendLine(ep, "{\"job\":\"estimate\"}");
+            break;
+        } catch (const Error&) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        }
+    }
+    EXPECT_NE(reply.find("\"ok\":true"), std::string::npos) << reply;
+
+    const std::string addReply = serveSendLine(
+        ep, "{\"job\":\"add_sequence\",\"name\":\"" + full.sequences().back().name() +
+                "\",\"sequence\":\"" + full.sequences().back().toString() + "\"}");
+    EXPECT_NE(addReply.find("\"logz_increment\":"), std::string::npos) << addReply;
+
+    const std::string bye = serveSendLine(ep, "{\"job\":\"shutdown\"}");
+    EXPECT_NE(bye.find("\"ok\":true"), std::string::npos) << bye;
+    daemon.join();
+    EXPECT_EQ(session.state().updates, 1u);
+}
+
+TEST(JsonMiniTest, ParserAcceptsTheProtocolAndRejectsEverythingElse) {
+    const auto obj = json_mini::parse(
+        "  {\"job\" : \"add_sequence\", \"n\": -2.5e3, \"flag\": true} ");
+    EXPECT_EQ(json_mini::getString(obj, "job"), "add_sequence");
+    EXPECT_EQ(json_mini::getNumber(obj, "n"), -2500.0);
+    EXPECT_TRUE(json_mini::has(obj, "flag"));
+    EXPECT_THROW(json_mini::getString(obj, "missing"), ParseError);
+    EXPECT_THROW(json_mini::getNumber(obj, "job"), ParseError);
+
+    EXPECT_THROW(json_mini::parse(""), ParseError);
+    EXPECT_THROW(json_mini::parse("{\"a\":1"), ParseError);
+    EXPECT_THROW(json_mini::parse("{\"a\":{}}"), ParseError);   // nesting
+    EXPECT_THROW(json_mini::parse("{\"a\":[1]}"), ParseError);  // arrays
+    EXPECT_THROW(json_mini::parse("{\"a\":null}"), ParseError);
+    EXPECT_THROW(json_mini::parse("{\"a\":1} trailing"), ParseError);
+
+    // Writer round-trips escaping and %.17g numbers exactly.
+    json_mini::Writer w;
+    w.str("s", "quote \" slash \\ nl \n").num("x", 0.1).boolean("b", false);
+    const auto rt = json_mini::parse(w.finish());
+    EXPECT_EQ(json_mini::getString(rt, "s"), "quote \" slash \\ nl \n");
+    EXPECT_EQ(json_mini::getNumber(rt, "x"), 0.1);
+}
+
+}  // namespace
+}  // namespace mpcgs

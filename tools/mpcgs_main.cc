@@ -19,6 +19,7 @@
 #include "core/support_interval.h"
 #include "mcmc/checkpoint.h"
 #include "seq/dataset.h"
+#include "serve/serve.h"
 #include "util/build_info.h"
 #include "util/failpoint.h"
 #include "util/options.h"
@@ -81,8 +82,22 @@ void usage(const char* prog) {
                  "  --pop-map F        per-sequence population file: '<seq> <pop>' lines\n"
                  "                     (or assign via the manifest's pop= column)\n"
                  "  --mig-init M       initial migration rate guess (default 1.0)\n"
-                 "  --path-refresh P   labels-only move share of proposals (default 0.25)\n",
-                 prog);
+                 "  --path-refresh P   labels-only move share of proposals (default 0.25)\n"
+                 "online inference & serving (subcommands):\n"
+                 "  %s online-init <seqdata> <theta> --state FILE\n"
+                 "                     run one SMC pass over the data and save the warm\n"
+                 "                     posterior to FILE (--particles/--resampling/\n"
+                 "                     --ess-threshold/--lik-backend/--model/--seed apply)\n"
+                 "  %s serve --state FILE (--socket PATH | --port P [--host H])\n"
+                 "                     serve newline-delimited JSON jobs (add_sequence |\n"
+                 "                     estimate | logz | snapshot | shutdown) against the\n"
+                 "                     warm posterior; checkpoints FILE after every update\n"
+                 "                     [--ess-threshold F] [--rejuvenation-sweeps K]\n"
+                 "                     [--trace FILE] [--threads N] [--max-wall-time S]\n"
+                 "  %s serve-send (--socket PATH | --port P [--host H]) '<json>'...\n"
+                 "                     send job lines to a running daemon ('-' reads\n"
+                 "                     stdin) and print the replies\n",
+                 prog, prog, prog, prog);
 }
 
 /// --resume against a missing/corrupt snapshot falls back to a fresh run
@@ -126,14 +141,8 @@ int runStructured(const mpcgs::Dataset& ds, const mpcgs::Options& opts, double t
         std::fprintf(stderr, "mpcgs: --populations currently supports exactly 2 demes\n");
         return 2;
     }
-    // The structured sampler has one strategy (lockstep migration-aware
-    // chains) and its own output; flag silently-dropped options instead of
-    // letting the user believe they took effect.
-    for (const char* flag :
-         {"strategy", "proposals", "set-samples", "cached-baseline", "curve"})
-        if (opts.has(flag))
-            std::fprintf(stderr, "mpcgs: note — --%s has no effect with --populations\n",
-                         flag);
+    // Flags that don't apply to structured mode were already hard-rejected
+    // by validateAlgoFlags in main().
     if (ds.locusCount() != 1) {
         std::fprintf(stderr,
                      "mpcgs: structured mode currently analyzes a single locus "
@@ -216,15 +225,8 @@ int runSmcAlgo(const mpcgs::Dataset& ds, const mpcgs::Options& opts, double thet
                mpcgs::ThreadPool& pool, unsigned threads,
                const mpcgs::RunSupervisor* supervisor) {
     using namespace mpcgs;
-    // One-shot curve maximization: no chains, no EM loop. Flag
-    // silently-dropped options instead of letting the user believe they
-    // took effect (the structured path's convention).
-    for (const char* flag : {"strategy", "samples", "em", "chains", "proposals",
-                             "set-samples", "cached-baseline", "stop-rhat", "stop-ess",
-                             "pmmh-sigma"})
-        if (opts.has(flag))
-            std::fprintf(stderr, "mpcgs: note — --%s has no effect with --algo smc\n",
-                         flag);
+    // One-shot curve maximization: no chains, no EM loop. Flags that don't
+    // apply were already hard-rejected by validateAlgoFlags in main().
     SmcEstimateOptions so;
     so.theta0 = theta0;
     so.smc.particles = static_cast<std::size_t>(opts.getInt("particles", 1024));
@@ -270,11 +272,6 @@ int runPmmhAlgo(const mpcgs::Dataset& ds, const mpcgs::Options& opts, double the
                 mpcgs::ThreadPool& pool, unsigned threads,
                 const mpcgs::RunSupervisor* supervisor) {
     using namespace mpcgs;
-    for (const char* flag :
-         {"strategy", "em", "proposals", "set-samples", "cached-baseline", "curve"})
-        if (opts.has(flag))
-            std::fprintf(stderr, "mpcgs: note — --%s has no effect with --algo pmmh\n",
-                         flag);
     PmmhEstimateOptions po;
     po.theta0 = theta0;
     po.samples = static_cast<std::size_t>(opts.getInt("samples", 2000));
@@ -313,6 +310,139 @@ int runPmmhAlgo(const mpcgs::Dataset& ds, const mpcgs::Options& opts, double the
     return 0;
 }
 
+/// --trace FILE: stream one CSV row per accepted online update (the
+/// highest-weight particle the daemon hands every sink).
+class TraceSink final : public mpcgs::SampleSink {
+  public:
+    explicit TraceSink(const std::string& path) : out_(path) {
+        if (!out_) throw mpcgs::ConfigError("serve: cannot open --trace file " + path);
+        out_ << "update,log_posterior,tree_height\n";
+    }
+    void consume(const mpcgs::Genealogy& g, const mpcgs::SampleTag& tag) override {
+        out_ << tag.index << ',' << tag.logPosterior << ',' << g.node(g.root()).time
+             << '\n';
+        out_.flush();  // monitors tail the file while the daemon runs
+    }
+
+  private:
+    std::ofstream out_;
+};
+
+mpcgs::ServeEndpoint endpointFromOptions(const mpcgs::Options& opts) {
+    mpcgs::ServeEndpoint ep;
+    ep.unixPath = opts.get("socket", "");
+    ep.host = opts.get("host", "127.0.0.1");
+    ep.port = static_cast<int>(opts.getInt("port", 0));
+    if (ep.unixPath.empty() && !opts.has("port"))
+        throw mpcgs::ConfigError("serve: pass --socket PATH or --port N");
+    return ep;
+}
+
+mpcgs::OnlineOptions onlineOptionsFrom(const mpcgs::Options& opts) {
+    mpcgs::OnlineOptions oo;
+    oo.essThreshold = opts.getDouble("ess-threshold", 0.5);
+    oo.scheme = mpcgs::parseResamplingScheme(opts.get("resampling", "systematic"));
+    oo.backend = mpcgs::parseLikBackend(
+        opts.get("lik-backend", mpcgs::likBackendName(mpcgs::kDefaultLikBackend)));
+    oo.rejuvenationSweeps =
+        static_cast<std::size_t>(opts.getInt("rejuvenation-sweeps", 1));
+    return oo;
+}
+
+/// mpcgs online-init <seqdata> <theta> --state FILE: cold-start a warm
+/// posterior (one full SMC pass) and save it for `mpcgs serve`.
+int runOnlineInit(const mpcgs::Options& opts) {
+    using namespace mpcgs;
+    if (opts.positional().size() != 3) {
+        std::fprintf(stderr, "usage: %s online-init <seqdata> <theta> --state FILE\n",
+                     opts.programName().c_str());
+        return 2;
+    }
+    const auto statePath = opts.get("state");
+    if (!statePath) throw ConfigError("online-init: --state FILE is required");
+    const Dataset ds = Dataset::fromFiles({opts.positional()[1]});
+    const double theta0 = std::stod(opts.positional()[2]);
+
+    SmcOptions smc;
+    smc.particles = static_cast<std::size_t>(opts.getInt("particles", 1024));
+    smc.scheme = parseResamplingScheme(opts.get("resampling", "systematic"));
+    smc.essThreshold = opts.getDouble("ess-threshold", 0.5);
+    smc.backend =
+        parseLikBackend(opts.get("lik-backend", likBackendName(kDefaultLikBackend)));
+    const auto seed = static_cast<std::uint64_t>(opts.getInt("seed", 20160408));
+    const unsigned threads =
+        static_cast<unsigned>(opts.getInt("threads", hardwareThreads()));
+    ThreadPool pool(threads);
+
+    const OnlineState st = initOnlineState(ds.locus(0).alignment, theta0, smc,
+                                           opts.get("model", "F81"), seed, &pool);
+    saveOnlineState(*statePath, st);
+    std::printf("mpcgs online-init: %zu sequences x %zu bp, %zu particles, "
+                "logZ %.6g, theta estimate %.6g, ESS %.2f\n",
+                st.alignment.sequenceCount(), st.alignment.length(),
+                st.particles.size(), st.logZ, onlineThetaEstimate(st),
+                onlineEssFraction(st));
+    std::printf("warm posterior written to %s\n", statePath->c_str());
+    return 0;
+}
+
+/// mpcgs serve --state FILE: load the warm posterior and serve jobs until
+/// shutdown (exit 0) or SIGTERM/--max-wall-time (snapshot, exit 3).
+int runServe(const mpcgs::Options& opts, std::unique_ptr<mpcgs::RunSupervisor>& supervisor) {
+    using namespace mpcgs;
+    const auto statePath = opts.get("state");
+    if (!statePath) throw ConfigError("serve: --state FILE is required");
+    const ServeEndpoint ep = endpointFromOptions(opts);
+
+    OnlineState st = loadOnlineState(*statePath);
+    const unsigned threads =
+        static_cast<unsigned>(opts.getInt("threads", hardwareThreads()));
+    ThreadPool pool(threads);
+
+    RunSupervisor::Config svCfg;
+    svCfg.maxWallSeconds = opts.getDouble("max-wall-time", 0.0);
+    supervisor = std::make_unique<RunSupervisor>(svCfg);
+
+    std::unique_ptr<TraceSink> trace;
+    if (const auto tracePath = opts.get("trace")) trace = std::make_unique<TraceSink>(*tracePath);
+
+    std::printf("mpcgs serve: warm posterior from %s — %zu sequences x %zu bp, "
+                "%zu particles, %llu updates so far, logZ %.6g, threads=%u\n",
+                statePath->c_str(), st.alignment.sequenceCount(), st.alignment.length(),
+                st.particles.size(), static_cast<unsigned long long>(st.updates),
+                st.logZ, threads);
+    std::fflush(stdout);
+
+    ServeSession session(std::move(st), *statePath, onlineOptionsFrom(opts), &pool,
+                         supervisor.get(), trace.get());
+    runServeLoop(session, ep);
+    std::printf("mpcgs serve: clean shutdown after %llu jobs (%llu updates, logZ %.6g)\n",
+                static_cast<unsigned long long>(session.jobsHandled()),
+                static_cast<unsigned long long>(session.state().updates),
+                session.state().logZ);
+    return 0;
+}
+
+/// mpcgs serve-send: thin protocol client for tooling and CI smokes.
+int runServeSend(const mpcgs::Options& opts) {
+    using namespace mpcgs;
+    const ServeEndpoint ep = endpointFromOptions(opts);
+    std::vector<std::string> lines(opts.positional().begin() + 1, opts.positional().end());
+    if (lines.empty()) {
+        std::fprintf(stderr, "usage: %s serve-send (--socket PATH | --port P) '<json>'...\n",
+                     opts.programName().c_str());
+        return 2;
+    }
+    if (lines.size() == 1 && lines[0] == "-") {
+        lines.clear();
+        for (std::string line; std::getline(std::cin, line);)
+            if (!line.empty()) lines.push_back(line);
+    }
+    for (const std::string& line : lines)
+        std::printf("%s\n", serveSendLine(ep, line).c_str());
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -324,10 +454,14 @@ int main(int argc, char** argv) {
                     likBackendName(kDefaultLikBackend));
         return 0;
     }
+    const std::string subcmd =
+        opts.positional().empty() ? std::string() : opts.positional().front();
+    const bool isSubcommand =
+        subcmd == "serve" || subcmd == "online-init" || subcmd == "serve-send";
     const bool haveManifest = opts.has("loci-manifest");
     // Without a manifest at least one locus file plus theta0 is required;
     // with one, theta0 alone suffices.
-    if (opts.positional().size() < (haveManifest ? 1u : 2u)) {
+    if (!isSubcommand && opts.positional().size() < (haveManifest ? 1u : 2u)) {
         usage(argv[0]);
         return 2;
     }
@@ -338,6 +472,10 @@ int main(int argc, char** argv) {
         // then --failpoints (later specs override earlier ones per point).
         failpoint::configureFromEnv();
         if (const auto spec = opts.get("failpoints")) failpoint::configure(*spec);
+
+        if (subcmd == "online-init") return runOnlineInit(opts);
+        if (subcmd == "serve") return runServe(opts, supervisor);
+        if (subcmd == "serve-send") return runServeSend(opts);
 
         MpcgsOptions mo;
         mo.theta0 = std::stod(opts.positional().back());
@@ -383,8 +521,11 @@ int main(int argc, char** argv) {
             return 2;
         }
 
-        // Reject nonsense at parse time, before any data is read.
+        // Reject nonsense at parse time, before any data is read: value
+        // errors first, then flags that do not apply to the selected run
+        // mode (exit 2, not a silently ignored flag).
         if (algo == "mcmc" && !opts.has("populations")) validateOptions(mo);
+        validateAlgoFlags(opts, opts.has("populations") ? "structured" : algo);
 
         // Manifest loci first (their rates/names are explicit), then the
         // positional files — whose derived names dedupe against the
