@@ -11,11 +11,18 @@
 //
 //   $ ./smc_scaling [--particles N] [--seqs n] [--length L] [--paper]
 //                   [--backend arena|batched|both] [--require-scaling PCT]
+//                   [--metrics 0|1]
 //
 // --require-scaling PCT exits 1 if the widest pool's throughput falls
 // below PCT% of the 1-thread rate for any particle count, evaluated on
 // the batched backend's rows (the CI regression gate against nominal
 // parallelism).
+//
+// --metrics (default 1) arms the metrics registry; the per-row backend
+// execution counters come straight from it (obs::reset() between rows),
+// not from any bench-private stats copy. Run with --metrics 0 to measure
+// the armed-vs-unarmed overhead (contract: within 2% at 8 threads);
+// unarmed rows report zero counters.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -25,6 +32,7 @@
 
 #include "bench/workload.h"
 #include "lik/felsenstein.h"
+#include "obs/metrics.h"
 #include "smc/smc_sampler.h"
 #include "util/build_info.h"
 #include "util/error.h"
@@ -41,8 +49,9 @@ struct Row {
     double particlesPerSec;
     double logZ;
     double speedupVs1T;
-    std::size_t batchCombines;      ///< combine ops per generation flush
-    std::size_t matricesComputed;   ///< transition matrices over the pass
+    std::uint64_t combineOps;         ///< lik.combine_ops over the pass
+    std::uint64_t matricesRequested;  ///< naive 2-per-combine-per-category count
+    std::uint64_t matricesComputed;   ///< matrices actually exponentiated
 };
 
 }  // namespace
@@ -70,6 +79,8 @@ int main(int argc, char** argv) {
     // The scaling gate judges the backend the tools default to.
     const char* gateBackend = likBackendName(
         backendArg == "both" ? LikBackendKind::Batched : backends.front());
+    const bool metricsArmed = cli.getBool("metrics", true);
+    if (metricsArmed) obs::arm();
 
     printHeader("SMC scaling (one filter pass per particles x backend x threads cell)");
     const Alignment data = makeDataset(nSeq, length, 1.0, 31);
@@ -92,9 +103,11 @@ int main(int argc, char** argv) {
             double oneThreadSeconds = 0.0;
             for (const unsigned threads : {1u, 2u, 4u, 8u}) {
                 ThreadPool pool(threads);
+                obs::reset();  // row isolation: counters below are per-pass
                 Timer timer;
                 const SmcPassResult res = runSmcPass(lik, 1.0, opts, 47, &pool);
                 const double seconds = timer.seconds();
+                const obs::MetricsSnapshot snap = obs::snapshot();
                 if (threads == 1) oneThreadSeconds = seconds;
                 if (!haveReference) {
                     referenceLogZ = res.logZ;
@@ -110,8 +123,9 @@ int main(int argc, char** argv) {
                 const double rate = static_cast<double>(particles) / seconds;
                 rows.push_back({particles, likBackendName(backend), threads, seconds,
                                 rate, res.logZ, oneThreadSeconds / seconds,
-                                res.likStats.maxBatchCombines,
-                                res.likStats.matricesComputed});
+                                snap.counter(obs::Counter::LikCombineOps),
+                                snap.counter(obs::Counter::LikMatricesRequested),
+                                snap.counter(obs::Counter::LikMatricesComputed)});
                 table.addRow({Table::integer(particles), likBackendName(backend),
                               Table::integer(threads), Table::num(seconds, 3),
                               Table::num(rate, 0), Table::num(res.logZ, 3),
@@ -129,7 +143,8 @@ int main(int argc, char** argv) {
     json << "  \"provenance\": " << buildProvenanceJson() << ",\n";
     json << "  \"config\": {\"sequences\": " << nSeq << ", \"length\": " << length
          << ", \"scheme\": \"systematic\", \"bitwise_thread_invariant\": "
-         << (bitwiseOk ? "true" : "false") << "},\n  \"results\": [\n";
+         << (bitwiseOk ? "true" : "false") << ", \"metrics_armed\": "
+         << (metricsArmed ? "true" : "false") << "},\n  \"results\": [\n";
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const Row& r = rows[i];
         json << "    {\"particles\": " << r.particles << ", \"backend\": \""
@@ -137,7 +152,8 @@ int main(int argc, char** argv) {
              << ", \"seconds\": " << r.seconds << ", \"particles_per_sec\": "
              << r.particlesPerSec << ", \"logZ\": " << r.logZ
              << ", \"speedup_vs_1t\": " << r.speedupVs1T
-             << ", \"batch_combines\": " << r.batchCombines
+             << ", \"combine_ops\": " << r.combineOps
+             << ", \"matrices_requested\": " << r.matricesRequested
              << ", \"matrices_computed\": " << r.matricesComputed << "}"
              << (i + 1 < rows.size() ? "," : "") << "\n";
     }

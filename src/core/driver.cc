@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "mcmc/checkpoint.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "phylo/upgma.h"
 #include "seq/distance.h"
 #include "util/error.h"
@@ -344,6 +346,7 @@ MpcgsResult estimateTheta(const Dataset& dataset, const MpcgsOptions& opts,
                 "stop requested at EM iteration boundary (" + std::to_string(em) + ")",
                 !opts.checkpointPath.empty() && em > emStart);
 
+        const obs::TraceSpan emSpan("em_iteration", "mcmc");
         EmIterationRecord rec;
         rec.thetaBefore = theta;
 
@@ -465,6 +468,12 @@ MpcgsResult estimateTheta(const Dataset& dataset, const MpcgsOptions& opts,
         }
         rec.moveRate =
             opts.strategy == Strategy::HeatedMh ? stats.swapRate() : stats.moveRate();
+        obs::add(obs::Counter::McmcSteps, stats.steps);
+        obs::add(obs::Counter::McmcAccepted, stats.accepted);
+        obs::add(obs::Counter::McmcSwapsProposed, stats.swapsProposed);
+        obs::add(obs::Counter::McmcSwapsAccepted, stats.swapsAccepted);
+        if (rec.rhat > 0.0) obs::set(obs::Gauge::McmcRhat, rec.rhat);
+        if (rec.ess > 0.0) obs::set(obs::Gauge::McmcPooledEss, rec.ess);
 
         // M-step: pooled relative likelihood over the per-locus summaries,
         // each locus's curve driven at its effective theta.
@@ -480,6 +489,7 @@ MpcgsResult estimateTheta(const Dataset& dataset, const MpcgsOptions& opts,
                              finals[l].mutationScale, finals[l].name});
         }
         const PooledRelativeLikelihood rl(std::move(terms));
+        const obs::TraceSpan mSpan("m_step", "mcmc");
         const MleResult mle = maximizeTheta(rl, theta, pool);
         theta = mle.theta;
         rec.thetaAfter = theta;

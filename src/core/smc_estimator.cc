@@ -9,6 +9,8 @@
 #include "core/mle.h"
 #include "lik/locus_likelihoods.h"
 #include "mcmc/checkpoint.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/error.h"
 #include "util/timer.h"
 
@@ -246,6 +248,7 @@ SmcEstimateResult estimateThetaSmc(const Dataset& dataset, const SmcEstimateOpti
     dataset.validate();
 
     Timer total;
+    const obs::TraceSpan span("smc_estimate", "smc");
     const LocusLikelihoods liks(dataset, opts.substModel, opts.compressPatterns);
     const PooledSmcLikelihood pooled(allTerms(dataset, liks), opts.smc, opts.seed);
     CheckpointedSmcLikelihood curve(pooled, opts, dataset);
@@ -280,6 +283,7 @@ PmmhEstimateResult runPmmh(const Dataset& dataset, const PmmhEstimateOptions& op
     dataset.validate();
 
     Timer total;
+    const obs::TraceSpan span("pmmh_run", "mcmc");
     const LocusLikelihoods liks(dataset, opts.substModel, opts.compressPatterns);
     const PooledSmcLikelihood pooled(allTerms(dataset, liks), opts.pmmh.smc,
                                      opts.pmmh.seed);
@@ -360,6 +364,10 @@ PmmhEstimateResult runPmmh(const Dataset& dataset, const PmmhEstimateOptions& op
     res.ess = report.ess;
     const SamplerStats stats = sampler.stats();
     res.acceptRate = stats.moveRate();
+    obs::add(obs::Counter::McmcSteps, stats.steps);
+    obs::add(obs::Counter::McmcAccepted, stats.accepted);
+    if (res.rhat > 0.0) obs::set(obs::Gauge::McmcRhat, res.rhat);
+    if (res.ess > 0.0) obs::set(obs::Gauge::McmcPooledEss, res.ess);
     for (std::size_t c = 0; c < opts.pmmh.chains; ++c) {
         const std::vector<double>& trace = sampler.thetaTrace(c);
         res.thetaChainMajor.insert(res.thetaChainMajor.end(), trace.begin(), trace.end());

@@ -132,6 +132,7 @@ int exitCodeFor(const std::exception& e) {
     if (dynamic_cast<const NumericError*>(&e)) return kExitNumericFault;
     if (dynamic_cast<const ResumeError*>(&e)) return kExitResumeFailed;
     if (dynamic_cast<const CheckpointError*>(&e)) return kExitIoFault;
+    if (dynamic_cast<const IoError*>(&e)) return kExitIoFault;
     if (dynamic_cast<const ParseError*>(&e)) return kExitUsage;
     if (dynamic_cast<const ConfigError*>(&e)) return kExitUsage;
     return kExitFailure;

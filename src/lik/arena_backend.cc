@@ -7,6 +7,7 @@
 // read when debugging a numerical question.
 #include "lik/forest_kernels.h"
 #include "lik/lik_backend.h"
+#include "obs/metrics.h"
 
 namespace mpcgs {
 namespace detail {
@@ -40,9 +41,9 @@ class ArenaBackend final : public SlotArenaBackend {
         }
         forestRescaleRange(vo, scalePtr(parent), scalePtr(childA),
                            scalePtr(childB), P, C, 0, P);
-        ++stats_.combineOps;
-        ++pendingCombines_;
-        stats_.matricesComputed += 2 * C;
+        obs::add(obs::Counter::LikCombineOps);
+        obs::add(obs::Counter::LikMatricesRequested, 2 * C);
+        obs::add(obs::Counter::LikMatricesComputed, 2 * C);
     }
 
     void rootLogLik(Slot slot, double* out) override {
@@ -51,14 +52,8 @@ class ArenaBackend final : public SlotArenaBackend {
     }
 
     void flush(ThreadPool* /*pool*/) override {
-        ++stats_.flushes;
-        if (pendingCombines_ > stats_.maxBatchCombines)
-            stats_.maxBatchCombines = pendingCombines_;
-        pendingCombines_ = 0;
+        obs::add(obs::Counter::LikFlushes);
     }
-
-  private:
-    std::size_t pendingCombines_ = 0;
 };
 
 }  // namespace

@@ -33,6 +33,7 @@
 
 #include "lik/forest_kernels.h"
 #include "lik/lik_backend.h"
+#include "obs/metrics.h"
 #include "util/error.h"
 
 namespace mpcgs {
@@ -149,7 +150,7 @@ void BatchedBackend::flush(ThreadPool* pool) {
                     matStore_[d * C + c] = model_.transition(len * rates_.rates[c]);
             },
             /*grain=*/1);
-        stats_.matricesComputed += nLens * C;
+        obs::add(obs::Counter::LikMatricesComputed, nLens * C);
 
         const auto lenIndex = [&](double len) {
             const std::uint64_t key = std::bit_cast<std::uint64_t>(len);
@@ -193,9 +194,12 @@ void BatchedBackend::flush(ThreadPool* pool) {
         },
         /*grain=*/1);
 
-    ++stats_.flushes;
-    stats_.combineOps += nCombines;
-    if (nCombines > stats_.maxBatchCombines) stats_.maxBatchCombines = nCombines;
+    // flush() is serial-context (header contract), so these registry
+    // counts are deterministic per run. matrices_requested vs
+    // matrices_computed is the dedup hit-rate the batching buys.
+    obs::add(obs::Counter::LikFlushes);
+    obs::add(obs::Counter::LikCombineOps, nCombines);
+    obs::add(obs::Counter::LikMatricesRequested, 2 * C * nCombines);
     nTips_.store(0, std::memory_order_relaxed);
     nCombines_.store(0, std::memory_order_relaxed);
     nRoots_.store(0, std::memory_order_relaxed);

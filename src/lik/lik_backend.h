@@ -49,16 +49,12 @@ const char* likBackendName(LikBackendKind kind);
 /// Parse "arena" | "batched"; throws ConfigError listing the choices.
 LikBackendKind parseLikBackend(const std::string& name);
 
-/// Execution counters (diagnostics + the bench backend column). A "batch"
-/// is the set of operations executed by one flush; distinct transition
-/// matrices are counted per (branch length, rate category) pair actually
-/// exponentiated.
-struct LikBatchStats {
-    std::size_t flushes = 0;
-    std::size_t combineOps = 0;        ///< lifetime combine operations
-    std::size_t maxBatchCombines = 0;  ///< largest single-flush combine batch
-    std::size_t matricesComputed = 0;  ///< transition matrices exponentiated
-};
+// Execution counters (flushes, combine ops, matrices requested vs
+// computed) live in the metrics registry (obs/metrics.h, lik.* taxonomy):
+// arm the registry and read obs::snapshot() — there is no per-backend
+// stats copy. Distinct transition matrices are counted per (branch
+// length, rate category) pair actually exponentiated, so
+// lik.matrices_requested vs lik.matrices_computed is the dedup hit-rate.
 
 class LikelihoodBackend {
   public:
@@ -100,8 +96,6 @@ class LikelihoodBackend {
     /// directly; a device backend would stage through a host mirror.
     virtual std::span<const double> slotData(Slot slot) const = 0;
     virtual std::span<const double> slotScale(Slot slot) const = 0;
-
-    virtual const LikBatchStats& stats() const = 0;
 };
 
 /// Construct a backend of `kind` over the pattern data / substitution
@@ -136,8 +130,6 @@ class SlotArenaBackend : public LikelihoodBackend {
         return {scalePtr(slot), patterns_.patternCount()};
     }
 
-    const LikBatchStats& stats() const final { return stats_; }
-
   protected:
     double* dataPtr(Slot s) { return data_.data() + s * dataStride_; }
     const double* dataPtr(Slot s) const { return data_.data() + s * dataStride_; }
@@ -154,7 +146,6 @@ class SlotArenaBackend : public LikelihoodBackend {
     std::size_t slots_ = 0;
     AlignedDoubles data_;
     AlignedDoubles scale_;
-    LikBatchStats stats_;
 };
 
 }  // namespace detail

@@ -1,0 +1,113 @@
+#include "obs/trace.h"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "util/error.h"
+#include "util/failpoint.h"
+
+namespace mpcgs::obs {
+namespace {
+
+std::atomic<TraceRecorder*> gRecorder{nullptr};
+
+/// Small stable per-thread ids (1, 2, ...) so the trace viewer groups
+/// rows sensibly instead of showing raw pthread handles.
+std::atomic<std::uint32_t> gNextTid{1};
+thread_local std::uint32_t tlTid = 0;
+
+std::uint32_t traceTid() {
+    if (tlTid == 0) tlTid = gNextTid.fetch_add(1, std::memory_order_relaxed);
+    return tlTid;
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(std::size_t capacity)
+    : t0_(std::chrono::steady_clock::now()), capacity_(capacity) {
+    events_.reserve(capacity_);
+}
+
+std::uint64_t TraceRecorder::nowUs() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0_)
+            .count());
+}
+
+void TraceRecorder::record(const char* name, const char* cat, std::uint64_t tsUs,
+                           std::uint64_t durUs) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (events_.size() >= capacity_) {
+        ++dropped_;
+        return;
+    }
+    events_.push_back(Event{name, cat, tsUs, durUs, traceTid()});
+}
+
+std::size_t TraceRecorder::eventCount() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_.size();
+}
+
+std::uint64_t TraceRecorder::droppedEvents() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return dropped_;
+}
+
+std::string TraceRecorder::toJson() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::string out = "{\"traceEvents\":[";
+    char buf[256];
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+        const Event& e = events_[i];
+        std::snprintf(buf, sizeof buf,
+                      "%s{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%" PRIu64
+                      ",\"dur\":%" PRIu64 ",\"pid\":1,\"tid\":%u}",
+                      i == 0 ? "" : ",", e.name, e.cat, e.tsUs, e.durUs, e.tid);
+        out += buf;
+    }
+    out += "],\"displayTimeUnit\":\"ms\"";
+    if (dropped_ > 0) {
+        std::snprintf(buf, sizeof buf, ",\"mpcgsDroppedEvents\":%" PRIu64, dropped_);
+        out += buf;
+    }
+    out += "}";
+    return out;
+}
+
+void TraceRecorder::writeFile(const std::string& path) const {
+    if (const auto hit = MPCGS_FAILPOINT("obs.emit"); hit.fired()) {
+        if (hit.action == failpoint::Action::Errno)
+            throw IoError("trace write " + path + ": " + std::strerror(hit.errnum) +
+                          " (errno " + std::to_string(hit.errnum) + ")");
+        throw InjectedFaultError("obs.emit");
+    }
+    const std::string body = toJson() + "\n";
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (!f) throw IoError("trace open " + path + ": " + std::strerror(errno));
+    const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+    if (std::fclose(f) != 0 || !ok)
+        throw IoError("trace write " + path + ": " + std::strerror(errno));
+}
+
+void armTrace(TraceRecorder* recorder) {
+    gRecorder.store(recorder, std::memory_order_release);
+}
+
+TraceRecorder* activeTrace() { return gRecorder.load(std::memory_order_acquire); }
+
+TraceSpan::TraceSpan(const char* name, const char* cat)
+    : rec_(activeTrace()), name_(name), cat_(cat) {
+    if (rec_) t0Us_ = rec_->nowUs();
+}
+
+TraceSpan::~TraceSpan() {
+    if (!rec_) return;
+    const std::uint64_t end = rec_->nowUs();
+    rec_->record(name_, cat_, t0Us_, end > t0Us_ ? end - t0Us_ : 0);
+}
+
+}  // namespace mpcgs::obs

@@ -1,6 +1,10 @@
 #include "par/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mpcgs {
 
@@ -29,6 +33,30 @@ inline std::uint32_t rangeBegin(std::uint64_t r) {
     return static_cast<std::uint32_t>(r >> 32);
 }
 inline std::uint32_t rangeEnd(std::uint64_t r) { return static_cast<std::uint32_t>(r); }
+
+/// Scoped launch instrumentation: one pool.launches count per launch and,
+/// when the metrics registry is armed, a launch-latency observation on
+/// scope exit — covering the single-chunk early return and the full
+/// dispatch+wait path alike. The clock is only read while armed.
+struct LaunchObserver {
+    bool on;
+    std::chrono::steady_clock::time_point t0;
+    obs::TraceSpan span{"pool_launch", "pool"};
+    LaunchObserver() : on(obs::armed()) {
+        if (on) {
+            obs::add(obs::Counter::PoolLaunches);
+            t0 = std::chrono::steady_clock::now();
+        }
+    }
+    ~LaunchObserver() {
+        if (on)
+            obs::observe(obs::Histogram::PoolLaunchLatencyUs,
+                         static_cast<std::uint64_t>(
+                             std::chrono::duration_cast<std::chrono::microseconds>(
+                                 std::chrono::steady_clock::now() - t0)
+                                 .count()));
+    }
+};
 
 inline void cpuRelax() {
 #if defined(__x86_64__) || defined(__i386__)
@@ -72,6 +100,7 @@ void ThreadPool::launchImpl(std::size_t n, std::size_t grain, ChunkFn fn, void* 
 }
 
 void ThreadPool::launchLocked(std::size_t n, std::size_t grain, ChunkFn fn, void* ctx) {
+    const LaunchObserver observer;
     if (grain == 0) {
         // Aim for ~4 chunks per slot: slack for stealing to balance uneven
         // work without per-chunk dispatch dominating small grids.
@@ -119,10 +148,13 @@ void ThreadPool::launchLocked(std::size_t n, std::size_t grain, ChunkFn fn, void
     if (wake > 0 && parked_.load(std::memory_order_seq_cst) > 0) {
         std::lock_guard<std::mutex> g(wakeMu_);
         const int parked = parked_.load(std::memory_order_seq_cst);
-        if (parked > 0 && wake >= static_cast<unsigned>(parked))
+        if (parked > 0 && wake >= static_cast<unsigned>(parked)) {
             wakeCv_.notify_all();
-        else
+            obs::add(obs::Counter::PoolWakes, static_cast<std::uint64_t>(parked));
+        } else {
             for (unsigned i = 0; i < wake; ++i) wakeCv_.notify_one();
+            obs::add(obs::Counter::PoolWakes, wake);
+        }
     }
 
     {
@@ -169,6 +201,7 @@ void ThreadPool::workerLoop(unsigned slot) {
             }
             if (woke) continue;
         }
+        obs::add(obs::Counter::PoolParks);
         std::unique_lock<std::mutex> lk(wakeMu_);
         parked_.fetch_add(1, std::memory_order_seq_cst);
         wakeCv_.wait(lk, [&] {
@@ -228,6 +261,7 @@ bool ThreadPool::stealChunk(unsigned slot, std::size_t& chunk) {
                                              std::memory_order_acq_rel,
                                              std::memory_order_acquire)) {
                 chunk = e - 1ull;
+                obs::add(obs::Counter::PoolChunksStolen);
                 return true;
             }
         }

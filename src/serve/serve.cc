@@ -8,12 +8,15 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <iostream>
 #include <utility>
 
 #include "coalescent/prior.h"
 #include "mcmc/checkpoint.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/json_mini.h"
 #include "util/failpoint.h"
 
@@ -21,8 +24,66 @@ namespace mpcgs {
 namespace {
 
 std::string errorReply(const std::string& kind, const std::string& what) {
+    obs::add(obs::Counter::ServeJobsRejected);
     json_mini::Writer w;
     w.boolean("ok", false).str("kind", kind).str("error", what);
+    return w.finish();
+}
+
+/// Scoped per-job latency observation (serve.job_latency_us.<kind> /
+/// serve.checkpoint_write_us). The clock is only read while the registry
+/// is armed, matching the pool's LaunchObserver.
+struct ScopedLatency {
+    bool on;
+    obs::Histogram h;
+    std::chrono::steady_clock::time_point t0;
+    explicit ScopedLatency(obs::Histogram hist) : on(obs::armed()), h(hist) {
+        if (on) t0 = std::chrono::steady_clock::now();
+    }
+    ~ScopedLatency() {
+        if (on)
+            obs::observe(h, static_cast<std::uint64_t>(
+                                std::chrono::duration_cast<std::chrono::microseconds>(
+                                    std::chrono::steady_clock::now() - t0)
+                                    .count()));
+    }
+};
+
+/// One reply line from the live registry: ok/job/armed, then every counter,
+/// every set gauge, and count/sum/p50/p90/p99 per non-empty histogram as
+/// flat dotted keys — the same taxonomy --metrics-out writes, inside the
+/// protocol's single-level JSON grammar. {"format":"prometheus"} instead
+/// embeds the text exposition (newlines escaped) for `serve-send` to
+/// unescape and print.
+std::string metricsReply(const json_mini::Object& job) {
+    const obs::MetricsSnapshot snap = obs::snapshot();
+    json_mini::Writer w;
+    w.boolean("ok", true).str("job", "metrics").boolean("armed", obs::armed());
+    if (json_mini::has(job, "format")) {
+        const std::string& format = json_mini::getString(job, "format");
+        if (format != "prometheus")
+            return errorReply("config", "unknown metrics format '" + format +
+                                            "' (prometheus)");
+        w.str("format", format).str("text", obs::toPrometheus(snap));
+        return w.finish();
+    }
+    for (std::size_t c = 0; c < obs::kCounterCount; ++c)
+        w.num(obs::counterName(static_cast<obs::Counter>(c)),
+              static_cast<double>(snap.counters[c]));
+    for (std::size_t g = 0; g < obs::kGaugeCount; ++g)
+        if (snap.gaugeSet[g])
+            w.num(obs::gaugeName(static_cast<obs::Gauge>(g)), snap.gauges[g]);
+    for (std::size_t h = 0; h < obs::kHistogramCount; ++h) {
+        const auto hh = static_cast<obs::Histogram>(h);
+        const std::uint64_t n = snap.histCount(hh);
+        if (n == 0) continue;
+        const std::string base = obs::histogramName(hh);
+        w.num(base + ".count", static_cast<double>(n));
+        w.num(base + ".sum", static_cast<double>(snap.histSumUs[h]));
+        w.num(base + ".p50", static_cast<double>(snap.histQuantileUs(hh, 0.50)));
+        w.num(base + ".p90", static_cast<double>(snap.histQuantileUs(hh, 0.90)));
+        w.num(base + ".p99", static_cast<double>(snap.histQuantileUs(hh, 0.99)));
+    }
     return w.finish();
 }
 
@@ -168,10 +229,13 @@ std::string ServeSession::dispatch(const std::string& line) {
     try {
         const std::string& kind = json_mini::getString(job, "job");
         if (kind == "add_sequence") {
+            const ScopedLatency lat(obs::Histogram::ServeAddSequenceUs);
+            const obs::TraceSpan span("serve_add_sequence", "serve");
             const Sequence seq = Sequence::fromString(
                 json_mini::getString(job, "name"), json_mini::getString(job, "sequence"));
             OnlineSmcUpdater updater(state_, opts_, pool_);
             const OnlineUpdateResult res = updater.addSequence(seq);
+            obs::add(obs::Counter::ServeUpdatesAccepted);
             snapshot();  // durable after every accepted update
             if (sink_) {
                 // Stream the MAP-weight particle (deterministic: first
@@ -197,9 +261,12 @@ std::string ServeSession::dispatch(const std::string& line) {
                      static_cast<double>(res.rejuvenationAccepts))
                 .num("updates", static_cast<double>(state_.updates))
                 .num("sequences", static_cast<double>(state_.alignment.sequenceCount()));
+            obs::add(obs::Counter::ServeJobsAccepted);
             return w.finish();
         }
         if (kind == "estimate") {
+            const ScopedLatency lat(obs::Histogram::ServeEstimateUs);
+            const obs::TraceSpan span("serve_estimate", "serve");
             json_mini::Writer w;
             w.boolean("ok", true)
                 .str("job", kind)
@@ -207,29 +274,48 @@ std::string ServeSession::dispatch(const std::string& line) {
                 .num("ess", onlineEssFraction(state_))
                 .num("updates", static_cast<double>(state_.updates))
                 .num("sequences", static_cast<double>(state_.alignment.sequenceCount()));
+            obs::add(obs::Counter::ServeJobsAccepted);
             return w.finish();
         }
         if (kind == "logz") {
+            const ScopedLatency lat(obs::Histogram::ServeLogzUs);
+            const obs::TraceSpan span("serve_logz", "serve");
             json_mini::Writer w;
             w.boolean("ok", true).str("job", kind).num("logz", state_.logZ);
+            obs::add(obs::Counter::ServeJobsAccepted);
             return w.finish();
         }
+        if (kind == "metrics") {
+            const ScopedLatency lat(obs::Histogram::ServeMetricsUs);
+            const obs::TraceSpan span("serve_metrics", "serve");
+            const std::string reply = metricsReply(job);
+            // metricsReply already counted a rejection for a bad format.
+            if (reply.find("\"ok\":true") == 1)
+                obs::add(obs::Counter::ServeJobsAccepted);
+            return reply;
+        }
         if (kind == "snapshot") {
+            const ScopedLatency lat(obs::Histogram::ServeSnapshotUs);
+            const obs::TraceSpan span("serve_snapshot", "serve");
             snapshot();
             json_mini::Writer w;
             w.boolean("ok", true).str("job", kind).str("path", statePath_);
+            obs::add(obs::Counter::ServeJobsAccepted);
             return w.finish();
         }
         if (kind == "shutdown") {
+            const ScopedLatency lat(obs::Histogram::ServeShutdownUs);
+            const obs::TraceSpan span("serve_shutdown", "serve");
             snapshot();
             shutdown_ = true;
             json_mini::Writer w;
             w.boolean("ok", true).str("job", kind);
+            obs::add(obs::Counter::ServeJobsAccepted);
             return w.finish();
         }
         return errorReply("config", "unknown job '" + kind +
                                         "' (add_sequence | estimate | logz | "
-                                        "snapshot | shutdown)");
+                                        "metrics | snapshot | shutdown)");
     } catch (const ParseError& e) {
         return errorReply("parse", e.what());
     } catch (const ConfigError& e) {
@@ -241,7 +327,10 @@ std::string ServeSession::dispatch(const std::string& line) {
 
 void ServeSession::snapshot() {
     if (statePath_.empty()) return;
+    const ScopedLatency lat(obs::Histogram::ServeCheckpointWriteUs);
+    const obs::TraceSpan span("serve_checkpoint", "serve");
     withCheckpointRetry(supervisor_, [&] { saveOnlineState(statePath_, state_); });
+    obs::add(obs::Counter::ServeCheckpointWrites);
 }
 
 void ServeSession::handleIdle() {

@@ -11,6 +11,9 @@
 //          refresh diagnostics
 //   {"job":"estimate"}   -> current weighted theta estimate + ESS
 //   {"job":"logz"}       -> accumulated log marginal-likelihood estimate
+//   {"job":"metrics"}    -> live metrics registry (src/obs/) as flat JSON;
+//                           {"format":"prometheus"} embeds the text
+//                           exposition instead (escaped in "text")
 //   {"job":"snapshot"}   -> write a checkpoint now
 //   {"job":"shutdown"}   -> final checkpoint, clean exit
 //

@@ -1,0 +1,40 @@
+// CSV trace sink for `mpcgs serve --trace FILE` — one row per accepted
+// online update, fed the highest-weight particle the daemon hands every
+// sink. Lives in the library (not the tool main) so tests can drive the
+// exact sink the daemon runs: header row on open, flush after every row so
+// monitors tailing the file — and a SIGTERM'd daemon's last accepted
+// update — always see complete lines.
+#pragma once
+
+#include <fstream>
+#include <string>
+
+#include "mcmc/sampler.h"
+#include "util/error.h"
+
+namespace mpcgs {
+
+class CsvTraceSink final : public SampleSink {
+  public:
+    explicit CsvTraceSink(const std::string& path) : out_(path) {
+        if (!out_) throw ConfigError("serve: cannot open --trace file " + path);
+        out_ << "update,log_posterior,tree_height\n";
+        out_.flush();
+    }
+
+    void consume(const Genealogy& g, const SampleTag& tag) override {
+        out_ << tag.index << ',' << tag.logPosterior << ',' << g.node(g.root()).time
+             << '\n';
+        out_.flush();  // monitors tail the file while the daemon runs
+        ++rows_;
+    }
+
+    /// Rows written so far (excluding the header).
+    std::size_t rows() const { return rows_; }
+
+  private:
+    std::ofstream out_;
+    std::size_t rows_ = 0;
+};
+
+}  // namespace mpcgs

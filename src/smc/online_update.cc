@@ -12,6 +12,8 @@
 #include "lik/forest_kernels.h"
 #include "lik/locus_likelihoods.h"
 #include "mcmc/checkpoint.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "par/kernel.h"
 #include "util/error.h"
 #include "util/failpoint.h"
@@ -373,6 +375,7 @@ OnlineSmcUpdater::OnlineSmcUpdater(OnlineState& state, const OnlineOptions& opts
 }
 
 OnlineUpdateResult OnlineSmcUpdater::addSequence(const Sequence& seq) {
+    const obs::TraceSpan span("online_update", "smc");
     const std::size_t N = state_.particles.size();
     const int n = static_cast<int>(state_.alignment.sequenceCount());
     const double theta = state_.theta;
@@ -555,6 +558,10 @@ OnlineUpdateResult OnlineSmcUpdater::addSequence(const Sequence& seq) {
     state_.alignment = newAln;
     state_.logZ += logZInc;
     ++state_.updates;
+    // Serial commit point — deterministic metric counts, no RNG touched.
+    obs::add(obs::Counter::SmcOnlineUpdates);
+    obs::set(obs::Gauge::SmcOnlineLogZIncrement, logZInc);
+    obs::set(obs::Gauge::SmcLogZ, state_.logZ);
 
     OnlineUpdateResult res;
     res.logZIncrement = logZInc;
@@ -568,8 +575,10 @@ OnlineUpdateResult OnlineSmcUpdater::addSequence(const Sequence& seq) {
     res.essFraction = ess / static_cast<double>(N);
     const bool refresh = opts_.essThreshold >= 1.0 ||
                          ess < opts_.essThreshold * static_cast<double>(N);
+    obs::set(obs::Gauge::SmcEssFraction, res.essFraction);
     if (refresh) {
         res.refreshed = true;
+        obs::add(obs::Counter::SmcOnlineRefreshes);
         std::vector<std::uint32_t> ancestry;
         resampleAncestors(opts_.scheme, probs, state_.hostRng, ancestry);
         std::vector<OnlineParticle> next(N);
@@ -603,6 +612,7 @@ OnlineUpdateResult OnlineSmcUpdater::addSequence(const Sequence& seq) {
             });
         }
         for (std::size_t p = 0; p < N; ++p) res.rejuvenationAccepts += accepts[p];
+        obs::add(obs::Counter::SmcRejuvenationAccepts, res.rejuvenationAccepts);
     }
     return res;
 }

@@ -6,6 +6,8 @@
 
 #include "coalescent/prior.h"
 #include "core/numeric_guard.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "par/kernel.h"
 #include "rng/splitmix.h"
 #include "util/error.h"
@@ -46,6 +48,7 @@ SmcFilter::SmcFilter(LikelihoodBackend& backend, double theta, const SmcOptions&
 }
 
 void SmcFilter::step() {
+    const obs::TraceSpan span("smc_generation", "smc");
     const std::size_t N = cloud_.size();
     const int n = totalEvents_ + 1;
     const int event = event_;
@@ -170,6 +173,13 @@ void SmcFilter::step() {
 
     const double essFrac = cloud_.ess() / static_cast<double>(N);
     if (essFrac < res_.minEssFraction) res_.minEssFraction = essFrac;
+    // Metrics live in this serial section for the same reason the fail
+    // points do: their counts stay deterministic, and no RNG is touched.
+    obs::add(obs::Counter::SmcGenerations);
+    obs::set(obs::Gauge::SmcEssFraction, essFrac);
+    obs::set(obs::Gauge::SmcMinEssFraction, res_.minEssFraction);
+    obs::set(obs::Gauge::SmcStepLogZ, stepLogZ);
+    obs::set(obs::Gauge::SmcLogZ, res_.logZ);
     const bool lastEvent = event == totalEvents_ - 1;
     // Threshold 1.0 means "resample every step" (the documented contract):
     // a strict ESS < N comparison alone would skip exactly-uniform clouds
@@ -180,6 +190,7 @@ void SmcFilter::step() {
         (forceResample || cloud_.ess() < opts_.essThreshold * static_cast<double>(N))) {
         cloud_.resample(opts_.scheme);
         ++res_.resamples;
+        obs::add(obs::Counter::SmcResamples);
     }
     ++event_;
 }
@@ -193,12 +204,12 @@ SmcPassResult SmcFilter::finish() {
     res_.sampledLogPosterior =
         chosen.rootLogL.front() + logCoalescentPrior(res_.sampled, theta_);
     res_.backend = backend_.name();
-    res_.likStats = backend_.stats();
     return std::move(res_);
 }
 
 SmcPassResult runSmcPass(const DataLikelihood& lik, double theta, const SmcOptions& opts,
                          std::uint64_t passSeed, ThreadPool* pool) {
+    const obs::TraceSpan span("smc_pass", "smc");
     const std::unique_ptr<LikelihoodBackend> backend =
         makeLikelihoodBackend(opts.backend, lik);
     SmcFilter filter(*backend, theta, opts, passSeed, pool);

@@ -74,7 +74,6 @@ struct SmcPassResult {
     Genealogy sampled;              ///< one genealogy drawn from the final cloud
     double sampledLogPosterior = 0.0;  ///< log P(D|G) + log P(G|theta) of it
     std::string backend;            ///< likelihood backend that ran the pass
-    LikBatchStats likStats;         ///< backend execution counters
 };
 
 /// The genealogy particle filter, stepped one coalescence generation at a

@@ -40,6 +40,14 @@ class NumericError : public Error {
     explicit NumericError(const std::string& what) : Error("numeric fault: " + what) {}
 };
 
+/// Non-checkpoint file I/O failure (metrics/trace emission, CSV sinks).
+/// Maps to kExitIoFault in the tools, same slot as CheckpointError: losing
+/// observability output is an operational fault, not a silent warning.
+class IoError : public Error {
+  public:
+    explicit IoError(const std::string& what) : Error("io error: " + what) {}
+};
+
 /// Throw InvariantError when cond is false. Used for checks that must stay
 /// active in release builds (tree validity after proposals, etc.).
 inline void require(bool cond, const char* msg) {

@@ -31,6 +31,8 @@ constexpr RegisteredPoint kRegistry[] = {
     {"serve.accept", Kind::Io},
     // Online SMC add-sequence reweight boundary (src/smc/online_update.cc).
     {"online.reweight", Kind::Numeric},
+    // Observability emission: metrics/trace file writes (src/obs/).
+    {"obs.emit", Kind::Io},
 };
 
 struct TriggerSpec {

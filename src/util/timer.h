@@ -23,6 +23,10 @@ class Timer {
 
   private:
     using Clock = std::chrono::steady_clock;
+    // Every elapsed-time figure the tools and benches report rides on this
+    // clock; a non-monotonic source (NTP step, suspend) would surface as
+    // negative phase durations. tests/util_test.cc checks monotonicity.
+    static_assert(Clock::is_steady, "Timer requires a monotonic clock");
     Clock::time_point start_;
 };
 

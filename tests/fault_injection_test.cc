@@ -18,6 +18,7 @@
 #include "core/smc_estimator.h"
 #include "core/supervisor.h"
 #include "mcmc/checkpoint.h"
+#include "obs/metrics.h"
 #include "rng/mt19937.h"
 #include "seq/dataset.h"
 #include "seq/seqgen.h"
@@ -119,7 +120,7 @@ TEST_F(FaultInjectionTest, EveryRegisteredPointFiresItsDocumentedTypedError) {
 
     // One scenario per registered point: the spec to arm and a runner that
     // provably reaches the site, plus the error type the caller must see.
-    enum class Expect { Checkpoint, Resume, Numeric, Injected, Interrupted };
+    enum class Expect { Checkpoint, Resume, Numeric, Injected, Interrupted, Io };
     struct Scenario {
         std::string spec;
         Expect expect;
@@ -172,6 +173,11 @@ TEST_F(FaultInjectionTest, EveryRegisteredPointFiresItsDocumentedTypedError) {
                                                                   OnlineOptions{});
                                              session.handleLine("{\"job\":\"logz\"}");
                                          }};
+    // Metrics/trace emission: a lost snapshot of a finished run is an
+    // operational I/O fault (exit 6), same slot as checkpoint I/O.
+    scenarios["obs.emit"] =
+        Scenario{"obs.emit=once:errno=ENOSPC", Expect::Io,
+                 [&] { obs::writeMetricsFile(tempPath("fault_metrics.json")); }};
     scenarios["supervisor.stop"] = Scenario{"supervisor.stop=once", Expect::Interrupted, [&] {
                                                 RunSupervisor::Config cfg;
                                                 cfg.handleSignals = false;
@@ -205,6 +211,8 @@ TEST_F(FaultInjectionTest, EveryRegisteredPointFiresItsDocumentedTypedError) {
             EXPECT_EQ(sc.expect, Expect::Numeric) << point.name << ": " << e.what();
         } catch (const CheckpointError& e) {
             EXPECT_EQ(sc.expect, Expect::Checkpoint) << point.name << ": " << e.what();
+        } catch (const IoError& e) {
+            EXPECT_EQ(sc.expect, Expect::Io) << point.name << ": " << e.what();
         } catch (const InjectedFaultError& e) {
             EXPECT_EQ(sc.expect, Expect::Injected) << point.name << ": " << e.what();
         }

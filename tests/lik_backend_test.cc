@@ -17,6 +17,7 @@
 #include "coalescent/simulator.h"
 #include "lik/forest_eval.h"
 #include "lik/rate_model.h"
+#include "obs/metrics.h"
 #include "rng/mt19937.h"
 #include "seq/seqgen.h"
 #include "seq/subst_model.h"
@@ -249,25 +250,43 @@ TEST(LikBackendTest, BatchStatsRecordSharing) {
     const F81Model model(aln.baseFrequencies());
     const DataLikelihood lik(aln, model);
 
+    // Execution counters live in the metrics registry (lik.* taxonomy) —
+    // backends keep no private stats copy.
+    obs::reset();
+    obs::arm();
+
     SmcOptions opts;
     opts.particles = 128;
     opts.backend = LikBackendKind::Batched;
     const SmcPassResult res = runSmcPass(lik, 1.0, opts, 47);
     EXPECT_EQ(res.backend, "batched");
+    const obs::MetricsSnapshot batched = obs::snapshot();
     // One flush per generation plus the tip batch.
-    EXPECT_EQ(res.likStats.flushes, 8u);  // 1 tip flush + 7 events
-    EXPECT_EQ(res.likStats.combineOps, 7u * 128u);
-    EXPECT_EQ(res.likStats.maxBatchCombines, 128u);
+    EXPECT_EQ(batched.counter(obs::Counter::LikFlushes), 8u);  // 1 tip + 7 events
+    EXPECT_EQ(batched.counter(obs::Counter::LikCombineOps), 7u * 128u);
     // Matrix sharing: a naive execution exponentiates 2 matrices per
-    // combine per category; the batch must do strictly better (equal
-    // lengths dedupe within a generation).
-    EXPECT_GT(res.likStats.matricesComputed, 0u);
-    EXPECT_LE(res.likStats.matricesComputed,
-              res.likStats.combineOps * 2u * lik.rateCategories().count());
+    // combine per category (lik.matrices_requested counts exactly that);
+    // the batch must do strictly better (equal lengths dedupe within a
+    // generation).
+    EXPECT_EQ(batched.counter(obs::Counter::LikMatricesRequested),
+              7u * 128u * 2u * lik.rateCategories().count());
+    EXPECT_GT(batched.counter(obs::Counter::LikMatricesComputed), 0u);
+    EXPECT_LT(batched.counter(obs::Counter::LikMatricesComputed),
+              batched.counter(obs::Counter::LikMatricesRequested));
 
+    obs::reset();
     opts.backend = LikBackendKind::Arena;
     const SmcPassResult ref = runSmcPass(lik, 1.0, opts, 47);
-    EXPECT_EQ(ref.likStats.combineOps, res.likStats.combineOps);
+    EXPECT_EQ(ref.backend, "arena");
+    const obs::MetricsSnapshot arena = obs::snapshot();
+    EXPECT_EQ(arena.counter(obs::Counter::LikCombineOps),
+              batched.counter(obs::Counter::LikCombineOps));
+    // The eager backend computes every requested matrix — no dedup.
+    EXPECT_EQ(arena.counter(obs::Counter::LikMatricesComputed),
+              arena.counter(obs::Counter::LikMatricesRequested));
+
+    obs::disarm();
+    obs::reset();
 }
 
 }  // namespace

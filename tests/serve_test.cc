@@ -4,6 +4,8 @@
 // socket-loop smoke against a real Unix-domain socket.
 #include <cmath>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -12,10 +14,12 @@
 
 #include "coalescent/simulator.h"
 #include "mcmc/checkpoint.h"
+#include "obs/metrics.h"
 #include "rng/mt19937.h"
 #include "seq/seqgen.h"
 #include "serve/json_mini.h"
 #include "serve/serve.h"
+#include "serve/trace_sink.h"
 #include "smc/online_update.h"
 #include "util/failpoint.h"
 
@@ -226,6 +230,114 @@ TEST(ServeLoopTest, UnixSocketSmokeServesJobsAndShutsDownCleanly) {
     EXPECT_NE(bye.find("\"ok\":true"), std::string::npos) << bye;
     daemon.join();
     EXPECT_EQ(session.state().updates, 1u);
+}
+
+TEST(ServeSessionTest, MetricsJobReportsRegistryCountersAndLatencies) {
+    obs::reset();
+    obs::arm();
+    const Alignment full = simAlignment(6, 83);
+    ServeSession session(smallState(dropLast(full), 91), "", OnlineOptions{});
+
+    // One accepted job before asking, so the counters have something to say.
+    session.handleLine("{\"job\":\"estimate\"}");
+
+    const std::string reply = session.handleLine("{\"job\":\"metrics\"}");
+    EXPECT_NE(reply.find("\"ok\":true"), std::string::npos) << reply;
+    EXPECT_NE(reply.find("\"armed\":true"), std::string::npos) << reply;
+    // Flat dotted keys, same taxonomy as --metrics-out, parseable by the
+    // protocol's own single-level grammar.
+    const auto obj = json_mini::parse(reply);
+    EXPECT_EQ(json_mini::getNumber(obj, "serve.jobs_accepted"), 1.0) << reply;
+    EXPECT_EQ(json_mini::getNumber(obj, "serve.jobs_rejected"), 0.0) << reply;
+    // The estimate job's ScopedLatency landed before the metrics snapshot.
+    EXPECT_EQ(json_mini::getNumber(obj, "serve.job_latency_us.estimate.count"), 1.0)
+        << reply;
+    EXPECT_GE(json_mini::getNumber(obj, "serve.job_latency_us.estimate.p99"), 0.0);
+
+    // Prometheus exposition rides inside the JSON reply as escaped text;
+    // unescaping through the parser recovers the newline-separated format.
+    const std::string prom =
+        session.handleLine("{\"job\":\"metrics\",\"format\":\"prometheus\"}");
+    EXPECT_NE(prom.find("\"ok\":true"), std::string::npos) << prom;
+    const auto pobj = json_mini::parse(prom);
+    const std::string text = json_mini::getString(pobj, "text");
+    EXPECT_NE(text.find("# TYPE mpcgs_serve_jobs_accepted counter"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("mpcgs_serve_job_latency_us_estimate_bucket{le="),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos) << text;
+
+    // An unknown format is a job-level config error, not a daemon death.
+    const std::string bad =
+        session.handleLine("{\"job\":\"metrics\",\"format\":\"xml\"}");
+    EXPECT_NE(bad.find("\"ok\":false"), std::string::npos) << bad;
+    EXPECT_NE(bad.find("\"kind\":\"config\""), std::string::npos) << bad;
+
+    obs::disarm();
+    obs::reset();
+}
+
+TEST(ServeSessionTest, MetricsJobRepliesEvenUnarmed) {
+    obs::reset();
+    const Alignment full = simAlignment(5, 101);
+    ServeSession session(smallState(full, 103), "", OnlineOptions{});
+    const std::string reply = session.handleLine("{\"job\":\"metrics\"}");
+    EXPECT_NE(reply.find("\"ok\":true"), std::string::npos) << reply;
+    EXPECT_NE(reply.find("\"armed\":false"), std::string::npos) << reply;
+    const auto obj = json_mini::parse(reply);
+    EXPECT_EQ(json_mini::getNumber(obj, "serve.jobs_accepted"), 0.0) << reply;
+}
+
+TEST(CsvTraceSinkTest, WritesHeaderThenOneFlushedRowPerAcceptedUpdate) {
+    const std::string path = tempPath("serve_trace.csv");
+    std::remove(path.c_str());
+    const Alignment full = simAlignment(6, 107);
+    CsvTraceSink sink(path);
+    ServeSession session(smallState(dropLast(full), 109), "", OnlineOptions{},
+                         nullptr, nullptr, &sink);
+
+    // Header is flushed on open, before any update arrives.
+    {
+        std::ifstream in(path);
+        std::string header;
+        ASSERT_TRUE(std::getline(in, header));
+        EXPECT_EQ(header, "update,log_posterior,tree_height");
+    }
+
+    // Rejected updates must not write rows.
+    session.handleLine("{\"job\":\"add_sequence\",\"name\":\"x\",\"sequence\":\"ACGT\"}");
+    EXPECT_EQ(sink.rows(), 0u);
+
+    const std::string add = session.handleLine(
+        "{\"job\":\"add_sequence\",\"name\":\"" + full.sequences().back().name() +
+        "\",\"sequence\":\"" + full.sequences().back().toString() + "\"}");
+    EXPECT_NE(add.find("\"ok\":true"), std::string::npos) << add;
+    EXPECT_EQ(sink.rows(), 1u);
+
+    // consume() flushes per row, so the line is complete on disk while the
+    // sink is still open — the tail-the-file / SIGTERM'd-daemon contract.
+    std::ifstream in(path);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+    ASSERT_EQ(lines.size(), 2u);
+    double update = -1.0, logPost = 0.0, height = 0.0;
+    char c1 = 0, c2 = 0;
+    std::istringstream row(lines[1]);
+    ASSERT_TRUE(row >> update >> c1 >> logPost >> c2 >> height) << lines[1];
+    EXPECT_EQ(c1, ',');
+    EXPECT_EQ(c2, ',');
+    EXPECT_EQ(update, 0.0);  // first accepted update is index 0
+    EXPECT_TRUE(std::isfinite(logPost));
+    EXPECT_GT(height, 0.0);
+
+    std::remove(path.c_str());
+}
+
+TEST(CsvTraceSinkTest, UnwritablePathIsAConfigError) {
+    EXPECT_THROW(CsvTraceSink("/nonexistent_dir_mpcgs/trace.csv"), ConfigError);
 }
 
 TEST(JsonMiniTest, ParserAcceptsTheProtocolAndRejectsEverythingElse) {

@@ -128,6 +128,36 @@ TEST(TimerTest, PhaseTimerAccumulates) {
     EXPECT_DOUBLE_EQ(pt.totalSeconds(), 0.0);
 }
 
+TEST(TimerTest, ElapsedTimeNeverRunsBackwards) {
+    // The static_assert in util/timer.h pins the clock to steady_clock;
+    // this is the runtime half of that contract: successive readings of
+    // one Timer are non-decreasing, so no phase duration or speedup table
+    // can ever report a negative interval.
+    Timer t;
+    double prev = t.seconds();
+    EXPECT_GE(prev, 0.0);
+    for (int i = 0; i < 1000; ++i) {
+        const double now = t.seconds();
+        ASSERT_GE(now, prev) << "timer ran backwards at reading " << i;
+        prev = now;
+    }
+}
+
+TEST(TimerTest, PhaseTimerNeverAccumulatesNegativeIntervals) {
+    PhaseTimer pt;
+    double prevTotal = 0.0;
+    for (int i = 0; i < 200; ++i) {
+        pt.start();
+        pt.stop();
+        const double total = pt.totalSeconds();
+        ASSERT_GE(total, prevTotal) << "phase total shrank at interval " << i;
+        prevTotal = total;
+    }
+    // stop() without start() must not add a phantom interval.
+    pt.stop();
+    EXPECT_DOUBLE_EQ(pt.totalSeconds(), prevTotal);
+}
+
 TEST(FormatDurationTest, PicksUnits) {
     EXPECT_EQ(formatDuration(90.0), "1.5 min");
     EXPECT_EQ(formatDuration(2.5), "2.50 s");

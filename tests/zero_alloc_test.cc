@@ -13,6 +13,7 @@
 #include "coalescent/simulator.h"
 #include "lik/felsenstein.h"
 #include "lik/lik_backend.h"
+#include "obs/metrics.h"
 #include "par/kernel.h"
 #include "par/thread_pool.h"
 #include "rng/mt19937.h"
@@ -64,6 +65,15 @@ void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::f
 
 namespace mpcgs {
 namespace {
+
+// The whole binary runs with the metrics registry ARMED: the zero-alloc
+// contract must hold with observability on, or armed production runs
+// would silently lose the property these tests defend. Registry shards
+// are static storage claimed lazily per thread — no heap involved.
+const bool gObsArmed = [] {
+    obs::arm();
+    return true;
+}();
 
 /// Counts heap allocations between construction and stop().
 class AllocWindow {

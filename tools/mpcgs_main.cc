@@ -18,8 +18,12 @@
 #include "core/supervisor.h"
 #include "core/support_interval.h"
 #include "mcmc/checkpoint.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "seq/dataset.h"
+#include "serve/json_mini.h"
 #include "serve/serve.h"
+#include "serve/trace_sink.h"
 #include "util/build_info.h"
 #include "util/failpoint.h"
 #include "util/options.h"
@@ -61,6 +65,12 @@ void usage(const char* prog) {
                  "  --failpoints SPEC  arm fault-injection points, e.g.\n"
                  "                     'checkpoint.fsync=once:errno=ENOSPC;mcmc.logpost=after(3)'\n"
                  "                     (also read from $MPCGS_FAILPOINTS)\n"
+                 "  --metrics-out FILE write a flat JSON metrics snapshot (pool.* lik.*\n"
+                 "                     mcmc.* smc.* serve.* taxonomy) on clean exit;\n"
+                 "                     arms the registry (never perturbs any RNG stream)\n"
+                 "  --trace-out FILE   record phase spans (EM iterations, SMC generations,\n"
+                 "                     pool launches, serve jobs) and write Chrome\n"
+                 "                     trace_event JSON on clean exit (chrome://tracing)\n"
                  "  --print-config     print build type, SIMD width, git describe, the\n"
                  "                     thread default and the likelihood backends, then\n"
                  "                     exit\n"
@@ -90,8 +100,9 @@ void usage(const char* prog) {
                  "                     --ess-threshold/--lik-backend/--model/--seed apply)\n"
                  "  %s serve --state FILE (--socket PATH | --port P [--host H])\n"
                  "                     serve newline-delimited JSON jobs (add_sequence |\n"
-                 "                     estimate | logz | snapshot | shutdown) against the\n"
-                 "                     warm posterior; checkpoints FILE after every update\n"
+                 "                     estimate | logz | metrics | snapshot | shutdown)\n"
+                 "                     against the warm posterior; checkpoints FILE after\n"
+                 "                     every update\n"
                  "                     [--ess-threshold F] [--rejuvenation-sweeps K]\n"
                  "                     [--trace FILE] [--threads N] [--max-wall-time S]\n"
                  "  %s serve-send (--socket PATH | --port P [--host H]) '<json>'...\n"
@@ -219,6 +230,28 @@ int runStructured(const mpcgs::Dataset& ds, const mpcgs::Options& opts, double t
     return 0;
 }
 
+/// End-of-run likelihood-backend summary from the metrics registry
+/// (lik.* taxonomy; --metrics-out / --trace-out arm it). requested vs
+/// computed is the transition-matrix dedup the batched backend's
+/// sort+unique sharing buys over per-particle exponentiation.
+void printLikSummary() {
+    using namespace mpcgs;
+    if (!obs::armed()) return;
+    const obs::MetricsSnapshot snap = obs::snapshot();
+    const auto requested = snap.counter(obs::Counter::LikMatricesRequested);
+    const auto computed = snap.counter(obs::Counter::LikMatricesComputed);
+    const double dedup =
+        requested == 0
+            ? 0.0
+            : 100.0 * (1.0 - static_cast<double>(computed) / static_cast<double>(requested));
+    std::printf("likelihood backend: %llu flushes, %llu combine ops, %llu of %llu "
+                "transition matrices computed (dedup saved %.1f%%)\n",
+                static_cast<unsigned long long>(snap.counter(obs::Counter::LikFlushes)),
+                static_cast<unsigned long long>(snap.counter(obs::Counter::LikCombineOps)),
+                static_cast<unsigned long long>(computed),
+                static_cast<unsigned long long>(requested), dedup);
+}
+
 /// --algo smc: maximize the pooled SMC marginal likelihood log Zhat(theta)
 /// directly (no EM loop — the curve itself is the estimator).
 int runSmcAlgo(const mpcgs::Dataset& ds, const mpcgs::Options& opts, double theta0,
@@ -262,6 +295,7 @@ int runSmcAlgo(const mpcgs::Dataset& ds, const mpcgs::Options& opts, double thet
         for (const auto& [theta, lz] : res.curve) f << theta << ',' << lz << '\n';
         std::printf("SMC marginal-likelihood curve written to %s\n", curveFile->c_str());
     }
+    printLikSummary();
     return 0;
 }
 
@@ -307,26 +341,9 @@ int runPmmhAlgo(const mpcgs::Dataset& ds, const mpcgs::Options& opts, double the
                 res.posteriorMean, res.posteriorSd, res.q025, res.q975, res.median);
     if (res.rhat > 0.0)
         std::printf("  convergence: R-hat %.4f, pooled ESS %.0f\n", res.rhat, res.ess);
+    printLikSummary();
     return 0;
 }
-
-/// --trace FILE: stream one CSV row per accepted online update (the
-/// highest-weight particle the daemon hands every sink).
-class TraceSink final : public mpcgs::SampleSink {
-  public:
-    explicit TraceSink(const std::string& path) : out_(path) {
-        if (!out_) throw mpcgs::ConfigError("serve: cannot open --trace file " + path);
-        out_ << "update,log_posterior,tree_height\n";
-    }
-    void consume(const mpcgs::Genealogy& g, const mpcgs::SampleTag& tag) override {
-        out_ << tag.index << ',' << tag.logPosterior << ',' << g.node(g.root()).time
-             << '\n';
-        out_.flush();  // monitors tail the file while the daemon runs
-    }
-
-  private:
-    std::ofstream out_;
-};
 
 mpcgs::ServeEndpoint endpointFromOptions(const mpcgs::Options& opts) {
     mpcgs::ServeEndpoint ep;
@@ -403,8 +420,14 @@ int runServe(const mpcgs::Options& opts, std::unique_ptr<mpcgs::RunSupervisor>& 
     svCfg.maxWallSeconds = opts.getDouble("max-wall-time", 0.0);
     supervisor = std::make_unique<RunSupervisor>(svCfg);
 
-    std::unique_ptr<TraceSink> trace;
-    if (const auto tracePath = opts.get("trace")) trace = std::make_unique<TraceSink>(*tracePath);
+    // The daemon always counts (serve.* job/latency metrics back the
+    // `metrics` protocol job); instrumentation never touches an RNG
+    // stream, so live introspection cannot perturb the posterior.
+    obs::arm();
+
+    std::unique_ptr<CsvTraceSink> trace;
+    if (const auto tracePath = opts.get("trace"))
+        trace = std::make_unique<CsvTraceSink>(*tracePath);
 
     std::printf("mpcgs serve: warm posterior from %s — %zu sequences x %zu bp, "
                 "%zu particles, %llu updates so far, logZ %.6g, threads=%u\n",
@@ -438,8 +461,23 @@ int runServeSend(const mpcgs::Options& opts) {
         for (std::string line; std::getline(std::cin, line);)
             if (!line.empty()) lines.push_back(line);
     }
-    for (const std::string& line : lines)
-        std::printf("%s\n", serveSendLine(ep, line).c_str());
+    for (const std::string& line : lines) {
+        const std::string reply = serveSendLine(ep, line);
+        // A prometheus-format metrics reply embeds the text exposition
+        // escaped in its "text" field; print it unescaped so the output
+        // pipes straight into a scrape file.
+        try {
+            const json_mini::Object obj = json_mini::parse(reply);
+            if (json_mini::has(obj, "format") && json_mini::has(obj, "text") &&
+                json_mini::getString(obj, "format") == "prometheus") {
+                std::fputs(json_mini::getString(obj, "text").c_str(), stdout);
+                continue;
+            }
+        } catch (const ParseError&) {
+            // Not a flat object (or not JSON at all): print verbatim below.
+        }
+        std::printf("%s\n", reply.c_str());
+    }
     return 0;
 }
 
@@ -473,8 +511,27 @@ int main(int argc, char** argv) {
         failpoint::configureFromEnv();
         if (const auto spec = opts.get("failpoints")) failpoint::configure(*spec);
 
-        if (subcmd == "online-init") return runOnlineInit(opts);
-        if (subcmd == "serve") return runServe(opts, supervisor);
+        // Observability arms next, before any instrumented code runs. The
+        // registry/recorder never touch an RNG stream, so results are
+        // bitwise identical with or without these flags; files are written
+        // on clean exit only (an interrupted run keeps exit 3 semantics).
+        const auto metricsOut = opts.get("metrics-out");
+        const auto traceOut = opts.get("trace-out");
+        std::unique_ptr<obs::TraceRecorder> traceRec;
+        if (metricsOut || traceOut) obs::arm();
+        if (traceOut) {
+            traceRec = std::make_unique<obs::TraceRecorder>();
+            obs::armTrace(traceRec.get());
+        }
+        const auto finishObs = [&](int rc) {
+            if (traceRec) obs::armTrace(nullptr);
+            if (metricsOut) obs::writeMetricsFile(*metricsOut);
+            if (traceOut) traceRec->writeFile(*traceOut);
+            return rc;
+        };
+
+        if (subcmd == "online-init") return finishObs(runOnlineInit(opts));
+        if (subcmd == "serve") return finishObs(runServe(opts, supervisor));
         if (subcmd == "serve-send") return runServeSend(opts);
 
         MpcgsOptions mo;
@@ -564,11 +621,14 @@ int main(int argc, char** argv) {
         mo.supervisor = supervisor.get();
 
         if (opts.has("populations"))
-            return runStructured(ds, opts, mo.theta0, pool, threads, supervisor.get());
+            return finishObs(
+                runStructured(ds, opts, mo.theta0, pool, threads, supervisor.get()));
         if (algo == "smc")
-            return runSmcAlgo(ds, opts, mo.theta0, pool, threads, supervisor.get());
+            return finishObs(
+                runSmcAlgo(ds, opts, mo.theta0, pool, threads, supervisor.get()));
         if (algo == "pmmh")
-            return runPmmhAlgo(ds, opts, mo.theta0, pool, threads, supervisor.get());
+            return finishObs(
+                runPmmhAlgo(ds, opts, mo.theta0, pool, threads, supervisor.get()));
 
         std::printf("mpcgs: %zu loci, %zu total sites, theta0=%.4g, strategy=%s, threads=%u\n",
                     ds.locusCount(), ds.totalSites(), mo.theta0, strat.c_str(), threads);
@@ -616,7 +676,7 @@ int main(int argc, char** argv) {
                 f << theta << ',' << ll << '\n';
             std::printf("pooled likelihood curve written to %s\n", curveFile->c_str());
         }
-        return 0;
+        return finishObs(0);
     } catch (const InterruptedError& e) {
         const std::string reason = supervisor ? supervisor->stopReason() : "";
         std::fprintf(stderr, "mpcgs: %s%s%s%s\n", e.what(), reason.empty() ? "" : " (",

@@ -5,9 +5,12 @@
 // Prints one Newick tree per replicate, like `ms <n> <R> -T`.
 #include <cstdio>
 #include <iostream>
+#include <memory>
 
 #include "coalescent/simulator.h"
 #include "core/supervisor.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "phylo/newick.h"
 #include "rng/mt19937.h"
 #include "util/build_info.h"
@@ -22,19 +25,38 @@ int main(int argc, char** argv) {
         return 0;
     }
     if (opts.positional().empty()) {
-        std::fprintf(stderr, "usage: %s <nTips> [--theta T] [--seed S] [--reps R]\n", argv[0]);
+        std::fprintf(stderr,
+                     "usage: %s <nTips> [--theta T] [--seed S] [--reps R]\n"
+                     "       [--metrics-out FILE] [--trace-out FILE]\n",
+                     argv[0]);
         return 2;
     }
     try {
         failpoint::configureFromEnv();
+        // Shared observability surface (src/obs/): same flags, taxonomy and
+        // obs.emit fault semantics as mpcgs, emitted on clean exit.
+        const auto metricsOut = opts.get("metrics-out");
+        const auto traceOut = opts.get("trace-out");
+        std::unique_ptr<obs::TraceRecorder> traceRec;
+        if (metricsOut || traceOut) obs::arm();
+        if (traceOut) {
+            traceRec = std::make_unique<obs::TraceRecorder>();
+            obs::armTrace(traceRec.get());
+        }
         const int n = std::stoi(opts.positional()[0]);
         const double theta = opts.getDouble("theta", 1.0);
         const auto reps = opts.getInt("reps", 1);
         Mt19937 rng(static_cast<std::uint32_t>(opts.getInt("seed", 42)));
-        for (long long r = 0; r < reps; ++r) {
-            const Genealogy g = simulateCoalescent(n, theta, rng);
-            std::cout << toNewick(g) << "\n";
+        {
+            const obs::TraceSpan span("mscoal_simulate", "sim");
+            for (long long r = 0; r < reps; ++r) {
+                const Genealogy g = simulateCoalescent(n, theta, rng);
+                std::cout << toNewick(g) << "\n";
+            }
         }
+        if (traceRec) obs::armTrace(nullptr);
+        if (metricsOut) obs::writeMetricsFile(*metricsOut);
+        if (traceOut) traceRec->writeFile(*traceOut);
         return 0;
     } catch (const std::exception& e) {
         std::fprintf(stderr, "mscoal: %s\n", e.what());

@@ -26,11 +26,14 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
 #include "coalescent/simulator.h"
 #include "coalescent/structured.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "phylo/newick.h"
 #include "rng/mt19937.h"
 #include "rng/splitmix.h"
@@ -153,6 +156,22 @@ int main(int argc, char** argv) {
     }
     try {
         failpoint::configureFromEnv();
+        // Shared observability surface (src/obs/): same flags, taxonomy and
+        // obs.emit fault semantics as mpcgs, emitted on clean exit.
+        const auto metricsOut = opts.get("metrics-out");
+        const auto traceOut = opts.get("trace-out");
+        std::unique_ptr<obs::TraceRecorder> traceRec;
+        if (metricsOut || traceOut) obs::arm();
+        if (traceOut) {
+            traceRec = std::make_unique<obs::TraceRecorder>();
+            obs::armTrace(traceRec.get());
+        }
+        const auto finishObs = [&](int rc) {
+            if (traceRec) obs::armTrace(nullptr);
+            if (metricsOut) obs::writeMetricsFile(*metricsOut);
+            if (traceOut) traceRec->writeFile(*traceOut);
+            return rc;
+        };
         const std::string modelName = opts.get("model", "F84");
         const double kappa = opts.getDouble("kappa", 2.0);
         SeqGenOptions so;
@@ -169,7 +188,7 @@ int main(int argc, char** argv) {
             return 2;
         }
 
-        if (opts.has("demes")) return runTwoDeme(opts, *model, so, seed);
+        if (opts.has("demes")) return finishObs(runTwoDeme(opts, *model, so, seed));
 
         const auto loci = static_cast<std::size_t>(opts.getInt("loci", 0));
         if (loci > 0) {
@@ -213,7 +232,7 @@ int main(int argc, char** argv) {
             if (prefix)
                 std::fprintf(stderr, "seqgen: wrote %zu loci + manifest at prefix '%s'\n",
                              loci, prefix->c_str());
-            return 0;
+            return finishObs(0);
         }
 
         Mt19937 rng(static_cast<std::uint32_t>(seed));
@@ -224,7 +243,7 @@ int main(int argc, char** argv) {
             const Alignment aln = simulateSequences(g, *model, so, rng);
             writePhylip(std::cout, aln);
         }
-        return 0;
+        return finishObs(0);
     } catch (const std::exception& e) {
         std::fprintf(stderr, "seqgen: %s\n", e.what());
         return exitCodeFor(e);
